@@ -1,0 +1,189 @@
+// Benchmarks regenerating every experiment of DESIGN.md (one Benchmark per
+// table/figure, delegating to internal/experiments on the quick workload)
+// plus micro-benchmarks of the core operations. Run:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-size experiment tables use cmd/semandaq-bench instead.
+package semandaq_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"semandaq"
+	"semandaq/internal/experiments"
+)
+
+// benchExp wraps one experiment as a testing.B benchmark.
+func benchExp(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The paper's demo figures.
+func BenchmarkExpF2Exploration(b *testing.B) { benchExp(b, "F2") }
+func BenchmarkExpF3Detection(b *testing.B)   { benchExp(b, "F3") }
+func BenchmarkExpF4Audit(b *testing.B)       { benchExp(b, "F4") }
+func BenchmarkExpF5Repair(b *testing.B)      { benchExp(b, "F5") }
+
+// The imported performance claims.
+func BenchmarkExpD1DetectScale(b *testing.B)   { benchExp(b, "D1") }
+func BenchmarkExpD2PatternScale(b *testing.B)  { benchExp(b, "D2") }
+func BenchmarkExpD3Incremental(b *testing.B)   { benchExp(b, "D3") }
+func BenchmarkExpR1RepairQuality(b *testing.B) { benchExp(b, "R1") }
+func BenchmarkExpR2RepairScale(b *testing.B)   { benchExp(b, "R2") }
+func BenchmarkExpR3IncRepair(b *testing.B)     { benchExp(b, "R3") }
+func BenchmarkExpS1Consistency(b *testing.B)   { benchExp(b, "S1") }
+func BenchmarkExpM1Monitor(b *testing.B)       { benchExp(b, "M1") }
+
+// Ablations of the design choices DESIGN.md calls out.
+func BenchmarkExpA1TableauMerging(b *testing.B) { benchExp(b, "A1") }
+func BenchmarkExpA2Arbitration(b *testing.B)    { benchExp(b, "A2") }
+
+// Micro-benchmarks over the public API at several scales.
+
+func benchWorkload(b *testing.B, n int) (*semandaq.Dataset, []*semandaq.CFD) {
+	b.Helper()
+	ds := semandaq.GenerateCustomers(semandaq.GeneratorConfig{
+		Tuples: n, Seed: 7, NoiseRate: 0.05})
+	return ds, semandaq.StandardCFDs()
+}
+
+func BenchmarkDetectSQL(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds, cfds := benchWorkload(b, n)
+			sys := semandaq.New()
+			sys.RegisterTable(ds.Dirty)
+			if err := sys.RegisterCFDs("customer", cfds); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Touch the table version so the report cache misses.
+				b.StopTimer()
+				sys2 := semandaq.New()
+				sys2.RegisterTable(ds.Dirty)
+				if err := sys2.RegisterCFDs("customer", cfds); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := sys2.Detect("customer", semandaq.SQLDetection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDetectNative(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds, cfds := benchWorkload(b, n)
+			sys := semandaq.New()
+			sys.RegisterTable(ds.Dirty)
+			if err := sys.RegisterCFDs("customer", cfds); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys2 := semandaq.New()
+				sys2.RegisterTable(ds.Dirty)
+				if err := sys2.RegisterCFDs("customer", cfds); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := sys2.Detect("customer", semandaq.NativeDetection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIncrementalInsert(b *testing.B) {
+	ds, cfds := benchWorkload(b, 20000)
+	tr, err := semandaq.NewTracker(ds.Dirty, cfds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fresh := semandaq.GenerateCustomers(semandaq.GeneratorConfig{
+		Tuples: 1, Seed: 9, NoiseRate: 0})
+	_, rows := fresh.Dirty.Rows()
+	row := rows[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, _, err := tr.Insert(row)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.Delete(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepair(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds, cfds := benchWorkload(b, n)
+			sys := semandaq.New()
+			sys.RegisterTable(ds.Dirty)
+			if err := sys.RegisterCFDs("customer", cfds); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Repair("customer"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAudit(b *testing.B) {
+	ds, cfds := benchWorkload(b, 10000)
+	sys := semandaq.New()
+	sys.RegisterTable(ds.Dirty)
+	if err := sys.RegisterCFDs("customer", cfds); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Detect("customer", semandaq.NativeDetection); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Audit("customer"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConsistencyCheck(b *testing.B) {
+	cfds := semandaq.StandardCFDs()
+	sc := semandaq.NewSchema("customer", "NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := semandaq.CheckConsistency(sc, cfds, nil)
+		if err != nil || !rep.Satisfiable {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command semandaq-gen emits the synthetic customer workload as CSV files,
+// for driving the semandaq CLI or external tools: a clean instance, a
+// dirtied instance at a chosen noise rate, the injected-error ground truth,
+// and the standard CFD set in the text syntax.
+//
+//	semandaq-gen -n 10000 -noise 0.05 -seed 42 -dir ./data
+//
+// writes data/customers_clean.csv, data/customers_dirty.csv,
+// data/corruptions.csv and data/rules.cfd.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"semandaq/internal/datagen"
+	"semandaq/internal/relstore"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "number of customer tuples")
+	noise := flag.Float64("noise", 0.05, "fraction of tuples corrupted")
+	seed := flag.Int64("seed", 1, "generator seed")
+	dir := flag.String("dir", ".", "output directory")
+	flag.Parse()
+
+	if err := generate(*n, *noise, *seed, *dir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func generate(n int, noise float64, seed int64, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ds := datagen.Generate(datagen.Config{Tuples: n, Seed: seed, NoiseRate: noise})
+
+	writeTable := func(name string, tab *relstore.Table) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return relstore.WriteCSV(tab, f)
+	}
+	if err := writeTable("customers_clean.csv", ds.Clean); err != nil {
+		return err
+	}
+	if err := writeTable("customers_dirty.csv", ds.Dirty); err != nil {
+		return err
+	}
+
+	// Ground truth: one row per injected error.
+	cf, err := os.Create(filepath.Join(dir, "corruptions.csv"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	cw := csv.NewWriter(cf)
+	if err := cw.Write([]string{"tuple_id", "attr", "clean", "dirty", "kind"}); err != nil {
+		return err
+	}
+	for _, c := range ds.Corruptions {
+		if err := cw.Write([]string{
+			fmt.Sprint(c.TupleID), c.Attr,
+			c.Clean.CoerceString(), c.Dirty.CoerceString(), c.Kind,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+
+	// The standard CFD set, in the text syntax the CLI consumes.
+	rf, err := os.Create(filepath.Join(dir, "rules.cfd"))
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	for _, c := range datagen.StandardCFDs() {
+		if _, err := fmt.Fprintln(rf, c.String()); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("wrote %d clean + %d dirty tuples (%d corruptions) to %s\n",
+		ds.Clean.Len(), ds.Dirty.Len(), len(ds.Corruptions), dir)
+	return nil
+}

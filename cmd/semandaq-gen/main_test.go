@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateWritesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := generate(200, 0.1, 7, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"customers_clean.csv", "customers_dirty.csv", "corruptions.csv", "rules.cfd",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	// The corruption file has the 20 injected rows plus the header.
+	data, _ := os.ReadFile(filepath.Join(dir, "corruptions.csv"))
+	lines := strings.Count(string(data), "\n")
+	if lines != 21 {
+		t.Errorf("corruptions.csv has %d lines, want 21", lines)
+	}
+	// The rules file round-trips through the CLI's CFD parser format.
+	rules, _ := os.ReadFile(filepath.Join(dir, "rules.cfd"))
+	if !strings.Contains(string(rules), "[CC=44] -> [CNT=UK]") {
+		t.Errorf("rules.cfd missing phi3:\n%s", rules)
+	}
+}
+
+func TestGenerateBadDir(t *testing.T) {
+	if err := generate(10, 0, 1, "/proc/definitely/not/writable"); err == nil {
+		t.Error("expected error for unwritable dir")
+	}
+}

@@ -1,0 +1,288 @@
+// Command semandaq is the command-line front end to the Semandaq data
+// quality system: load a CSV, register CFDs, then detect, audit, explore,
+// repair or monitor from a terminal.
+//
+// Usage:
+//
+//	semandaq -data customers.csv -cfds rules.cfd <command>
+//
+// Commands:
+//
+//	check      check the CFD set for satisfiability
+//	detect     run violation detection (use -engine sql|native)
+//	sql        print the generated detection SQL without running it
+//	audit      print the data quality report
+//	map        print the tuple-level data quality map
+//	explore    drill down: explore [cfdID [patternIdx]]
+//	repair     compute a candidate repair; -apply commits it
+//	discover   mine CFDs from the loaded data
+//	demo       run the built-in paper example end to end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"semandaq/internal/core"
+	"semandaq/internal/datagen"
+	"semandaq/internal/discovery"
+	"semandaq/internal/relstore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "semandaq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("semandaq", flag.ContinueOnError)
+	dataPath := fs.String("data", "", "CSV file holding the relation to check")
+	tableName := fs.String("table", "", "table name (default: file base name)")
+	cfdPath := fs.String("cfds", "", "file with CFDs, one pattern per line")
+	engine := fs.String("engine", "sql", "detection engine: sql or native")
+	apply := fs.Bool("apply", false, "repair: apply the candidate repair and write the CSV back")
+	outPath := fs.String("o", "", "repair -apply: output CSV path (default: overwrite -data)")
+	minSupport := fs.Int("minsupport", 0, "discover: minimum pattern support")
+	maxLHS := fs.Int("maxlhs", 2, "discover: maximum LHS size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmdArgs := fs.Args()
+	if len(cmdArgs) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command")
+	}
+	cmd := cmdArgs[0]
+
+	s := core.New()
+	table := *tableName
+
+	if cmd == "demo" {
+		return demo(s, out)
+	}
+
+	if *dataPath == "" {
+		return fmt.Errorf("-data is required for %s", cmd)
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if table == "" {
+		base := *dataPath
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		table = strings.TrimSuffix(base, ".csv")
+	}
+	tab, err := s.LoadCSV(table, f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "loaded %s: %d tuples, schema %s\n", table, tab.Len(), tab.Schema())
+
+	if cmd != "discover" {
+		if *cfdPath == "" {
+			return fmt.Errorf("-cfds is required for %s", cmd)
+		}
+		text, err := os.ReadFile(*cfdPath)
+		if err != nil {
+			return err
+		}
+		cfds, err := s.RegisterCFDText(table, string(text))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "registered %d CFDs (satisfiable)\n", len(cfds))
+	}
+
+	switch cmd {
+	case "check":
+		rep, err := s.CheckConsistency(table, nil)
+		if err != nil {
+			return err
+		}
+		if rep.Satisfiable {
+			fmt.Fprintln(out, "CFD set is satisfiable")
+		} else {
+			fmt.Fprintf(out, "CFD set is UNSATISFIABLE: %s\n", rep.Conflict)
+		}
+		return nil
+
+	case "sql":
+		stmts, err := s.DetectionSQL(table)
+		if err != nil {
+			return err
+		}
+		for _, q := range stmts {
+			fmt.Fprintln(out, q+";")
+			fmt.Fprintln(out)
+		}
+		return nil
+
+	case "detect":
+		kind := core.SQLDetection
+		if *engine == "native" {
+			kind = core.NativeDetection
+		}
+		rep, err := s.Detect(table, kind)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d violations over %d tuples; %d dirty (max vio %d)\n",
+			rep.TotalViolations(), rep.TupleCount, len(rep.Vio), rep.MaxVio())
+		for id, st := range rep.PerCFD {
+			fmt.Fprintf(out, "  %-12s single=%d multi=%d groups=%d\n",
+				id, st.SingleTuple, st.MultiTuple, st.Groups)
+		}
+		return nil
+
+	case "audit":
+		a, err := s.Audit(table)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, a.Render())
+		return nil
+
+	case "map":
+		ex, err := s.Explore(table)
+		if err != nil {
+			return err
+		}
+		entries, hist := ex.QualityMap()
+		shades := []string{" ", "░", "▒", "▓", "█"}
+		for _, e := range entries {
+			fmt.Fprintf(out, "%6d %s vio=%d\n", e.ID, shades[e.Bucket], e.Vio)
+		}
+		fmt.Fprintf(out, "histogram (clean..dirtiest): %v\n", hist)
+		return nil
+
+	case "explore":
+		ex, err := s.Explore(table)
+		if err != nil {
+			return err
+		}
+		switch len(cmdArgs) {
+		case 1:
+			for _, info := range ex.CFDs() {
+				fmt.Fprintf(out, "%-12s %-45s patterns=%d violations=%d\n",
+					info.ID, info.FD, info.Patterns, info.Violations)
+			}
+		case 2:
+			pats, err := ex.Patterns(cmdArgs[1])
+			if err != nil {
+				return err
+			}
+			for _, p := range pats {
+				fmt.Fprintf(out, "#%d %-30s matches=%d violations=%d\n",
+					p.Index, p.Pattern, p.Matches, p.Violations)
+			}
+		default:
+			var idx int
+			if _, err := fmt.Sscanf(cmdArgs[2], "%d", &idx); err != nil {
+				return fmt.Errorf("bad pattern index %q", cmdArgs[2])
+			}
+			groups, err := ex.LHSGroups(cmdArgs[1], idx)
+			if err != nil {
+				return err
+			}
+			for _, g := range groups {
+				vals := make([]string, len(g.Values))
+				for i, v := range g.Values {
+					vals[i] = v.String()
+				}
+				fmt.Fprintf(out, "[%s] tuples=%d rhsValues=%d violations=%d\n",
+					strings.Join(vals, ", "), g.Tuples, g.RHSValues, g.Violations)
+			}
+		}
+		return nil
+
+	case "repair":
+		res, err := s.Repair(table)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "candidate repair: %d modifications, cost %.3f, %d passes, converged=%v\n",
+			len(res.Modifications), res.Cost, res.Passes, res.Converged)
+		for _, m := range res.Modifications {
+			fmt.Fprintf(out, "  tuple %d %s: %v -> %v  (%s, %s)\n",
+				m.TupleID, m.Attr, m.Old, m.New, m.CFDID, m.Reason)
+		}
+		if !*apply {
+			fmt.Fprintln(out, "run with -apply to commit")
+			return nil
+		}
+		applied, skipped, err := s.ApplyRepair(table, res.Modifications)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "applied %d modifications (%d skipped)\n", applied, len(skipped))
+		dst := *outPath
+		if dst == "" {
+			dst = *dataPath
+		}
+		w, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		if err := relstore.WriteCSV(tab, w); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", dst)
+		return nil
+
+	case "discover":
+		cfds, err := s.DiscoverCFDs(table, discovery.Options{
+			MinSupport: *minSupport, MaxLHS: *maxLHS,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# %d CFDs discovered\n", len(cfds))
+		for _, c := range cfds {
+			fmt.Fprintf(out, "%s@ %s\n", c.ID, strings.ReplaceAll(c.String(), "\n", "\n"+c.ID+"@ "))
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// demo runs the paper's running example end to end on generated data.
+func demo(s *core.Semandaq, out io.Writer) error {
+	ds := datagen.Generate(datagen.Config{Tuples: 1000, Seed: 1, NoiseRate: 0.05})
+	s.RegisterTable(ds.Dirty)
+	if err := s.RegisterCFDs("customer", datagen.StandardCFDs()); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== Semandaq demo: 1000 customers, 5% noise, standard CFD set ==")
+	rep, err := s.Detect("customer", core.SQLDetection)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "detected %d dirty tuples (%d violation records)\n",
+		len(rep.Vio), rep.TotalViolations())
+	a, err := s.Audit("customer")
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, a.Render())
+	res, err := s.Repair("customer")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nrepair: %d modifications, converged=%v\n", len(res.Modifications), res.Converged)
+	score := ds.ScoreRepairCells(res.Repaired, res.ModifiedCells())
+	fmt.Fprintf(out, "repair quality vs ground truth: precision=%.2f recall=%.2f F1=%.2f\n",
+		score.Precision(), score.Recall(), score.F1())
+	return nil
+}

@@ -1,0 +1,93 @@
+// Discovery and monitoring: the "living database" scenario. CFDs are not
+// written by hand but mined from trusted reference data (the paper's
+// "automatically discovered from reference data"); the discovered set is
+// registered (passing the satisfiability gate) and a data monitor then
+// keeps a stream of incoming updates clean via incremental detection and
+// incremental repair.
+//
+//	go run ./examples/discovery_monitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semandaq"
+)
+
+func main() {
+	// Trusted reference data: a clean sample of last quarter's customers.
+	ref := semandaq.GenerateCustomers(semandaq.GeneratorConfig{Tuples: 3000, Seed: 8})
+
+	sys := semandaq.New()
+	sys.RegisterTable(ref.Clean)
+
+	// Mine CFDs from the reference data.
+	cfds, err := sys.DiscoverCFDs("customer", semandaq.DiscoveryOptions{
+		MinSupport: 100, MaxLHS: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered %d CFDs from %d reference tuples; a sample:\n", len(cfds), ref.Clean.Len())
+	for i, c := range cfds {
+		if i >= 6 {
+			fmt.Printf("  ... and %d more\n", len(cfds)-6)
+			break
+		}
+		fmt.Printf("  %s\n", c)
+	}
+
+	// Register them (the constraint engine re-checks satisfiability).
+	if err := sys.RegisterCFDs("customer", cfds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndiscovered set registered: satisfiable")
+
+	// The reference data itself is clean under the mined rules.
+	rep, err := sys.Detect("customer", semandaq.NativeDetection)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference data: %d violations (must be 0)\n\n", rep.TotalViolations())
+
+	// Start the monitor in cleansed mode and feed it dirty updates: new
+	// records arriving from an unreliable upstream system.
+	mon, err := sys.Monitor("customer", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	incoming := semandaq.GenerateCustomers(semandaq.GeneratorConfig{
+		Tuples: 200, Seed: 99, NoiseRate: 0.3,
+	})
+	_, rows := incoming.Dirty.Rows()
+
+	totalRepairs := 0
+	for start := 0; start < len(rows); start += 50 {
+		end := start + 50
+		if end > len(rows) {
+			end = len(rows)
+		}
+		var batch []semandaq.MonitorUpdate
+		for _, row := range rows[start:end] {
+			batch = append(batch, semandaq.MonitorUpdate{Op: semandaq.OpInsert, Row: row})
+		}
+		res, err := mon.Apply(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalRepairs += len(res.Repairs)
+		fmt.Printf("batch %2d..%3d: %2d incremental repairs, dirty after = %d\n",
+			start, end, len(res.Repairs), res.Dirty)
+	}
+	fmt.Printf("\nstream done: %d updates, %d incremental repairs, final dirty count = %d\n",
+		len(rows), totalRepairs, mon.DirtyCount())
+
+	// Show a couple of the monitor's fixes.
+	tab, err := sys.Table("customer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table now holds %d tuples and satisfies all %d discovered CFDs\n",
+		tab.Len(), len(cfds))
+}

@@ -1,0 +1,382 @@
+// Package audit implements Semandaq's data auditor: it enriches the error
+// detector's vio(t) counts with the statistical summary the paper's data
+// quality report (Fig. 4) presents — the verified/probably/arguably clean
+// classification at the tuple and attribute-value level, the violation pie
+// chart, and distribution statistics over multi-tuple violations.
+//
+// The classifications, per the paper:
+//
+//   - verified clean: the tuple violates no CFD and at least one CFD with a
+//     constant RHS applies to it — its values are positively vouched for;
+//   - probably clean: the tuple violates no CFD;
+//   - arguably clean: probably clean, or involved in a multi-tuple
+//     violation where the bulk of the jointly violating tuples agree with
+//     it (substantial evidence it is the correct one).
+//
+// The classes nest: verified ⊆ probably ⊆ arguably.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/detect"
+	"semandaq/internal/relstore"
+)
+
+// TupleClass is the cleanliness classification of one tuple.
+type TupleClass int
+
+// Tuple classes, from dirtiest to cleanest.
+const (
+	Dirty TupleClass = iota
+	ArguablyClean
+	ProbablyClean
+	VerifiedClean
+)
+
+// String names the class.
+func (c TupleClass) String() string {
+	switch c {
+	case VerifiedClean:
+		return "verified clean"
+	case ProbablyClean:
+		return "probably clean"
+	case ArguablyClean:
+		return "arguably clean"
+	default:
+		return "dirty"
+	}
+}
+
+// AttrQuality is the per-attribute value-level summary (one bar of the
+// Fig. 4 bar chart).
+type AttrQuality struct {
+	Attr     string
+	Total    int // cells
+	Verified int
+	Probably int
+	Arguably int
+	Dirty    int
+}
+
+// PctVerified returns the verified-clean percentage of the attribute.
+func (a AttrQuality) PctVerified() float64 { return pct(a.Verified, a.Total) }
+
+// PctProbably returns the probably-clean percentage.
+func (a AttrQuality) PctProbably() float64 { return pct(a.Probably, a.Total) }
+
+// PctArguably returns the arguably-clean percentage.
+func (a AttrQuality) PctArguably() float64 { return pct(a.Arguably, a.Total) }
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// VioStats summarizes the distribution of vio(t) over dirty tuples and the
+// multi-tuple group sizes.
+type VioStats struct {
+	DirtyTuples int
+	TotalVio    int
+	MinVio      int
+	MaxVio      int
+	AvgVio      float64
+	Groups      int
+	MinGroup    int
+	MaxGroup    int
+	AvgGroup    float64
+}
+
+// CFDSlice is one slice of the violation pie chart (Fig. 4).
+type CFDSlice struct {
+	CFDID      string
+	Violations int // tuples involved (single + multi)
+}
+
+// Report is the full audit result.
+type Report struct {
+	Table      string
+	TupleCount int
+	// Tuples classifies every tuple (class of the cleanest bucket it
+	// reaches; the cumulative counts below follow the nesting).
+	Tuples map[relstore.TupleID]TupleClass
+	// Cumulative tuple counts per class.
+	VerifiedTuples int
+	ProbablyTuples int
+	ArguablyTuples int
+	DirtyTuples    int
+	// Attrs is the attribute-value-level bar chart data, schema order.
+	Attrs []AttrQuality
+	// Pie is the violations-per-CFD pie chart data, sorted descending.
+	Pie   []CFDSlice
+	Stats VioStats
+}
+
+// Audit computes the quality report from a detection report. tab must be
+// the table the detection ran on, and cfds the same constraint set.
+func Audit(tab *relstore.Table, cfds []*cfd.CFD, rep *detect.Report) (*Report, error) {
+	sc := tab.Schema()
+	// Normalize + merge the same way detection does so pattern bookkeeping
+	// lines up with violation records.
+	var normalized []*cfd.CFD
+	for _, c := range cfds {
+		if err := c.Validate(sc); err != nil {
+			return nil, err
+		}
+		normalized = append(normalized, c.Normalize()...)
+	}
+	merged := cfd.MergeByFD(normalized)
+
+	out := &Report{
+		Table:      rep.Table,
+		TupleCount: rep.TupleCount,
+		Tuples:     make(map[relstore.TupleID]TupleClass, rep.TupleCount),
+	}
+
+	// Index violations by tuple, split by kind; index groups by tuple.
+	singleBy := map[relstore.TupleID][]*detect.Violation{}
+	multiBy := map[relstore.TupleID][]*detect.Violation{}
+	attrViol := map[relstore.TupleID]map[string]detect.Kind{}
+	for i := range rep.Violations {
+		v := &rep.Violations[i]
+		if v.Kind == detect.SingleTuple {
+			singleBy[v.TupleID] = append(singleBy[v.TupleID], v)
+		} else {
+			multiBy[v.TupleID] = append(multiBy[v.TupleID], v)
+		}
+		m := attrViol[v.TupleID]
+		if m == nil {
+			m = map[string]detect.Kind{}
+			attrViol[v.TupleID] = m
+		}
+		// Single-tuple beats multi-tuple when both hit the same attribute.
+		if prev, ok := m[strings.ToLower(v.Attr)]; !ok || prev == detect.MultiTuple {
+			m[strings.ToLower(v.Attr)] = v.Kind
+		}
+	}
+	groupsBy := map[relstore.TupleID][]*detect.Group{}
+	for _, g := range rep.Groups {
+		for _, id := range g.Members {
+			groupsBy[id] = append(groupsBy[id], g)
+		}
+	}
+
+	// Precompute, per merged CFD, the positions needed for the "applies"
+	// check of verified-cleanliness.
+	type applier struct {
+		c      *cfd.CFD
+		lhsPos []int
+		rhsPos []int
+		consts []int // constant-RHS pattern indexes
+	}
+	var appliers []applier
+	for _, c := range merged {
+		lhsPos, err := sc.Positions(c.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rhsPos, err := sc.Positions(c.RHS)
+		if err != nil {
+			return nil, err
+		}
+		a := applier{c: c, lhsPos: lhsPos, rhsPos: rhsPos}
+		for i := range c.Tableau {
+			if !c.Tableau[i].RHS[0].Wildcard {
+				a.consts = append(a.consts, i)
+			}
+		}
+		if len(a.consts) > 0 {
+			appliers = append(appliers, a)
+		}
+	}
+
+	// Attribute-level accumulators, schema order.
+	attrAcc := make([]AttrQuality, sc.Arity())
+	for i, a := range sc.Attrs {
+		attrAcc[i].Attr = a.Name
+	}
+
+	// majorityHolder reports whether t agrees with the strict majority in
+	// every group it belongs to.
+	majorityHolder := func(id relstore.TupleID) bool {
+		gs := groupsBy[id]
+		if len(gs) == 0 {
+			return false
+		}
+		for _, g := range gs {
+			if g.RHSOf[id] != g.MajorityKey {
+				return false
+			}
+			if 2*g.MajoritySize() <= len(g.Members) {
+				return false
+			}
+		}
+		return true
+	}
+
+	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		hasViolation := rep.Vio[id] > 0
+		hasSingle := len(singleBy[id]) > 0
+
+		// Does a constant-RHS pattern apply to (and verify) this tuple?
+		verifiedApplies := false
+		verifiedAttrs := map[string]bool{}
+		for _, a := range appliers {
+			for _, pi := range a.consts {
+				if !a.c.MatchLHS(pi, row, a.lhsPos) {
+					continue
+				}
+				if a.c.MatchRHS(pi, row, a.rhsPos) {
+					verifiedApplies = true
+					verifiedAttrs[strings.ToLower(a.c.RHS[0])] = true
+				}
+			}
+		}
+
+		var class TupleClass
+		switch {
+		case !hasViolation && verifiedApplies:
+			class = VerifiedClean
+		case !hasViolation:
+			class = ProbablyClean
+		case !hasSingle && majorityHolder(id):
+			class = ArguablyClean
+		default:
+			class = Dirty
+		}
+		out.Tuples[id] = class
+		switch class {
+		case VerifiedClean:
+			out.VerifiedTuples++
+		case ProbablyClean:
+			out.ProbablyTuples++
+		case ArguablyClean:
+			out.ArguablyTuples++
+		default:
+			out.DirtyTuples++
+		}
+
+		// Attribute-value level: a cell is implicated when its attribute
+		// carries one of the tuple's violations.
+		for i, attr := range sc.Attrs {
+			acc := &attrAcc[i]
+			acc.Total++
+			kind, implicated := attrViol[id][strings.ToLower(attr.Name)]
+			switch {
+			case !implicated && verifiedAttrs[strings.ToLower(attr.Name)]:
+				acc.Verified++
+				acc.Probably++
+				acc.Arguably++
+			case !implicated:
+				acc.Probably++
+				acc.Arguably++
+			case kind == detect.MultiTuple && majorityHolder(id):
+				acc.Arguably++
+			default:
+				acc.Dirty++
+			}
+		}
+		return true
+	})
+	// Dirty at the attribute level = total - arguably.
+	for i := range attrAcc {
+		attrAcc[i].Dirty = attrAcc[i].Total - attrAcc[i].Arguably
+	}
+	out.Attrs = attrAcc
+
+	// Cumulative nesting at the tuple level.
+	out.ProbablyTuples += out.VerifiedTuples
+	out.ArguablyTuples += out.ProbablyTuples
+
+	// Pie chart: tuples involved per CFD.
+	for id, st := range rep.PerCFD {
+		n := st.SingleTuple + st.MultiTuple
+		if n > 0 {
+			out.Pie = append(out.Pie, CFDSlice{CFDID: id, Violations: n})
+		}
+	}
+	sort.Slice(out.Pie, func(i, j int) bool {
+		if out.Pie[i].Violations != out.Pie[j].Violations {
+			return out.Pie[i].Violations > out.Pie[j].Violations
+		}
+		return out.Pie[i].CFDID < out.Pie[j].CFDID
+	})
+
+	// Distribution statistics.
+	st := &out.Stats
+	st.DirtyTuples = len(rep.Vio)
+	first := true
+	for _, n := range rep.Vio {
+		st.TotalVio += n
+		if first || n < st.MinVio {
+			st.MinVio = n
+		}
+		if n > st.MaxVio {
+			st.MaxVio = n
+		}
+		first = false
+	}
+	if st.DirtyTuples > 0 {
+		st.AvgVio = float64(st.TotalVio) / float64(st.DirtyTuples)
+	}
+	st.Groups = len(rep.Groups)
+	firstG := true
+	totalG := 0
+	for _, g := range rep.Groups {
+		n := len(g.Members)
+		totalG += n
+		if firstG || n < st.MinGroup {
+			st.MinGroup = n
+		}
+		if n > st.MaxGroup {
+			st.MaxGroup = n
+		}
+		firstG = false
+	}
+	if st.Groups > 0 {
+		st.AvgGroup = float64(totalG) / float64(st.Groups)
+	}
+	return out, nil
+}
+
+// Render prints the report as the text analogue of the Fig. 4 screen: the
+// per-attribute bar chart, the pie chart, and the statistics block.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data quality report for %s (%d tuples)\n", r.Table, r.TupleCount)
+	fmt.Fprintf(&b, "tuples: %d verified / %d probably / %d arguably clean, %d dirty\n",
+		r.VerifiedTuples, r.ProbablyTuples, r.ArguablyTuples, r.DirtyTuples)
+	b.WriteString("\nattribute-value quality (% verified / probably / arguably clean):\n")
+	for _, a := range r.Attrs {
+		fmt.Fprintf(&b, "  %-10s %6.2f%% / %6.2f%% / %6.2f%%  %s\n",
+			a.Attr, a.PctVerified(), a.PctProbably(), a.PctArguably(),
+			bar(a.PctArguably()))
+	}
+	b.WriteString("\nviolations per CFD:\n")
+	for _, s := range r.Pie {
+		fmt.Fprintf(&b, "  %-16s %d\n", s.CFDID, s.Violations)
+	}
+	s := r.Stats
+	fmt.Fprintf(&b, "\nvio(t): dirty=%d total=%d min=%d max=%d avg=%.2f\n",
+		s.DirtyTuples, s.TotalVio, s.MinVio, s.MaxVio, s.AvgVio)
+	fmt.Fprintf(&b, "multi-tuple groups: n=%d min=%d max=%d avg=%.2f\n",
+		s.Groups, s.MinGroup, s.MaxGroup, s.AvgGroup)
+	return b.String()
+}
+
+// bar renders a 0–100 percentage as a 20-char bar.
+func bar(p float64) string {
+	n := int(p / 5)
+	if n < 0 {
+		n = 0
+	}
+	if n > 20 {
+		n = 20
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", 20-n)
+}

@@ -1,0 +1,102 @@
+package cfd
+
+import (
+	"fmt"
+
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+// This file implements the relational representation of pattern tableaux
+// from the TODS paper: a CFD's tableau is itself stored as a relation, so
+// the constraint engine "maximally leverages the use of indices and other
+// optimizations provided by the DBMS" (Semandaq, §2), and the generated
+// detection SQL can simply join the data table with the tableau table.
+//
+// Encoding: one column per attribute of X followed by one per attribute of
+// Y; constants keep their typed value, the wildcard is stored as the string
+// "_" (the paper's convention). A data value that is literally the string
+// "_" would be indistinguishable from the wildcard — the same caveat the
+// paper's SQL technique carries.
+
+// TableauTableName returns the canonical name for a CFD's encoded tableau.
+func TableauTableName(c *CFD) string { return "cfd_tp_" + c.ID }
+
+// wildcardValue is the stored representation of "_".
+var wildcardValue = types.NewString(WildcardToken)
+
+// EncodeTableau materializes the CFD's tableau as a table named name (or
+// TableauTableName(c) if name is empty) and registers it in the store,
+// replacing any previous version.
+func EncodeTableau(store *relstore.Store, c *CFD, name string) (*relstore.Table, error) {
+	if err := c.checkArity(); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = TableauTableName(c)
+	}
+	attrs := append(append([]string{}, c.LHS...), c.RHS...)
+	tab := relstore.NewTable(schema.New(name, attrs...))
+	for _, pt := range c.Tableau {
+		row := make(relstore.Tuple, 0, len(attrs))
+		for _, p := range pt.LHS {
+			row = append(row, encodeCell(p))
+		}
+		for _, p := range pt.RHS {
+			row = append(row, encodeCell(p))
+		}
+		if _, err := tab.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	store.Put(tab)
+	return tab, nil
+}
+
+func encodeCell(p PatternValue) types.Value {
+	if p.Wildcard {
+		return wildcardValue
+	}
+	return p.Const
+}
+
+// DecodeTableau reconstructs a CFD from an encoded tableau table. The
+// caller supplies the embedded FD's attribute split (the encoding stores X
+// then Y, but the table alone does not record where X ends).
+func DecodeTableau(tab *relstore.Table, id, dataTable string, lhs, rhs []string) (*CFD, error) {
+	sc := tab.Schema()
+	if sc.Arity() != len(lhs)+len(rhs) {
+		return nil, fmt.Errorf("cfd: tableau %s has %d columns, want %d",
+			sc.Name, sc.Arity(), len(lhs)+len(rhs))
+	}
+	c := &CFD{ID: id, Table: dataTable,
+		LHS: append([]string(nil), lhs...),
+		RHS: append([]string(nil), rhs...)}
+	var err error
+	tab.Scan(func(_ relstore.TupleID, row relstore.Tuple) bool {
+		pt := PatternTuple{}
+		for i := range lhs {
+			pt.LHS = append(pt.LHS, decodeCell(row[i]))
+		}
+		for i := range rhs {
+			pt.RHS = append(pt.RHS, decodeCell(row[len(lhs)+i]))
+		}
+		c.Tableau = append(c.Tableau, pt)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cerr := c.checkArity(); cerr != nil {
+		return nil, cerr
+	}
+	return c, nil
+}
+
+func decodeCell(v types.Value) PatternValue {
+	if v.Kind() == types.KindString && v.Str() == WildcardToken {
+		return Wild
+	}
+	return Constant(v)
+}

@@ -1,0 +1,106 @@
+package cfd
+
+import (
+	"testing"
+
+	"semandaq/internal/relstore"
+	"semandaq/internal/types"
+)
+
+func TestEncodeTableau(t *testing.T) {
+	store := relstore.NewStore()
+	c := phi2()
+	c.AddPattern(PatternTuple{
+		LHS: []PatternValue{ConstStr("US"), Wild},
+		RHS: []PatternValue{Wild},
+	})
+	tab, err := EncodeTableau(store, c, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Schema().Name != "cfd_tp_phi2" {
+		t.Errorf("name = %q", tab.Schema().Name)
+	}
+	if tab.Schema().Arity() != 3 || tab.Len() != 2 {
+		t.Errorf("shape = %d cols, %d rows", tab.Schema().Arity(), tab.Len())
+	}
+	_, rows := tab.Rows()
+	if rows[0][0].Str() != "UK" || rows[0][1].Str() != "_" || rows[0][2].Str() != "_" {
+		t.Errorf("row0 = %v", rows[0])
+	}
+	// Registered in the store.
+	if _, ok := store.Table("cfd_tp_phi2"); !ok {
+		t.Error("tableau not registered")
+	}
+}
+
+func TestEncodePreservesTypes(t *testing.T) {
+	store := relstore.NewStore()
+	tab, err := EncodeTableau(store, phi4(), "tp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows := tab.Rows()
+	if rows[0][0].Kind() != types.KindInt || rows[0][0].Int() != 44 {
+		t.Errorf("CC pattern = %v (%v)", rows[0][0], rows[0][0].Kind())
+	}
+}
+
+func TestDecodeTableauRoundTrip(t *testing.T) {
+	store := relstore.NewStore()
+	orig := phi2()
+	orig.AddPattern(PatternTuple{
+		LHS: []PatternValue{ConstStr("US"), ConstStr("07974")},
+		RHS: []PatternValue{ConstStr("Mtn Ave")},
+	})
+	tab, err := EncodeTableau(store, orig, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTableau(tab, "phi2", "customer", orig.LHS, orig.RHS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tableau) != 2 {
+		t.Fatalf("tableau = %d", len(back.Tableau))
+	}
+	for i := range orig.Tableau {
+		if !back.Tableau[i].Equal(orig.Tableau[i]) {
+			t.Errorf("pattern %d: %v != %v", i, back.Tableau[i], orig.Tableau[i])
+		}
+	}
+}
+
+func TestDecodeTableauArityMismatch(t *testing.T) {
+	store := relstore.NewStore()
+	tab, err := EncodeTableau(store, phi2(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTableau(tab, "x", "customer", []string{"A"}, []string{"B"}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestEncodeReplacesPrevious(t *testing.T) {
+	store := relstore.NewStore()
+	c := phi2()
+	if _, err := EncodeTableau(store, c, ""); err != nil {
+		t.Fatal(err)
+	}
+	c.AddPattern(PatternTuple{
+		LHS: []PatternValue{ConstStr("US"), Wild},
+		RHS: []PatternValue{Wild},
+	})
+	tab, err := EncodeTableau(store, c, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("re-encode rows = %d", tab.Len())
+	}
+	got, _ := store.Table("cfd_tp_phi2")
+	if got != tab {
+		t.Error("store should hold the new tableau")
+	}
+}

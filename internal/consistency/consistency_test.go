@@ -1,0 +1,302 @@
+package consistency
+
+import (
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+func sc() *schema.Relation {
+	return schema.New("customer", "NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC")
+}
+
+func mustParseSet(t *testing.T, text string) []*cfd.CFD {
+	t.Helper()
+	cfds, err := cfd.ParseSet(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfds
+}
+
+func TestSatisfiableBasicSet(t *testing.T) {
+	cfds := mustParseSet(t, `
+customer: [CNT=_, ZIP=_] -> [CITY=_]
+customer: [CNT=UK, ZIP=_] -> [STR=_]
+customer: [CC=44] -> [CNT=UK]
+`)
+	rep, err := Check(sc(), cfds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfiable {
+		t.Fatalf("should be satisfiable: %v", rep.Conflict)
+	}
+	if len(rep.Witness) != sc().Arity() {
+		t.Errorf("witness = %v", rep.Witness)
+	}
+}
+
+func TestUnsatisfiableWildcardClash(t *testing.T) {
+	// [NAME=_] -> [CNT=UK] and [NAME=_] -> [CNT=US] clash on every tuple.
+	cfds := mustParseSet(t, `
+customer: [NAME=_] -> [CNT=UK]
+customer: [NAME=_] -> [CNT=US]
+`)
+	rep, err := Check(sc(), cfds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfiable {
+		t.Fatal("should be unsatisfiable")
+	}
+	if rep.Conflict == nil || rep.Conflict.Attr != "cnt" {
+		t.Errorf("conflict = %+v", rep.Conflict)
+	}
+	if rep.Conflict.String() == "" {
+		t.Error("conflict should render")
+	}
+}
+
+func TestSatisfiableViaDodging(t *testing.T) {
+	// Conflicting RHS constants but constant LHS patterns: an infinite
+	// domain lets CC dodge 44, so the set is satisfiable.
+	cfds := mustParseSet(t, `
+customer: [CC=44] -> [CNT=UK]
+customer: [CC=44] -> [CNT=US]
+`)
+	rep, err := Check(sc(), cfds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfiable {
+		t.Fatalf("infinite domain should dodge: %v", rep.Conflict)
+	}
+	// Witness must not have CC=44.
+	if rep.Witness["CC"].Equal(types.NewInt(44)) {
+		t.Errorf("witness CC = %v", rep.Witness["CC"])
+	}
+}
+
+func TestUnsatisfiableWithFiniteDomain(t *testing.T) {
+	// Same set, but CC can only be 44: no dodging possible.
+	cfds := mustParseSet(t, `
+customer: [CC=44] -> [CNT=UK]
+customer: [CC=44] -> [CNT=US]
+`)
+	dom := Domains{"CC": {types.NewInt(44)}}
+	rep, err := Check(sc(), cfds, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfiable {
+		t.Fatal("singleton finite domain should force the clash")
+	}
+}
+
+func TestFiniteDomainBacktracking(t *testing.T) {
+	// CC ∈ {1, 44}. CC=44 branch clashes, CC=1 branch is fine.
+	cfds := mustParseSet(t, `
+customer: [CC=44] -> [CNT=UK]
+customer: [CC=44] -> [CNT=US]
+`)
+	dom := Domains{"CC": {types.NewInt(44), types.NewInt(1)}}
+	rep, err := Check(sc(), cfds, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfiable {
+		t.Fatalf("CC=1 branch should work: %v", rep.Conflict)
+	}
+	if !rep.Witness["CC"].Equal(types.NewInt(1)) {
+		t.Errorf("witness CC = %v", rep.Witness["CC"])
+	}
+}
+
+func TestUnsatisfiableAllFiniteBranches(t *testing.T) {
+	// Every CC value forces a clash somewhere.
+	cfds := mustParseSet(t, `
+customer: [CC=1] -> [CNT=US]
+customer: [CC=1] -> [CNT=CA]
+customer: [CC=44] -> [CNT=UK]
+customer: [CC=44] -> [CNT=IE]
+`)
+	dom := Domains{"CC": {types.NewInt(1), types.NewInt(44)}}
+	rep, err := Check(sc(), cfds, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfiable {
+		t.Fatal("all branches clash; should be unsatisfiable")
+	}
+}
+
+func TestChasePropagation(t *testing.T) {
+	// [NAME=_] -> [CNT=UK]; [CNT=UK] -> [CC=44]; [CC=44] -> [AC=131]
+	// forces a chain; then a clashing rule on AC makes it unsat.
+	base := `
+customer: [NAME=_] -> [CNT=UK]
+customer: [CNT=UK] -> [CC=44]
+customer: [CC=44] -> [AC=131]
+`
+	rep, err := Check(sc(), mustParseSet(t, base), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfiable {
+		t.Fatalf("chain should be satisfiable: %v", rep.Conflict)
+	}
+	if !rep.Witness["AC"].Equal(types.NewInt(131)) {
+		t.Errorf("chase should force AC=131, witness=%v", rep.Witness)
+	}
+
+	rep, err = Check(sc(), mustParseSet(t, base+"customer: [CNT=UK] -> [AC=20]\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfiable {
+		t.Fatal("AC forced to both 131 and 20 should be unsatisfiable")
+	}
+}
+
+func TestVariablePatternsIgnoredForSatisfiability(t *testing.T) {
+	// Pure FDs are always satisfiable.
+	cfds := []*cfd.CFD{
+		cfd.NewFD("f1", "customer", []string{"CNT", "ZIP"}, []string{"CITY", "STR"}),
+	}
+	rep, err := Check(sc(), cfds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfiable {
+		t.Error("FDs are always satisfiable")
+	}
+}
+
+func TestCheckValidatesInputs(t *testing.T) {
+	bad := mustParseSet(t, "customer: [NOPE=_] -> [CITY=_]")
+	if _, err := Check(sc(), bad, nil); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	good := mustParseSet(t, "customer: [CNT=_] -> [CITY=_]")
+	if _, err := Check(sc(), good, Domains{"CITY": {}}); err == nil {
+		t.Error("empty domain should error")
+	}
+	if _, err := Check(sc(), good, Domains{"NOPE": {types.NewInt(1)}}); err == nil {
+		t.Error("domain for unknown attribute should error")
+	}
+}
+
+func TestFiniteDomainExcludesForcedValue(t *testing.T) {
+	// The chase forces CNT=UK but the finite domain only allows US.
+	cfds := mustParseSet(t, "customer: [NAME=_] -> [CNT=UK]")
+	dom := Domains{"CNT": {types.NewString("US")}}
+	rep, err := Check(sc(), cfds, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfiable {
+		t.Fatal("forced value outside finite domain should be unsatisfiable")
+	}
+}
+
+func TestImpliesConstant(t *testing.T) {
+	sigma := mustParseSet(t, `
+customer: [CC=44] -> [CNT=UK]
+customer: [CNT=UK] -> [CITY=Edinburgh]
+`)
+	implied := mustParseSet(t, "customer: [CC=44] -> [CITY=Edinburgh]")[0]
+	got, err := ImpliesConstant(sigma, implied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("transitive implication should hold")
+	}
+	notImplied := mustParseSet(t, "customer: [CC=1] -> [CITY=Edinburgh]")[0]
+	got, err = ImpliesConstant(sigma, notImplied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("CC=1 premise implies nothing")
+	}
+	variable := mustParseSet(t, "customer: [CC=44] -> [CITY=_]")[0]
+	if _, err := ImpliesConstant(sigma, variable); err == nil {
+		t.Error("variable target should error")
+	}
+}
+
+func TestImpliesConstantVacuous(t *testing.T) {
+	// The premise CC=44 clashes inside sigma (CNT forced two ways under a
+	// singleton chain), so any conclusion is vacuously implied... build a
+	// premise that the chase itself contradicts:
+	sigma := mustParseSet(t, `
+customer: [CC=44] -> [CNT=UK]
+customer: [CC=44] -> [CNT=US]
+`)
+	target := mustParseSet(t, "customer: [CC=44] -> [CITY=Anything]")[0]
+	got, err := ImpliesConstant(sigma, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("clashing premise implies everything")
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	wild := cfd.Wild
+	uk := cfd.ConstStr("UK")
+	lon := cfd.ConstStr("London")
+	// q = ([_, _] || [_]) subsumes p = ([UK, _] || [_]).
+	q := cfd.PatternTuple{LHS: []cfd.PatternValue{wild, wild}, RHS: []cfd.PatternValue{wild}}
+	p := cfd.PatternTuple{LHS: []cfd.PatternValue{uk, wild}, RHS: []cfd.PatternValue{wild}}
+	if !Subsumes(q, p) {
+		t.Error("more general LHS should subsume")
+	}
+	if Subsumes(p, q) {
+		t.Error("less general LHS should not subsume")
+	}
+	// Constant RHS subsumes wildcard RHS at same LHS.
+	qc := cfd.PatternTuple{LHS: []cfd.PatternValue{uk, wild}, RHS: []cfd.PatternValue{lon}}
+	if !Subsumes(qc, p) {
+		t.Error("constant RHS should subsume wildcard RHS")
+	}
+	if Subsumes(p, qc) {
+		t.Error("wildcard RHS should not subsume constant RHS")
+	}
+	// Different constants on RHS: no subsumption either way.
+	qd := cfd.PatternTuple{LHS: []cfd.PatternValue{uk, wild}, RHS: []cfd.PatternValue{cfd.ConstStr("Leeds")}}
+	if Subsumes(qc, qd) || Subsumes(qd, qc) {
+		t.Error("different RHS constants should not subsume")
+	}
+}
+
+func TestMinimizeTableau(t *testing.T) {
+	c, err := cfd.ParseLine("customer: [CNT=_, ZIP=_] -> [CITY=_]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a pattern subsumed by the all-wildcard one.
+	c.AddPattern(cfd.PatternTuple{
+		LHS: []cfd.PatternValue{cfd.ConstStr("UK"), cfd.Wild},
+		RHS: []cfd.PatternValue{cfd.Wild},
+	})
+	min := MinimizeTableau(c)
+	if len(min.Tableau) != 1 {
+		t.Errorf("minimized tableau = %d patterns", len(min.Tableau))
+	}
+	if !min.Tableau[0].LHS[0].Wildcard {
+		t.Error("kept pattern should be the general one")
+	}
+	// Identical duplicates: exactly one survives.
+	d := c.Clone()
+	d.Tableau = []cfd.PatternTuple{c.Tableau[0], c.Tableau[0].Clone()}
+	min = MinimizeTableau(d)
+	if len(min.Tableau) != 1 {
+		t.Errorf("duplicate minimize = %d", len(min.Tableau))
+	}
+}

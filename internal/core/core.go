@@ -1,0 +1,297 @@
+// Package core wires Semandaq's components (Fig. 1 of the paper) into one
+// facade: a store of relational tables, the constraint engine with its
+// static analysis, the SQL-based error detector, the data auditor, the data
+// cleanser, the data monitor and the data explorer. The CLI, the HTTP
+// server, the examples and the benches all drive this type.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"semandaq/internal/audit"
+	"semandaq/internal/cfd"
+	"semandaq/internal/consistency"
+	"semandaq/internal/detect"
+	"semandaq/internal/discovery"
+	"semandaq/internal/explore"
+	"semandaq/internal/monitor"
+	"semandaq/internal/relstore"
+	"semandaq/internal/repair"
+	"semandaq/internal/sqleng"
+)
+
+// Semandaq is one data-quality session over a store of tables.
+type Semandaq struct {
+	mu     sync.Mutex
+	store  *relstore.Store
+	engine *sqleng.Engine
+	// cfds maps lowercased table name to its registered constraints.
+	cfds map[string][]*cfd.CFD
+	// reports caches the last detection per table, keyed by table version.
+	reports map[string]cachedReport
+}
+
+type cachedReport struct {
+	version int64
+	rep     *detect.Report
+}
+
+// New creates a Semandaq instance over an empty store.
+func New() *Semandaq { return NewWithStore(relstore.NewStore()) }
+
+// NewWithStore creates a Semandaq instance over an existing store.
+func NewWithStore(store *relstore.Store) *Semandaq {
+	return &Semandaq{
+		store:   store,
+		engine:  sqleng.New(store),
+		cfds:    map[string][]*cfd.CFD{},
+		reports: map[string]cachedReport{},
+	}
+}
+
+// Store exposes the underlying store.
+func (s *Semandaq) Store() *relstore.Store { return s.store }
+
+// SQL executes an ad-hoc SQL statement against the store (the paper's data
+// explorer lets users navigate the data; this is the programmatic hatch).
+func (s *Semandaq) SQL(query string) (*sqleng.Result, error) {
+	return s.engine.Query(query)
+}
+
+// LoadCSV reads a CSV stream into a new table.
+func (s *Semandaq) LoadCSV(name string, r io.Reader) (*relstore.Table, error) {
+	tab, err := relstore.ReadCSV(name, r)
+	if err != nil {
+		return nil, err
+	}
+	s.store.Put(tab)
+	return tab, nil
+}
+
+// RegisterTable adds an existing table to the session.
+func (s *Semandaq) RegisterTable(tab *relstore.Table) { s.store.Put(tab) }
+
+// Table returns a registered table.
+func (s *Semandaq) Table(name string) (*relstore.Table, error) {
+	tab, ok := s.store.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("semandaq: no table %q", name)
+	}
+	return tab, nil
+}
+
+// Tables lists the registered table names (excluding detection artifacts).
+func (s *Semandaq) Tables() []string {
+	var out []string
+	for _, n := range s.store.Names() {
+		if strings.HasPrefix(n, "_tp_") || strings.HasPrefix(n, "_vg_") || strings.HasPrefix(n, "cfd_tp_") {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterCFDs attaches constraints to a table after validating them
+// against its schema and checking the whole resulting set for
+// satisfiability — the constraint engine's "does this make sense" gate.
+// On an unsatisfiable set nothing is registered and the conflict is
+// returned inside the error.
+func (s *Semandaq) RegisterCFDs(table string, cfds []*cfd.CFD) error {
+	tab, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, c := range cfds {
+		if err := c.Validate(tab.Schema()); err != nil {
+			return err
+		}
+		if c.Table == "" {
+			c.Table = tab.Schema().Name
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(table)
+	all := append(append([]*cfd.CFD{}, s.cfds[key]...), cfds...)
+	rep, err := consistency.Check(tab.Schema(), all, nil)
+	if err != nil {
+		return err
+	}
+	if !rep.Satisfiable {
+		return fmt.Errorf("semandaq: CFD set for %s is unsatisfiable: %s", table, rep.Conflict)
+	}
+	s.cfds[key] = all
+	for _, kind := range []DetectorKind{SQLDetection, NativeDetection} {
+		delete(s.reports, key+"\x00"+fmt.Sprint(kind))
+	}
+	return nil
+}
+
+// RegisterCFDText parses the text CFD syntax and registers the result.
+func (s *Semandaq) RegisterCFDText(table, text string) ([]*cfd.CFD, error) {
+	cfds, err := cfd.ParseSet(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RegisterCFDs(table, cfds); err != nil {
+		return nil, err
+	}
+	return cfds, nil
+}
+
+// CFDs returns the constraints registered for a table.
+func (s *Semandaq) CFDs(table string) []*cfd.CFD {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*cfd.CFD{}, s.cfds[strings.ToLower(table)]...)
+}
+
+// CheckConsistency re-runs the satisfiability analysis, optionally with
+// finite attribute domains.
+func (s *Semandaq) CheckConsistency(table string, domains consistency.Domains) (*consistency.Report, error) {
+	tab, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return consistency.Check(tab.Schema(), s.CFDs(table), domains)
+}
+
+// DetectorKind selects the detection implementation.
+type DetectorKind int
+
+// The available detectors.
+const (
+	// SQLDetection generates and runs the two SQL queries per CFD (the
+	// paper's technique).
+	SQLDetection DetectorKind = iota
+	// NativeDetection uses in-memory hash grouping (the baseline).
+	NativeDetection
+)
+
+// Detect runs violation detection on a table with its registered CFDs.
+// The report is cached until the table changes.
+func (s *Semandaq) Detect(table string, kind DetectorKind) (*detect.Report, error) {
+	tab, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	cfds := s.CFDs(table)
+	if len(cfds) == 0 {
+		return nil, fmt.Errorf("semandaq: no CFDs registered for %s", table)
+	}
+	key := strings.ToLower(table) + "\x00" + fmt.Sprint(kind)
+	s.mu.Lock()
+	if c, ok := s.reports[key]; ok && c.version == tab.Version() {
+		s.mu.Unlock()
+		return c.rep, nil
+	}
+	s.mu.Unlock()
+	var det detect.Detector
+	if kind == SQLDetection {
+		det = detect.NewSQLDetector(s.store)
+	} else {
+		det = detect.NativeDetector{}
+	}
+	version := tab.Version()
+	rep, err := det.Detect(tab, cfds)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.reports[key] = cachedReport{version: version, rep: rep}
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// DetectionSQL returns the SQL statements Detect would generate (the
+// explain view of the error detector).
+func (s *Semandaq) DetectionSQL(table string) ([]string, error) {
+	tab, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	cfds := s.CFDs(table)
+	if len(cfds) == 0 {
+		return nil, fmt.Errorf("semandaq: no CFDs registered for %s", table)
+	}
+	return detect.GenerateSQL(tab, cfds)
+}
+
+// Audit produces the data quality report (detecting first if needed).
+func (s *Semandaq) Audit(table string) (*audit.Report, error) {
+	tab, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.Detect(table, NativeDetection)
+	if err != nil {
+		return nil, err
+	}
+	return audit.Audit(tab, s.CFDs(table), rep)
+}
+
+// Explore builds the drill-down explorer over the current detection state.
+func (s *Semandaq) Explore(table string) (*explore.Explorer, error) {
+	tab, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.Detect(table, NativeDetection)
+	if err != nil {
+		return nil, err
+	}
+	return explore.New(tab, s.CFDs(table), rep)
+}
+
+// Repair computes a candidate repair (the original table is not modified;
+// review then ApplyRepair).
+func (s *Semandaq) Repair(table string) (*repair.Result, error) {
+	tab, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	cfds := s.CFDs(table)
+	if len(cfds) == 0 {
+		return nil, fmt.Errorf("semandaq: no CFDs registered for %s", table)
+	}
+	return repair.NewRepairer().Repair(tab, cfds)
+}
+
+// ApplyRepair commits reviewed modifications to the live table.
+func (s *Semandaq) ApplyRepair(table string, mods []repair.Modification) (int, []repair.Modification, error) {
+	tab, err := s.Table(table)
+	if err != nil {
+		return 0, nil, err
+	}
+	return repair.Apply(tab, mods)
+}
+
+// Monitor starts a data monitor on the table. cleansed selects incremental
+// repair (true) vs incremental detection only (false).
+func (s *Semandaq) Monitor(table string, cleansed bool) (*monitor.Monitor, error) {
+	tab, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	cfds := s.CFDs(table)
+	if len(cfds) == 0 {
+		return nil, fmt.Errorf("semandaq: no CFDs registered for %s", table)
+	}
+	return monitor.New(tab, cfds, cleansed)
+}
+
+// DiscoverCFDs mines constraints from a reference table (does not register
+// them; inspect and register explicitly).
+func (s *Semandaq) DiscoverCFDs(refTable string, opts discovery.Options) ([]*cfd.CFD, error) {
+	tab, err := s.Table(refTable)
+	if err != nil {
+		return nil, err
+	}
+	return discovery.Discover(tab, opts)
+}

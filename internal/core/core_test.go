@@ -1,0 +1,315 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"semandaq/internal/consistency"
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+	"semandaq/internal/discovery"
+	"semandaq/internal/monitor"
+	"semandaq/internal/relstore"
+	"semandaq/internal/types"
+)
+
+const customersCSV = `NAME,CNT,CITY,ZIP,STR,CC,AC
+Mike,UK,Edinburgh,EH2 4SD,Mayfield,44,131
+Rick,UK,Edinburgh,EH2 4SD,Mayfield,44,131
+Nora,UK,Edinburgh,EH2 4SD,Mayfeild,44,131
+Joe,US,New York,01202,Mtn Ave,44,908
+Ben,US,Chicago,60601,Wacker,1,312
+`
+
+const cfdText = `
+phi2@ customer: [CNT=UK, ZIP=_] -> [STR=_]
+phi4@ customer: [CC=44] -> [CNT=UK]
+`
+
+func session(t *testing.T) *Semandaq {
+	t.Helper()
+	s := New()
+	if _, err := s.LoadCSV("customer", strings.NewReader(customersCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterCFDText("customer", cfdText); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	s := session(t)
+	if got := s.Tables(); len(got) != 1 || got[0] != "customer" {
+		t.Errorf("tables = %v", got)
+	}
+	if got := len(s.CFDs("customer")); got != 2 {
+		t.Errorf("cfds = %d", got)
+	}
+
+	// Detection, both paths, must agree.
+	native, err := s.Detect("customer", NativeDetection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := s.Detect("customer", SQLDetection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := detect.Equivalent(native, sql); err != nil {
+		t.Fatal(err)
+	}
+	if len(native.Vio) != 4 { // Mike, Rick, Nora (group) + Joe (constant)
+		t.Errorf("vio = %v", native.Vio)
+	}
+
+	// Audit.
+	a, err := s.Audit("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DirtyTuples == 0 {
+		t.Error("audit found no dirt")
+	}
+
+	// Explore.
+	ex, err := s.Explore("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.CFDs()) != 2 {
+		t.Errorf("explorer cfds = %d", len(ex.CFDs()))
+	}
+
+	// Repair + apply.
+	res, err := s.Repair("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("repair remaining = %d", res.Remaining)
+	}
+	applied, skipped, err := s.ApplyRepair("customer", res.Modifications)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 || len(skipped) != 0 {
+		t.Errorf("applied=%d skipped=%d", applied, len(skipped))
+	}
+	// After applying, detection is clean (and the cache was invalidated by
+	// the table version change).
+	rep, err := s.Detect("customer", NativeDetection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("violations after repair = %d", len(rep.Violations))
+	}
+}
+
+func TestDetectCache(t *testing.T) {
+	s := session(t)
+	r1, err := s.Detect("customer", NativeDetection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Detect("customer", NativeDetection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("unchanged table should hit the report cache")
+	}
+	tab, _ := s.Table("customer")
+	tab.SetCell(0, 0, types.NewString("Mike2"))
+	r3, err := s.Detect("customer", NativeDetection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("mutation should invalidate the cache")
+	}
+}
+
+func TestRegisterRejectsUnsatisfiable(t *testing.T) {
+	s := New()
+	if _, err := s.LoadCSV("customer", strings.NewReader(customersCSV)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.RegisterCFDText("customer", `
+customer: [NAME=_] -> [CNT=UK]
+customer: [NAME=_] -> [CNT=US]
+`)
+	if err == nil || !strings.Contains(err.Error(), "unsatisfiable") {
+		t.Errorf("err = %v", err)
+	}
+	// Nothing was registered.
+	if len(s.CFDs("customer")) != 0 {
+		t.Error("rejected set partially registered")
+	}
+}
+
+func TestRegisterValidatesSchema(t *testing.T) {
+	s := New()
+	if _, err := s.LoadCSV("customer", strings.NewReader(customersCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterCFDText("customer", "customer: [NOPE=_] -> [CITY=_]"); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	if _, err := s.RegisterCFDText("nope", cfdText); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := s.RegisterCFDText("customer", "broken"); err == nil {
+		t.Error("parse error should fail")
+	}
+}
+
+func TestCheckConsistency(t *testing.T) {
+	s := session(t)
+	rep, err := s.CheckConsistency("customer", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfiable {
+		t.Error("registered set should be satisfiable")
+	}
+	// With a finite domain pinning CC to 44 and CNT to US, phi4 clashes.
+	rep, err = s.CheckConsistency("customer", consistency.Domains{
+		"CC":  {types.NewInt(44)},
+		"CNT": {types.NewString("US")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfiable {
+		t.Error("pinned domains should make phi4 unsatisfiable")
+	}
+}
+
+func TestNoCFDsErrors(t *testing.T) {
+	s := New()
+	if _, err := s.LoadCSV("customer", strings.NewReader(customersCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect("customer", NativeDetection); err == nil {
+		t.Error("Detect without CFDs should fail")
+	}
+	if _, err := s.Repair("customer"); err == nil {
+		t.Error("Repair without CFDs should fail")
+	}
+	if _, err := s.Monitor("customer", false); err == nil {
+		t.Error("Monitor without CFDs should fail")
+	}
+	if _, err := s.DetectionSQL("customer"); err == nil {
+		t.Error("DetectionSQL without CFDs should fail")
+	}
+}
+
+func TestUnknownTableErrors(t *testing.T) {
+	s := New()
+	if _, err := s.Table("nope"); err == nil {
+		t.Error("Table")
+	}
+	if _, err := s.Detect("nope", NativeDetection); err == nil {
+		t.Error("Detect")
+	}
+	if _, err := s.Audit("nope"); err == nil {
+		t.Error("Audit")
+	}
+	if _, err := s.Explore("nope"); err == nil {
+		t.Error("Explore")
+	}
+	if _, err := s.Repair("nope"); err == nil {
+		t.Error("Repair")
+	}
+	if _, _, err := s.ApplyRepair("nope", nil); err == nil {
+		t.Error("ApplyRepair")
+	}
+	if _, err := s.Monitor("nope", false); err == nil {
+		t.Error("Monitor")
+	}
+	if _, err := s.DiscoverCFDs("nope", discovery.Options{}); err == nil {
+		t.Error("DiscoverCFDs")
+	}
+	if _, err := s.CheckConsistency("nope", nil); err == nil {
+		t.Error("CheckConsistency")
+	}
+}
+
+func TestDetectionSQLAndAdHocSQL(t *testing.T) {
+	s := session(t)
+	stmts, err := s.DetectionSQL("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) == 0 {
+		t.Error("no SQL generated")
+	}
+	res, err := s.SQL("SELECT COUNT(*) FROM customer WHERE CNT = 'UK'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 3 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestMonitorIntegration(t *testing.T) {
+	s := session(t)
+	res, err := s.Repair("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ApplyRepair("customer", res.Modifications); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Monitor("customer", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := m.Apply([]monitor.Update{
+		{Op: monitor.OpInsert, Row: rowOf("Zed", "US", "Edinburgh", "EH2 4SD", "Wrongst", 44, 131)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Dirty != 0 {
+		t.Errorf("monitor left %d dirty", batch.Dirty)
+	}
+}
+
+func rowOf(name, cnt, city, zip, str string, cc, ac int64) relstore.Tuple {
+	return relstore.Tuple{
+		types.NewString(name), types.NewString(cnt), types.NewString(city),
+		types.NewString(zip), types.NewString(str),
+		types.NewInt(cc), types.NewInt(ac)}
+}
+
+func TestDiscoverIntegration(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Tuples: 400, Seed: 3})
+	s := New()
+	s.RegisterTable(ds.Clean)
+	cfds, err := s.DiscoverCFDs("customer", discovery.Options{MinSupport: 20, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfds) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	if err := s.RegisterCFDs("customer", cfds); err != nil {
+		t.Fatalf("discovered CFDs should register cleanly: %v", err)
+	}
+}
+
+func TestTablesHidesArtifacts(t *testing.T) {
+	s := session(t)
+	if _, err := s.Detect("customer", SQLDetection); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range s.Tables() {
+		if strings.HasPrefix(n, "_") || strings.HasPrefix(n, "cfd_tp_") {
+			t.Errorf("artifact %q listed", n)
+		}
+	}
+}

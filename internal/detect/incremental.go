@@ -1,0 +1,433 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relstore"
+	"semandaq/internal/types"
+)
+
+// Tracker implements the incremental detection of the TODS paper, used by
+// Semandaq's data monitor: instead of re-running batch detection after every
+// update, it maintains the violation state (single-tuple hits and the
+// multi-tuple group index) and updates it in time proportional to the size
+// of the change, not the size of the data.
+//
+// vio(t) is NOT materialized per tuple: in large violating groups every
+// member's count changes on every membership change, which would make
+// updates O(|group|). Instead the tracker maintains a dirty-status
+// reference count per tuple (transitions are O(1) amortized; a whole group
+// flipping between clean and violating costs O(|group|) exactly once per
+// flip) and computes vio(t) on demand in O(#CFDs).
+//
+// The Tracker owns mutations: route inserts, deletes and cell updates
+// through it so the violation index stays in sync with the table.
+type Tracker struct {
+	tab   *relstore.Table
+	preps []prepared
+	state []*cfdState
+	// dirtyRef counts, per tuple, how many sources make it dirty: CFDs
+	// with a single-tuple violation plus violating groups it belongs to.
+	dirtyRef map[relstore.TupleID]int
+}
+
+// cfdState is the per-CFD violation index.
+type cfdState struct {
+	p prepared
+	// constPatterns / varPatterns split the tableau by RHS kind.
+	constPatterns []int
+	varPatterns   []int
+	// single counts violated constant patterns per tuple (absent = 0).
+	single map[relstore.TupleID]int
+	// groups indexes multi-tuple state by LHS key.
+	groups map[string]*groupState
+	// memberKey records which group each tuple belongs to.
+	memberKey map[relstore.TupleID]string
+}
+
+// groupState is one LHS-value group of tuples matching a variable pattern.
+type groupState struct {
+	lhsVals   []types.Value
+	members   map[relstore.TupleID]string // tuple → RHS value key
+	rhsCounts map[string]int
+}
+
+func (g *groupState) violating() bool { return len(g.rhsCounts) > 1 }
+
+// contribution returns the vio(t) contribution of this group for member id.
+func (g *groupState) contribution(id relstore.TupleID) int {
+	if !g.violating() {
+		return 0
+	}
+	rk, ok := g.members[id]
+	if !ok {
+		return 0
+	}
+	return len(g.members) - g.rhsCounts[rk]
+}
+
+// NewTracker builds a tracker over the table and CFD set, performing one
+// initial full pass to seed the violation index.
+func NewTracker(tab *relstore.Table, cfds []*cfd.CFD) (*Tracker, error) {
+	preps, err := prepare(tab, cfds)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tracker{
+		tab:      tab,
+		preps:    preps,
+		dirtyRef: make(map[relstore.TupleID]int),
+	}
+	for _, p := range preps {
+		cs := &cfdState{
+			p:         p,
+			single:    map[relstore.TupleID]int{},
+			groups:    map[string]*groupState{},
+			memberKey: map[relstore.TupleID]string{},
+		}
+		for i := range p.c.Tableau {
+			if p.c.Tableau[i].RHS[0].Wildcard {
+				cs.varPatterns = append(cs.varPatterns, i)
+			} else {
+				cs.constPatterns = append(cs.constPatterns, i)
+			}
+		}
+		t.state = append(t.state, cs)
+	}
+	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		t.addTuple(id, row.Clone(), nil)
+		return true
+	})
+	return t, nil
+}
+
+// Vio computes vio(t) for the given tuple on demand: one unit per CFD with
+// a single-tuple violation plus the partner count per violating group.
+func (t *Tracker) Vio(id relstore.TupleID) int {
+	if t.dirtyRef[id] == 0 {
+		return 0
+	}
+	n := 0
+	for _, cs := range t.state {
+		if cs.single[id] > 0 {
+			n++
+		}
+		if key, ok := cs.memberKey[id]; ok {
+			n += cs.groups[key].contribution(id)
+		}
+	}
+	return n
+}
+
+// VioMap returns the full vio(t) map (dirty tuples only).
+func (t *Tracker) VioMap() map[relstore.TupleID]int {
+	out := make(map[relstore.TupleID]int, len(t.dirtyRef))
+	for id := range t.dirtyRef {
+		if v := t.Vio(id); v > 0 {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// DirtyCount returns the number of tuples with vio(t) > 0.
+func (t *Tracker) DirtyCount() int { return len(t.dirtyRef) }
+
+// Delta lists the tuples an operation touched or whose dirty status
+// flipped, with their new vio(t) (0 = now clean). Members of a large
+// violating group whose partner count merely shifted are not listed —
+// tracking them would make updates O(|group|).
+type Delta struct {
+	Changed map[relstore.TupleID]int
+}
+
+func newDelta() *Delta { return &Delta{Changed: map[relstore.TupleID]int{}} }
+
+// touch records id's current vio in the delta.
+func (t *Tracker) touch(d *Delta, id relstore.TupleID) {
+	if d != nil {
+		d.Changed[id] = t.Vio(id)
+	}
+}
+
+// ref adjusts a tuple's dirty reference count, recording transitions.
+func (t *Tracker) ref(d *Delta, id relstore.TupleID, diff int) {
+	if diff == 0 {
+		return
+	}
+	old := t.dirtyRef[id]
+	n := old + diff
+	switch {
+	case n <= 0:
+		delete(t.dirtyRef, id)
+		if old > 0 && d != nil {
+			d.Changed[id] = 0
+		}
+	default:
+		t.dirtyRef[id] = n
+		if old == 0 && d != nil {
+			d.Changed[id] = -1 // placeholder; resolved in finishDelta
+		}
+	}
+}
+
+// finishDelta fills in the vio values for transition placeholders.
+func (t *Tracker) finishDelta(d *Delta) *Delta {
+	if d == nil {
+		return nil
+	}
+	for id, v := range d.Changed {
+		if v < 0 {
+			d.Changed[id] = t.Vio(id)
+		}
+	}
+	return d
+}
+
+// Insert adds a tuple through the tracker.
+func (t *Tracker) Insert(row relstore.Tuple) (relstore.TupleID, *Delta, error) {
+	id, err := t.tab.Insert(row)
+	if err != nil {
+		return 0, nil, err
+	}
+	d := newDelta()
+	stored, _ := t.tab.Get(id)
+	t.addTuple(id, stored, d)
+	t.touch(d, id)
+	return id, t.finishDelta(d), nil
+}
+
+// Delete removes a tuple through the tracker.
+func (t *Tracker) Delete(id relstore.TupleID) (*Delta, error) {
+	row, ok := t.tab.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("detect: tracker delete: no tuple %d", id)
+	}
+	d := newDelta()
+	t.removeTuple(id, row, d)
+	t.tab.Delete(id)
+	delete(t.dirtyRef, id)
+	d.Changed[id] = 0
+	return t.finishDelta(d), nil
+}
+
+// SetCell updates one attribute through the tracker.
+func (t *Tracker) SetCell(id relstore.TupleID, attr string, v types.Value) (*Delta, error) {
+	pos, ok := t.tab.Schema().Pos(attr)
+	if !ok {
+		return nil, fmt.Errorf("detect: tracker set: no attribute %q", attr)
+	}
+	old, ok := t.tab.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("detect: tracker set: no tuple %d", id)
+	}
+	d := newDelta()
+	t.removeTuple(id, old, d)
+	if _, err := t.tab.SetCell(id, pos, v); err != nil {
+		return nil, err
+	}
+	nrow, _ := t.tab.Get(id)
+	t.addTuple(id, nrow, d)
+	t.touch(d, id)
+	return t.finishDelta(d), nil
+}
+
+// addTuple indexes a tuple into every CFD state.
+func (t *Tracker) addTuple(id relstore.TupleID, row relstore.Tuple, d *Delta) {
+	for _, cs := range t.state {
+		// Single-tuple violations.
+		n := 0
+		for _, i := range cs.constPatterns {
+			if !cs.p.c.MatchLHS(i, row, cs.p.lhsPos) {
+				continue
+			}
+			got := row[cs.p.rhsPos]
+			if got.IsNull() || got.Equal(cs.p.c.Tableau[i].RHS[0].Const) {
+				continue
+			}
+			n++
+		}
+		if n > 0 {
+			cs.single[id] = n
+			t.ref(d, id, 1)
+		}
+		// Multi-tuple group membership.
+		matched := false
+		for _, i := range cs.varPatterns {
+			if cs.p.c.MatchLHS(i, row, cs.p.lhsPos) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		key := row.KeyOn(cs.p.lhsPos)
+		g, ok := cs.groups[key]
+		if !ok {
+			lhsVals := make([]types.Value, len(cs.p.lhsPos))
+			for k, pos := range cs.p.lhsPos {
+				lhsVals[k] = row[pos]
+			}
+			g = &groupState{
+				lhsVals:   lhsVals,
+				members:   map[relstore.TupleID]string{},
+				rhsCounts: map[string]int{},
+			}
+			cs.groups[key] = g
+		}
+		wasViolating := g.violating()
+		rk := row[cs.p.rhsPos].Key()
+		g.members[id] = rk
+		g.rhsCounts[rk]++
+		cs.memberKey[id] = key
+		switch {
+		case !wasViolating && g.violating():
+			// The group flipped: every member becomes dirty.
+			for mid := range g.members {
+				t.ref(d, mid, 1)
+			}
+		case g.violating():
+			t.ref(d, id, 1)
+		}
+	}
+}
+
+// removeTuple unindexes a tuple from every CFD state.
+func (t *Tracker) removeTuple(id relstore.TupleID, row relstore.Tuple, d *Delta) {
+	for _, cs := range t.state {
+		if n, ok := cs.single[id]; ok && n > 0 {
+			delete(cs.single, id)
+			t.ref(d, id, -1)
+		}
+		key, ok := cs.memberKey[id]
+		if !ok {
+			continue
+		}
+		g := cs.groups[key]
+		wasViolating := g.violating()
+		rk := g.members[id]
+		delete(g.members, id)
+		if g.rhsCounts[rk] <= 1 {
+			delete(g.rhsCounts, rk)
+		} else {
+			g.rhsCounts[rk]--
+		}
+		delete(cs.memberKey, id)
+		if len(g.members) == 0 {
+			delete(cs.groups, key)
+		}
+		switch {
+		case wasViolating && !g.violating():
+			// The group healed: the removed member plus all remaining
+			// members lose this dirty source.
+			t.ref(d, id, -1)
+			for mid := range g.members {
+				t.ref(d, mid, -1)
+			}
+		case wasViolating:
+			t.ref(d, id, -1)
+		}
+	}
+}
+
+// Report materializes a full detection report from the tracked state; it
+// matches what a batch detector would produce on the current table.
+func (t *Tracker) Report() *Report {
+	rep := &Report{
+		Table:  t.tab.Schema().Name,
+		PerCFD: make(map[string]*CFDStats),
+	}
+	rep.TupleCount = t.tab.Len()
+	for _, cs := range t.state {
+		st := &CFDStats{}
+		rep.PerCFD[cs.p.c.ID] = st
+		// Single-tuple violations: re-derive details from the live rows.
+		ids := make([]relstore.TupleID, 0, len(cs.single))
+		for id := range cs.single {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			row, ok := t.tab.Get(id)
+			if !ok {
+				continue
+			}
+			had := false
+			for _, i := range cs.constPatterns {
+				if !cs.p.c.MatchLHS(i, row, cs.p.lhsPos) {
+					continue
+				}
+				got := row[cs.p.rhsPos]
+				want := cs.p.c.Tableau[i].RHS[0].Const
+				if got.IsNull() || got.Equal(want) {
+					continue
+				}
+				rep.Violations = append(rep.Violations, Violation{
+					CFDID:    cs.p.c.ID,
+					Kind:     SingleTuple,
+					Pattern:  i,
+					TupleID:  id,
+					Attr:     cs.p.c.RHS[0],
+					Expected: want,
+					Got:      got,
+				})
+				had = true
+			}
+			if had {
+				st.SingleTuple++
+			}
+		}
+		for _, g := range cs.groups {
+			if !g.violating() {
+				continue
+			}
+			st.Groups++
+			grp := &Group{
+				CFDID:       cs.p.c.ID,
+				Attr:        cs.p.c.RHS[0],
+				LHSAttrs:    append([]string(nil), cs.p.c.LHS...),
+				LHSValues:   append([]types.Value(nil), g.lhsVals...),
+				RHSOf:       map[relstore.TupleID]string{},
+				RHSCounts:   map[string]int{},
+				MajorityKey: majorityKey(g.rhsCounts),
+			}
+			memberIDs := make([]relstore.TupleID, 0, len(g.members))
+			for id := range g.members {
+				memberIDs = append(memberIDs, id)
+			}
+			sort.Slice(memberIDs, func(i, j int) bool { return memberIDs[i] < memberIDs[j] })
+			for _, id := range memberIDs {
+				grp.Members = append(grp.Members, id)
+				grp.RHSOf[id] = g.members[id]
+			}
+			for k, n := range g.rhsCounts {
+				grp.RHSCounts[k] = n
+			}
+			rep.Groups = append(rep.Groups, grp)
+			for _, id := range memberIDs {
+				rep.Violations = append(rep.Violations, Violation{
+					CFDID:    cs.p.c.ID,
+					Kind:     MultiTuple,
+					Pattern:  -1,
+					TupleID:  id,
+					Attr:     cs.p.c.RHS[0],
+					Partners: g.contribution(id),
+				})
+				st.MultiTuple++
+			}
+		}
+	}
+	finish(rep)
+	return rep
+}
+
+// String renders a short tracker summary.
+func (t *Tracker) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tracker(%s): %d tuples, %d dirty", t.tab.Schema().Name, t.tab.Len(), len(t.dirtyRef))
+	return b.String()
+}

@@ -1,0 +1,312 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/sqleng"
+	"semandaq/internal/types"
+)
+
+// SQLDetector implements the detection technique of the TODS paper: for
+// every merged CFD it generates exactly two SQL queries — Qc catching
+// single-tuple (constant-pattern) violations and Qv catching multi-tuple
+// (variable-pattern) violations — and runs them on the sqleng engine over
+// the relationally encoded tableau. The number of queries is independent of
+// the number of pattern tuples, which is the technique's selling point.
+type SQLDetector struct {
+	// Engine runs the generated SQL. Its store must contain the data table.
+	Engine *sqleng.Engine
+	// KeepArtifacts, when set, leaves the tableau and group tables in the
+	// store after detection (the CLI uses it for -explain).
+	KeepArtifacts bool
+	// Trace receives every generated SQL statement, when non-nil.
+	Trace func(sql string)
+}
+
+// nullSentinel stands in for NULL inside COALESCE-normalized join keys and
+// COUNT(DISTINCT ...) so that NULL behaves as an ordinary (single) value,
+// matching the native detector's Key()-based grouping.
+const nullSentinel = "\x00null"
+
+// NewSQLDetector builds a SQL detector over the store holding the data.
+func NewSQLDetector(store *relstore.Store) *SQLDetector {
+	return &SQLDetector{Engine: sqleng.New(store)}
+}
+
+// Detect implements Detector.
+func (d *SQLDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
+	preps, err := prepare(tab, cfds)
+	if err != nil {
+		return nil, err
+	}
+	store := d.Engine.Store()
+	if got, ok := store.Table(tab.Schema().Name); !ok || got != tab {
+		return nil, fmt.Errorf("detect: table %q is not registered in the detector's store", tab.Schema().Name)
+	}
+	rep := &Report{
+		Table:  tab.Schema().Name,
+		PerCFD: make(map[string]*CFDStats),
+	}
+	rep.TupleCount = tab.Len()
+	for i, p := range preps {
+		st := &CFDStats{}
+		rep.PerCFD[p.c.ID] = st
+		if err := d.detectOneSQL(tab, p, i, rep, st); err != nil {
+			return nil, err
+		}
+	}
+	finish(rep)
+	return rep, nil
+}
+
+// sanitizeIdent makes a CFD ID usable inside a table name.
+func sanitizeIdent(id string) string {
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (d *SQLDetector) run(sql string) (*sqleng.Result, error) {
+	if d.Trace != nil {
+		d.Trace(sql)
+	}
+	return d.Engine.Query(sql)
+}
+
+// detectOneSQL generates and runs Qc and Qv for one merged CFD.
+func (d *SQLDetector) detectOneSQL(tab *relstore.Table, p prepared, seq int, rep *Report, st *CFDStats) error {
+	store := d.Engine.Store()
+	tpName := fmt.Sprintf("_tp_%d_%s", seq, sanitizeIdent(p.c.ID))
+	store.Drop(tpName)
+	if _, err := cfd.EncodeTableau(store, p.c, tpName); err != nil {
+		return err
+	}
+	if !d.KeepArtifacts {
+		defer store.Drop(tpName)
+	}
+
+	dataName := tab.Schema().Name
+	q := func(a string) string { return `"` + a + `"` }
+	rhs := p.c.RHS[0]
+
+	// The LHS match condition shared by both queries: each X attribute is
+	// either the wildcard in the pattern or equal to the data value.
+	var matchConds []string
+	for _, a := range p.c.LHS {
+		matchConds = append(matchConds,
+			fmt.Sprintf("(tp.%s = '%s' OR t.%s = tp.%s)", q(a), cfd.WildcardToken, q(a), q(a)))
+	}
+	match := strings.Join(matchConds, " AND ")
+
+	hasConst, hasVar := false, false
+	for i := range p.c.Tableau {
+		if p.c.Tableau[i].RHS[0].Wildcard {
+			hasVar = true
+		} else {
+			hasConst = true
+		}
+	}
+
+	// Qc — single-tuple violations: the tuple matches the LHS pattern but
+	// its RHS value differs from the pattern's RHS constant.
+	if hasConst {
+		qc := fmt.Sprintf(
+			"SELECT t.%s, tp.%s, tp.%s, t.%s FROM %s t, %s tp WHERE %s AND tp.%s <> '%s' AND t.%s <> tp.%s",
+			sqleng.TIDColumn, sqleng.TIDColumn, q(rhs), q(rhs),
+			q(dataName), q(tpName), match,
+			q(rhs), cfd.WildcardToken, q(rhs), q(rhs))
+		res, err := d.run(qc)
+		if err != nil {
+			return fmt.Errorf("detect: Qc for %s: %w", p.c.ID, err)
+		}
+		seen := map[relstore.TupleID]bool{}
+		for _, row := range res.Rows {
+			id := relstore.TupleID(row[0].Int())
+			rep.Violations = append(rep.Violations, Violation{
+				CFDID:    p.c.ID,
+				Kind:     SingleTuple,
+				Pattern:  int(row[1].Int()),
+				TupleID:  id,
+				Attr:     rhs,
+				Expected: row[2],
+				Got:      row[3],
+			})
+			if !seen[id] {
+				seen[id] = true
+				st.SingleTuple++
+			}
+		}
+	}
+
+	// Qv — multi-tuple violations, in two SQL steps: (1) group the tuples
+	// matching some wildcard-RHS pattern by the embedded FD's LHS and keep
+	// groups with more than one distinct RHS value; (2) join the groups
+	// back to fetch the member tuples.
+	if hasVar {
+		coalesce := func(col string) string {
+			return fmt.Sprintf("COALESCE(%s, '%s')", col, nullSentinel)
+		}
+		var groupCols, selCols []string
+		for _, a := range p.c.LHS {
+			groupCols = append(groupCols, "t."+q(a))
+			selCols = append(selCols, fmt.Sprintf("t.%s AS %s", q(a), q(a)))
+		}
+		qv1 := fmt.Sprintf(
+			"SELECT %s FROM %s t, %s tp WHERE %s AND tp.%s = '%s' GROUP BY %s HAVING COUNT(DISTINCT %s) > 1",
+			strings.Join(selCols, ", "),
+			q(dataName), q(tpName), match,
+			q(rhs), cfd.WildcardToken,
+			strings.Join(groupCols, ", "),
+			coalesce("t."+q(rhs)))
+		res, err := d.run(qv1)
+		if err != nil {
+			return fmt.Errorf("detect: Qv step 1 for %s: %w", p.c.ID, err)
+		}
+		if len(res.Rows) == 0 {
+			return nil
+		}
+		// Materialize the violating groups as a table and join back.
+		gName := fmt.Sprintf("_vg_%d_%s", seq, sanitizeIdent(p.c.ID))
+		store.Drop(gName)
+		gTab := relstore.NewTable(schema.New(gName, p.c.LHS...))
+		for _, row := range res.Rows {
+			if _, err := gTab.Insert(relstore.Tuple(row)); err != nil {
+				return err
+			}
+		}
+		store.Put(gTab)
+		if !d.KeepArtifacts {
+			defer store.Drop(gName)
+		}
+		var joinConds []string
+		for _, a := range p.c.LHS {
+			joinConds = append(joinConds, fmt.Sprintf("%s = %s",
+				coalesce("t."+q(a)), coalesce("g."+q(a))))
+		}
+		var lhsSel []string
+		for _, a := range p.c.LHS {
+			lhsSel = append(lhsSel, "t."+q(a))
+		}
+		qv2 := fmt.Sprintf(
+			"SELECT t.%s, t.%s, %s FROM %s t, %s g WHERE %s",
+			sqleng.TIDColumn, q(rhs), strings.Join(lhsSel, ", "),
+			q(dataName), q(gName), strings.Join(joinConds, " AND "))
+		res, err = d.run(qv2)
+		if err != nil {
+			return fmt.Errorf("detect: Qv step 2 for %s: %w", p.c.ID, err)
+		}
+		// Assemble groups in Go: key on the LHS vector.
+		type acc struct {
+			lhsVals   []types.Value
+			members   []relstore.TupleID
+			rhsOf     map[relstore.TupleID]string
+			rhsCounts map[string]int
+		}
+		groups := map[string]*acc{}
+		for _, row := range res.Rows {
+			id := relstore.TupleID(row[0].Int())
+			rhsVal := row[1]
+			lhsVals := row[2:]
+			key := lhsKey(lhsVals)
+			g, ok := groups[key]
+			if !ok {
+				g = &acc{
+					lhsVals:   append([]types.Value(nil), lhsVals...),
+					rhsOf:     map[relstore.TupleID]string{},
+					rhsCounts: map[string]int{},
+				}
+				groups[key] = g
+			}
+			g.members = append(g.members, id)
+			rk := rhsVal.Key()
+			g.rhsOf[id] = rk
+			g.rhsCounts[rk]++
+		}
+		for _, g := range groups {
+			st.Groups++
+			rep.Groups = append(rep.Groups, &Group{
+				CFDID:       p.c.ID,
+				Attr:        rhs,
+				LHSAttrs:    append([]string(nil), p.c.LHS...),
+				LHSValues:   g.lhsVals,
+				Members:     g.members,
+				RHSOf:       g.rhsOf,
+				RHSCounts:   g.rhsCounts,
+				MajorityKey: majorityKey(g.rhsCounts),
+			})
+			for _, id := range g.members {
+				partners := len(g.members) - g.rhsCounts[g.rhsOf[id]]
+				rep.Violations = append(rep.Violations, Violation{
+					CFDID:    p.c.ID,
+					Kind:     MultiTuple,
+					Pattern:  -1,
+					TupleID:  id,
+					Attr:     rhs,
+					Partners: partners,
+				})
+				st.MultiTuple++
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateSQL returns the detection SQL that Detect would run for the given
+// CFDs (after normalization and merging), without executing anything. The
+// CLI's -explain mode and the docs use it.
+func GenerateSQL(tab *relstore.Table, cfds []*cfd.CFD) ([]string, error) {
+	preps, err := prepare(tab, cfds)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for seq, p := range preps {
+		tpName := fmt.Sprintf("_tp_%d_%s", seq, sanitizeIdent(p.c.ID))
+		q := func(a string) string { return `"` + a + `"` }
+		rhs := p.c.RHS[0]
+		var matchConds []string
+		for _, a := range p.c.LHS {
+			matchConds = append(matchConds,
+				fmt.Sprintf("(tp.%s = '%s' OR t.%s = tp.%s)", q(a), cfd.WildcardToken, q(a), q(a)))
+		}
+		match := strings.Join(matchConds, " AND ")
+		hasConst, hasVar := false, false
+		for i := range p.c.Tableau {
+			if p.c.Tableau[i].RHS[0].Wildcard {
+				hasVar = true
+			} else {
+				hasConst = true
+			}
+		}
+		if hasConst {
+			out = append(out, fmt.Sprintf(
+				"-- %s: Qc (single-tuple violations)\nSELECT t.* FROM %s t, %s tp WHERE %s AND tp.%s <> '%s' AND t.%s <> tp.%s",
+				p.c.ID, q(tab.Schema().Name), q(tpName), match,
+				q(rhs), cfd.WildcardToken, q(rhs), q(rhs)))
+		}
+		if hasVar {
+			var groupCols []string
+			for _, a := range p.c.LHS {
+				groupCols = append(groupCols, "t."+q(a))
+			}
+			out = append(out, fmt.Sprintf(
+				"-- %s: Qv (multi-tuple violation groups)\nSELECT %s FROM %s t, %s tp WHERE %s AND tp.%s = '%s' GROUP BY %s HAVING COUNT(DISTINCT COALESCE(t.%s, '%s')) > 1",
+				p.c.ID, strings.Join(groupCols, ", "),
+				q(tab.Schema().Name), q(tpName), match,
+				q(rhs), cfd.WildcardToken,
+				strings.Join(groupCols, ", "), q(rhs), nullSentinel))
+		}
+	}
+	return out, nil
+}

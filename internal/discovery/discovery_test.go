@@ -1,0 +1,246 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+func mkTable(t *testing.T, attrs []string, data [][]string) *relstore.Table {
+	t.Helper()
+	tab := relstore.NewTable(schema.New("r", attrs...))
+	for _, r := range data {
+		row := make(relstore.Tuple, len(r))
+		for i, f := range r {
+			row[i] = types.Parse(f)
+		}
+		tab.MustInsert(row)
+	}
+	return tab
+}
+
+func TestMineConstantCFDs(t *testing.T) {
+	// CC=44 always comes with CNT=UK; CC=1 with CNT=US.
+	tab := mkTable(t, []string{"CC", "CNT", "CITY"}, [][]string{
+		{"44", "UK", "Edinburgh"},
+		{"44", "UK", "London"},
+		{"44", "UK", "London"},
+		{"1", "US", "NYC"},
+		{"1", "US", "Chicago"},
+		{"1", "US", "NYC"},
+	})
+	cfds, err := MineConstantCFDs(tab, Options{MinSupport: 2, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found44, found1 bool
+	for _, c := range cfds {
+		s := c.String()
+		if strings.Contains(s, "[CC=44] -> [CNT=UK]") {
+			found44 = true
+		}
+		if strings.Contains(s, "[CC=1] -> [CNT=US]") {
+			found1 = true
+		}
+	}
+	if !found44 || !found1 {
+		t.Errorf("missing constant CFDs; got:\n%s", render(cfds))
+	}
+}
+
+func TestMineConstantMinimality(t *testing.T) {
+	// CC=44 -> CNT=UK holds; therefore (CC=44, CITY=x) -> CNT=UK is
+	// redundant and must not be emitted.
+	tab := mkTable(t, []string{"CC", "CITY", "CNT"}, [][]string{
+		{"44", "Edinburgh", "UK"},
+		{"44", "Edinburgh", "UK"},
+		{"44", "London", "UK"},
+		{"44", "London", "UK"},
+		{"1", "NYC", "US"},
+		{"1", "NYC", "US"},
+	})
+	cfds, err := MineConstantCFDs(tab, Options{MinSupport: 2, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cfds {
+		if len(c.LHS) == 2 && c.RHS[0] == "CNT" {
+			hasCC := false
+			for _, a := range c.LHS {
+				if a == "CC" {
+					hasCC = true
+				}
+			}
+			if hasCC {
+				t.Errorf("non-minimal rule emitted: %s", c)
+			}
+		}
+	}
+}
+
+func TestMineConstantSupportThreshold(t *testing.T) {
+	tab := mkTable(t, []string{"A", "B"}, [][]string{
+		{"x", "1"},
+		{"y", "2"}, {"y", "2"}, {"y", "2"},
+	})
+	cfds, err := MineConstantCFDs(tab, Options{MinSupport: 3, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cfds {
+		if strings.Contains(c.String(), "A=x") {
+			t.Errorf("low-support rule emitted: %s", c)
+		}
+	}
+}
+
+func TestMineVariableGlobalFD(t *testing.T) {
+	// ZIP -> CITY holds globally.
+	tab := mkTable(t, []string{"ZIP", "CITY", "STR"}, [][]string{
+		{"z1", "Edinburgh", "a"},
+		{"z1", "Edinburgh", "b"},
+		{"z2", "London", "c"},
+		{"z2", "London", "d"},
+	})
+	cfds, err := MineVariableCFDs(tab, Options{MinSupport: 2, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cfds {
+		if len(c.LHS) == 1 && c.LHS[0] == "ZIP" && c.RHS[0] == "CITY" &&
+			c.Tableau[0].LHS[0].Wildcard {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("global FD not found; got:\n%s", render(cfds))
+	}
+}
+
+func TestMineVariableConditionalFD(t *testing.T) {
+	// ZIP -> STR holds only where CNT=UK (the paper's φ2 shape).
+	tab := mkTable(t, []string{"CNT", "ZIP", "STR"}, [][]string{
+		{"UK", "z1", "May"}, {"UK", "z1", "May"},
+		{"UK", "z2", "Cri"}, {"UK", "z2", "Cri"},
+		{"US", "z3", "a"}, {"US", "z3", "b"}, // violates in US
+		{"US", "z4", "c"}, {"US", "z4", "d"},
+	})
+	cfds, err := MineVariableCFDs(tab, Options{MinSupport: 2, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cfds {
+		s := c.String()
+		if strings.Contains(s, "CNT=UK") && strings.Contains(s, "-> [STR=_]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("conditional FD not found; got:\n%s", render(cfds))
+	}
+}
+
+func TestMineVariableMinimality(t *testing.T) {
+	// A -> B holds globally; {A, C} -> B must be pruned.
+	tab := mkTable(t, []string{"A", "B", "C"}, [][]string{
+		{"a1", "b1", "c1"},
+		{"a1", "b1", "c2"},
+		{"a2", "b2", "c1"},
+		{"a2", "b2", "c2"},
+	})
+	cfds, err := MineVariableCFDs(tab, Options{MinSupport: 2, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cfds {
+		if c.RHS[0] == "B" && len(c.LHS) == 2 {
+			for _, a := range c.LHS {
+				if a == "A" {
+					t.Errorf("non-minimal FD emitted: %s", c)
+				}
+			}
+		}
+	}
+}
+
+func TestDiscoverOnGeneratedData(t *testing.T) {
+	// The miner must rediscover the ground-truth rules the generator bakes
+	// in: CC -> CNT constants and the zip/street/city dependencies.
+	ds := datagen.Generate(datagen.Config{Tuples: 600, Seed: 9})
+	cfds, err := Discover(ds.Clean, Options{MinSupport: 20, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfds) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	all := render(cfds)
+	for _, want := range []string{
+		"[CC=44] -> [CNT=UK]",
+		"[CC=1] -> [CNT=US]",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("missing %q in:\n%s", want, all)
+		}
+	}
+	// Every discovered CFD must actually hold on the clean data.
+	rep, err := detect.NativeDetector{}.Detect(ds.Clean, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("discovered CFDs violated on their own reference data: %d", len(rep.Violations))
+	}
+	// Discovered CFDs catch injected errors on dirty data.
+	dirty := datagen.Generate(datagen.Config{Tuples: 600, Seed: 9, NoiseRate: 0.05})
+	rep, err = detect.NativeDetector{}.Detect(dirty.Dirty, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Vio) == 0 {
+		t.Error("discovered CFDs catch nothing on dirty data")
+	}
+}
+
+func TestDiscoverAssignsIDs(t *testing.T) {
+	tab := mkTable(t, []string{"A", "B"}, [][]string{
+		{"x", "1"}, {"x", "1"}, {"y", "2"}, {"y", "2"},
+	})
+	cfds, err := Discover(tab, Options{MinSupport: 2, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cfds {
+		if c.ID == "" {
+			t.Errorf("CFD %d has no ID", i)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults(1000)
+	if o.MinSupport != 10 || o.MaxLHS != 2 || o.MaxPatternsPerFD != 8 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = Options{}.withDefaults(50)
+	if o.MinSupport != 2 {
+		t.Errorf("small-n support = %d", o.MinSupport)
+	}
+}
+
+func render(cfds []*cfd.CFD) string {
+	var b strings.Builder
+	for _, c := range cfds {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/consistency"
+	"semandaq/internal/datagen"
+	"semandaq/internal/monitor"
+	"semandaq/internal/types"
+)
+
+// RunS1 measures the constraint engine's satisfiability check over growing
+// CFD sets, mixing chained constant rules with variable patterns, plus an
+// adversarial family whose chase must detect a clash.
+func RunS1(w io.Writer, quick bool) error {
+	header(w, "S1", "consistency (satisfiability) checking cost")
+	sizes := []int{4, 16, 64, 256}
+	if quick {
+		sizes = []int{4, 16, 64}
+	}
+	sc := datagen.Schema()
+	fmt.Fprintf(w, "%8s %12s %12s %14s\n", "cfds", "sat_ms", "verdict", "unsat_ms")
+	for _, k := range sizes {
+		// Satisfiable family: chained constant CFDs over fresh values plus
+		// variable patterns.
+		var sat []*cfd.CFD
+		for i := 0; i < k; i++ {
+			switch i % 3 {
+			case 0:
+				sat = append(sat, cfd.New(fmt.Sprintf("c%d", i), "customer",
+					[]string{"CC"}, []string{"CNT"},
+					cfd.PatternTuple{
+						LHS: []cfd.PatternValue{cfd.Constant(types.NewInt(int64(100 + i)))},
+						RHS: []cfd.PatternValue{cfd.ConstStr(fmt.Sprintf("country%d", i))},
+					}))
+			case 1:
+				sat = append(sat, cfd.New(fmt.Sprintf("c%d", i), "customer",
+					[]string{"CNT"}, []string{"CITY"},
+					cfd.PatternTuple{
+						LHS: []cfd.PatternValue{cfd.ConstStr(fmt.Sprintf("country%d", i-1))},
+						RHS: []cfd.PatternValue{cfd.ConstStr(fmt.Sprintf("city%d", i))},
+					}))
+			default:
+				sat = append(sat, cfd.NewFD(fmt.Sprintf("c%d", i), "customer",
+					[]string{"CNT", "ZIP"}, []string{"CITY"}))
+			}
+		}
+		var rep *consistency.Report
+		satTime, err := timed(func() error {
+			var err error
+			rep, err = consistency.Check(sc, sat, nil)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		verdict := "sat"
+		if !rep.Satisfiable {
+			verdict = "UNSAT?!"
+		}
+
+		// Unsatisfiable family: the same set plus a wildcard clash that the
+		// chase must find.
+		unsat := append(append([]*cfd.CFD{}, sat...),
+			cfd.New("x1", "customer", []string{"NAME"}, []string{"CNT"},
+				cfd.PatternTuple{LHS: []cfd.PatternValue{cfd.Wild},
+					RHS: []cfd.PatternValue{cfd.ConstStr("A")}}),
+			cfd.New("x2", "customer", []string{"NAME"}, []string{"CNT"},
+				cfd.PatternTuple{LHS: []cfd.PatternValue{cfd.Wild},
+					RHS: []cfd.PatternValue{cfd.ConstStr("B")}}))
+		var urep *consistency.Report
+		unsatTime, err := timed(func() error {
+			var err error
+			urep, err = consistency.Check(sc, unsat, nil)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if urep.Satisfiable {
+			return fmt.Errorf("S1: clash not detected at k=%d", k)
+		}
+		fmt.Fprintf(w, "%8d %12s %12s %14s\n", k, ms(satTime), verdict, ms(unsatTime))
+	}
+	return nil
+}
+
+// RunM1 drives the data monitor with a sustained mixed update stream over a
+// cleansed table and reports the quality trajectory: in cleansed mode the
+// monitor must keep the table at zero violations throughout.
+func RunM1(w io.Writer, quick bool) error {
+	header(w, "M1", "data monitor under a sustained update stream")
+	n, updates := 20000, 2000
+	if quick {
+		n, updates = 2000, 300
+	}
+	cfds := datagen.StandardCFDs()
+	base := datagen.Generate(datagen.Config{Tuples: n, Seed: 41})
+	tab := base.Clean.Snapshot()
+	m, err := monitor.New(tab, cfds, true)
+	if err != nil {
+		return err
+	}
+	dirtySrc := datagen.Generate(datagen.Config{Tuples: updates, Seed: 43, NoiseRate: 0.30})
+	_, dirtyRows := dirtySrc.Dirty.Rows()
+
+	rng := rand.New(rand.NewSource(5))
+	attrs := []string{"STR", "CNT", "CITY", "AC"}
+	totalRepairs := 0
+	checkpoints := updates / 5
+
+	// live tracks the IDs still present so the stream never targets a
+	// tuple deleted earlier in the same batch.
+	live := tab.IDs()
+
+	fmt.Fprintf(w, "%10s %10s %10s %12s\n", "updates", "dirty", "repairs", "tuples")
+	start := 0
+	for start < updates {
+		end := start + checkpoints
+		if end > updates {
+			end = updates
+		}
+		var batch []monitor.Update
+		for i := start; i < end; i++ {
+			switch rng.Intn(4) {
+			case 0, 1: // dirty insert
+				batch = append(batch, monitor.Update{Op: monitor.OpInsert, Row: dirtyRows[i]})
+			case 2: // random cell corruption on an existing tuple
+				id := live[rng.Intn(len(live))]
+				attr := attrs[rng.Intn(len(attrs))]
+				batch = append(batch, monitor.Update{
+					Op: monitor.OpSet, ID: id, Attr: attr,
+					Value: types.NewString(fmt.Sprintf("noise%d", i)),
+				})
+			default: // delete, removing the ID from the live pool
+				idx := rng.Intn(len(live))
+				batch = append(batch, monitor.Update{Op: monitor.OpDelete, ID: live[idx]})
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		res, err := m.Apply(batch)
+		if err != nil {
+			return err
+		}
+		totalRepairs += len(res.Repairs)
+		live = tab.IDs()
+		fmt.Fprintf(w, "%10d %10d %10d %12d\n", end, res.Dirty, totalRepairs, tab.Len())
+		if res.Dirty != 0 {
+			return fmt.Errorf("M1: monitor let quality degrade: %d dirty after %d updates", res.Dirty, end)
+		}
+		start = end
+	}
+	fmt.Fprintf(w, "stream complete: %d updates, %d incremental repairs, table stayed clean\n",
+		updates, totalRepairs)
+	return nil
+}

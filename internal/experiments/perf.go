@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+	"semandaq/internal/relstore"
+)
+
+// RunD1 measures batch detection scalability: the SQL technique of the
+// TODS paper versus the native hash-grouping baseline, over growing data.
+// Expected shape: both near-linear; SQL within a small constant factor.
+func RunD1(w io.Writer, quick bool) error {
+	header(w, "D1", "detection scalability: SQL technique vs native baseline")
+	sizes := []int{10000, 25000, 50000, 100000, 200000}
+	if quick {
+		sizes = []int{2000, 5000, 10000}
+	}
+	cfds := datagen.StandardCFDs()
+	fmt.Fprintf(w, "%10s %12s %12s %8s %8s\n", "tuples", "sql_ms", "native_ms", "ratio", "dirty")
+	for _, n := range sizes {
+		ds := datagen.Generate(datagen.Config{Tuples: n, Seed: 7, NoiseRate: 0.05})
+		store := relstore.NewStore()
+		store.Put(ds.Dirty)
+
+		var sqlRep, natRep *detect.Report
+		sqlTime, err := timed(func() error {
+			var err error
+			sqlRep, err = detect.NewSQLDetector(store).Detect(ds.Dirty, cfds)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		natTime, err := timed(func() error {
+			var err error
+			natRep, err = detect.NativeDetector{}.Detect(ds.Dirty, cfds)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if err := detect.Equivalent(sqlRep, natRep); err != nil {
+			return fmt.Errorf("D1: detectors disagree at n=%d: %w", n, err)
+		}
+		ratio := float64(sqlTime) / float64(natTime)
+		fmt.Fprintf(w, "%10d %12s %12s %8.2f %8d\n", n, ms(sqlTime), ms(natTime), ratio, len(sqlRep.Vio))
+	}
+	return nil
+}
+
+// RunD2 measures detection cost against tableau size: the SQL technique
+// issues the same two queries regardless of the number of pattern tuples,
+// so time should grow sub-linearly in the pattern count.
+func RunD2(w io.Writer, quick bool) error {
+	header(w, "D2", "detection vs number of pattern tuples (tableau-merged SQL)")
+	n := 50000
+	if quick {
+		n = 5000
+	}
+	ds := datagen.Generate(datagen.Config{Tuples: n, Seed: 11, NoiseRate: 0.05})
+	store := relstore.NewStore()
+	store.Put(ds.Dirty)
+
+	// Collect distinct UK zips to turn into pattern constants.
+	sc := ds.Dirty.Schema()
+	zipPos := sc.MustPos("ZIP")
+	cntPos := sc.MustPos("CNT")
+	seen := map[string]bool{}
+	var zips []string
+	ds.Dirty.Scan(func(_ relstore.TupleID, row relstore.Tuple) bool {
+		if row[cntPos].String() == "UK" && !seen[row[zipPos].String()] {
+			seen[row[zipPos].String()] = true
+			zips = append(zips, row[zipPos].String())
+		}
+		return true
+	})
+
+	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	fmt.Fprintf(w, "%10s %12s %12s %8s\n", "patterns", "sql_ms", "queries", "dirty")
+	for _, k := range counts {
+		if k > len(zips) {
+			break
+		}
+		// One CFD [CNT=UK, ZIP=z_i] -> [STR=_] per zip, merged into a
+		// single tableau of k patterns.
+		c := &cfd.CFD{ID: fmt.Sprintf("p%d", k), Table: "customer",
+			LHS: []string{"CNT", "ZIP"}, RHS: []string{"STR"}}
+		for i := 0; i < k; i++ {
+			c.Tableau = append(c.Tableau, cfd.PatternTuple{
+				LHS: []cfd.PatternValue{cfd.ConstStr("UK"), cfd.ConstStr(zips[i])},
+				RHS: []cfd.PatternValue{cfd.Wild},
+			})
+		}
+		det := detect.NewSQLDetector(store)
+		queries := 0
+		det.Trace = func(string) { queries++ }
+		var rep *detect.Report
+		dur, err := timed(func() error {
+			var err error
+			rep, err = det.Detect(ds.Dirty, []*cfd.CFD{c})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%10d %12s %12d %8d\n", k, ms(dur), queries, len(rep.Vio))
+	}
+	return nil
+}
+
+// RunD3 compares incremental detection (the tracker) against re-running
+// batch detection, for growing update batches over a fixed base. Expected
+// shape: incremental wins by a wide factor while |Δ| << |I|.
+func RunD3(w io.Writer, quick bool) error {
+	header(w, "D3", "incremental vs batch detection")
+	n := 50000
+	deltas := []int{10, 100, 1000, 5000}
+	if quick {
+		n = 5000
+		deltas = []int{10, 100, 500}
+	}
+	cfds := datagen.StandardCFDs()
+	base := datagen.Generate(datagen.Config{Tuples: n, Seed: 13, NoiseRate: 0.02})
+	fresh := datagen.Generate(datagen.Config{Tuples: deltas[len(deltas)-1], Seed: 99, NoiseRate: 0.10})
+	_, freshRows := fresh.Dirty.Rows()
+
+	fmt.Fprintf(w, "%10s %14s %12s %10s\n", "delta", "incremental_ms", "batch_ms", "speedup")
+	for _, d := range deltas {
+		// Fresh copies per measurement so state is comparable.
+		tab := base.Dirty.Snapshot()
+		tr, err := detect.NewTracker(tab, cfds)
+		if err != nil {
+			return err
+		}
+		incTime, err := timed(func() error {
+			for i := 0; i < d; i++ {
+				if _, _, err := tr.Insert(freshRows[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		tab2 := base.Dirty.Snapshot()
+		for i := 0; i < d; i++ {
+			tab2.MustInsert(freshRows[i])
+		}
+		var batchRep *detect.Report
+		batchTime, err := timed(func() error {
+			var err error
+			batchRep, err = detect.NativeDetector{}.Detect(tab2, cfds)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		// Correctness: tracker state equals batch result.
+		if err := detect.Equivalent(batchRep, tr.Report()); err != nil {
+			return fmt.Errorf("D3: incremental diverged at delta=%d: %w", d, err)
+		}
+		speedup := float64(batchTime) / float64(incTime)
+		fmt.Fprintf(w, "%10d %14s %12s %9.1fx\n", d, ms(incTime), ms(batchTime), speedup)
+	}
+	return nil
+}

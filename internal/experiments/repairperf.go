@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+	"semandaq/internal/relstore"
+	"semandaq/internal/repair"
+)
+
+// RunR1 measures repair quality against the injected-error ground truth as
+// the noise rate grows — the shape of the VLDB 2007 paper's accuracy
+// experiments. Expected: precision/recall well above chance, graceful
+// degradation, and zero violations in every repaired instance.
+func RunR1(w io.Writer, quick bool) error {
+	header(w, "R1", "repair quality vs noise rate")
+	n := 10000
+	if quick {
+		n = 1500
+	}
+	cfds := datagen.StandardCFDs()
+	rates := []float64{0.01, 0.02, 0.05, 0.08, 0.10}
+	fmt.Fprintf(w, "%8s %8s %10s %8s %8s %8s %10s %10s\n",
+		"noise", "errors", "mods", "prec", "recall", "F1", "repair_ms", "clean")
+	for _, rate := range rates {
+		ds := datagen.Generate(datagen.Config{Tuples: n, Seed: 21, NoiseRate: rate})
+		var res *repair.Result
+		dur, err := timed(func() error {
+			var err error
+			res, err = repair.NewRepairer().Repair(ds.Dirty, cfds)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		score := ds.ScoreRepairCells(res.Repaired, res.ModifiedCells())
+		rep, err := detect.NativeDetector{}.Detect(res.Repaired, cfds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%7.0f%% %8d %10d %8.3f %8.3f %8.3f %10s %10v\n",
+			rate*100, len(ds.Corruptions), len(res.Modifications),
+			score.Precision(), score.Recall(), score.F1(), ms(dur),
+			len(rep.Violations) == 0)
+	}
+	return nil
+}
+
+// RunR2 measures repair scalability over growing data at fixed 5% noise.
+func RunR2(w io.Writer, quick bool) error {
+	header(w, "R2", "repair scalability (5% noise)")
+	sizes := []int{5000, 10000, 20000, 40000, 80000}
+	if quick {
+		sizes = []int{1000, 2000, 4000}
+	}
+	cfds := datagen.StandardCFDs()
+	fmt.Fprintf(w, "%10s %12s %10s %8s %8s\n", "tuples", "repair_ms", "mods", "passes", "F1")
+	for _, n := range sizes {
+		ds := datagen.Generate(datagen.Config{Tuples: n, Seed: 23, NoiseRate: 0.05})
+		var res *repair.Result
+		dur, err := timed(func() error {
+			var err error
+			res, err = repair.NewRepairer().Repair(ds.Dirty, cfds)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		score := ds.ScoreRepairCells(res.Repaired, res.ModifiedCells())
+		fmt.Fprintf(w, "%10d %12s %10d %8d %8.3f\n",
+			n, ms(dur), len(res.Modifications), res.Passes, score.F1())
+	}
+	return nil
+}
+
+// RunR3 compares IncRepair (repairing only the delta against a clean base)
+// with re-running BatchRepair on base+delta — the VLDB 2007 incremental
+// claim. Expected: incremental wins by a widening factor for small deltas.
+func RunR3(w io.Writer, quick bool) error {
+	header(w, "R3", "incremental vs batch repair")
+	n := 20000
+	deltas := []int{10, 100, 500, 2000}
+	if quick {
+		n = 3000
+		deltas = []int{10, 100, 300}
+	}
+	cfds := datagen.StandardCFDs()
+	base := datagen.Generate(datagen.Config{Tuples: n, Seed: 31}) // clean base
+	freshDirty := datagen.Generate(datagen.Config{Tuples: deltas[len(deltas)-1], Seed: 77, NoiseRate: 0.20})
+	_, freshRows := freshDirty.Dirty.Rows()
+
+	fmt.Fprintf(w, "%10s %14s %12s %10s %12s\n", "delta", "inc_ms", "batch_ms", "speedup", "dirty_after")
+	for _, d := range deltas {
+		// Incremental: tracker + IncRepair over only the new tuples.
+		tab := base.Clean.Snapshot()
+		tr, err := detect.NewTracker(tab, cfds)
+		if err != nil {
+			return err
+		}
+		var ids []relstore.TupleID
+		incTime, err := timed(func() error {
+			for i := 0; i < d; i++ {
+				id, _, err := tr.Insert(freshRows[i])
+				if err != nil {
+					return err
+				}
+				ids = append(ids, id)
+			}
+			_, err := repair.NewIncRepairer().RepairDelta(tr, tab, cfds, ids)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		dirtyAfter := tr.DirtyCount()
+
+		// Batch: rebuild base+delta and run full BatchRepair.
+		tab2 := base.Clean.Snapshot()
+		for i := 0; i < d; i++ {
+			tab2.MustInsert(freshRows[i])
+		}
+		batchTime, err := timed(func() error {
+			_, err := repair.NewRepairer().Repair(tab2, cfds)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		speedup := float64(batchTime) / float64(incTime)
+		fmt.Fprintf(w, "%10d %14s %12s %9.1fx %12d\n", d, ms(incTime), ms(batchTime), speedup, dirtyAfter)
+	}
+	return nil
+}

@@ -1,0 +1,428 @@
+// Package explore implements Semandaq's data explorer: the interactive
+// drill-down of the paper's Fig. 2 (FD → pattern tuples → matching LHS
+// values → RHS values → tuples, with violation counts at every step), the
+// reverse exploration (tuple → relevant CFDs and patterns), and the Fig. 3
+// tuple-level data quality map.
+package explore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/detect"
+	"semandaq/internal/relstore"
+	"semandaq/internal/types"
+)
+
+// Explorer answers drill-down queries over one table, one CFD set and one
+// detection report. Build a new Explorer after the data or report changes.
+type Explorer struct {
+	tab    *relstore.Table
+	merged []*cfd.CFD
+	rep    *detect.Report
+
+	lhsPos map[string][]int // by CFD ID
+	rhsPos map[string]int
+	// violatingIDs is the set of tuples with a violation per CFD.
+	violatingIDs map[string]map[relstore.TupleID]bool
+	// groupByLHSKey indexes multi-tuple groups by CFD and LHS key.
+	groupByLHSKey map[string]map[string]*detect.Group
+}
+
+// New builds an explorer. cfds must be the set the report was detected
+// with; they are normalized and merged identically.
+func New(tab *relstore.Table, cfds []*cfd.CFD, rep *detect.Report) (*Explorer, error) {
+	sc := tab.Schema()
+	var normalized []*cfd.CFD
+	for _, c := range cfds {
+		if err := c.Validate(sc); err != nil {
+			return nil, err
+		}
+		normalized = append(normalized, c.Normalize()...)
+	}
+	merged := cfd.MergeByFD(normalized)
+	e := &Explorer{
+		tab:           tab,
+		merged:        merged,
+		rep:           rep,
+		lhsPos:        map[string][]int{},
+		rhsPos:        map[string]int{},
+		violatingIDs:  map[string]map[relstore.TupleID]bool{},
+		groupByLHSKey: map[string]map[string]*detect.Group{},
+	}
+	for _, c := range merged {
+		lp, err := sc.Positions(c.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := sc.Positions(c.RHS)
+		if err != nil {
+			return nil, err
+		}
+		e.lhsPos[c.ID] = lp
+		e.rhsPos[c.ID] = rp[0]
+		e.violatingIDs[c.ID] = map[relstore.TupleID]bool{}
+	}
+	for _, v := range rep.Violations {
+		if m := e.violatingIDs[v.CFDID]; m != nil {
+			m[v.TupleID] = true
+		}
+	}
+	for _, g := range rep.Groups {
+		m := e.groupByLHSKey[g.CFDID]
+		if m == nil {
+			m = map[string]*detect.Group{}
+			e.groupByLHSKey[g.CFDID] = m
+		}
+		m[groupKey(g.LHSValues)] = g
+	}
+	return e, nil
+}
+
+func groupKey(vals []types.Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(v.Key())
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// CFDInfo is the first drill-down level: one embedded FD with its tableau
+// size and total violation count (the leftmost table in Fig. 2).
+type CFDInfo struct {
+	ID         string
+	FD         string // "customer: [CNT, ZIP] -> [STR]"
+	Patterns   int
+	Violations int // tuples violating this CFD
+}
+
+// CFDs lists the constraints, in registration order.
+func (e *Explorer) CFDs() []CFDInfo {
+	out := make([]CFDInfo, 0, len(e.merged))
+	for _, c := range e.merged {
+		out = append(out, CFDInfo{
+			ID:         c.ID,
+			FD:         fmt.Sprintf("%s: [%s] -> [%s]", c.Table, strings.Join(c.LHS, ", "), strings.Join(c.RHS, ", ")),
+			Patterns:   len(c.Tableau),
+			Violations: len(e.violatingIDs[c.ID]),
+		})
+	}
+	return out
+}
+
+func (e *Explorer) find(cfdID string) (*cfd.CFD, error) {
+	for _, c := range e.merged {
+		if c.ID == cfdID {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("explore: no CFD %q", cfdID)
+}
+
+// PatternInfo is the second level: one pattern tuple with the number of
+// matching tuples and the number of violations among them.
+type PatternInfo struct {
+	Index      int
+	Pattern    string // "(UK, _ || _)"
+	Constant   bool   // constant RHS
+	Matches    int
+	Violations int
+}
+
+// Patterns lists the tableau of one CFD with per-pattern statistics.
+func (e *Explorer) Patterns(cfdID string) ([]PatternInfo, error) {
+	c, err := e.find(cfdID)
+	if err != nil {
+		return nil, err
+	}
+	lhsPos := e.lhsPos[cfdID]
+	out := make([]PatternInfo, len(c.Tableau))
+	for i := range c.Tableau {
+		out[i] = PatternInfo{
+			Index:    i,
+			Pattern:  c.Tableau[i].String(),
+			Constant: c.IsConstantPattern(i),
+		}
+	}
+	viol := e.violatingIDs[cfdID]
+	e.tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		for i := range c.Tableau {
+			if !c.MatchLHS(i, row, lhsPos) {
+				continue
+			}
+			out[i].Matches++
+			if viol[id] {
+				out[i].Violations++
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// LHSGroup is the third level: one distinct LHS value vector among the
+// tuples matching a pattern, with tuple and violation counts.
+type LHSGroup struct {
+	Values     []types.Value
+	Tuples     int
+	RHSValues  int // distinct RHS values within the group
+	Violations int
+}
+
+// LHSGroups lists the distinct matching LHS values for one pattern.
+func (e *Explorer) LHSGroups(cfdID string, pattern int) ([]LHSGroup, error) {
+	c, err := e.find(cfdID)
+	if err != nil {
+		return nil, err
+	}
+	if pattern < 0 || pattern >= len(c.Tableau) {
+		return nil, fmt.Errorf("explore: CFD %s has no pattern %d", cfdID, pattern)
+	}
+	lhsPos := e.lhsPos[cfdID]
+	rhsPos := e.rhsPos[cfdID]
+	viol := e.violatingIDs[cfdID]
+	type acc struct {
+		vals  []types.Value
+		n     int
+		rhs   map[string]bool
+		nViol int
+	}
+	groups := map[string]*acc{}
+	var order []string
+	e.tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		if !c.MatchLHS(pattern, row, lhsPos) {
+			return true
+		}
+		key := row.KeyOn(lhsPos)
+		g, ok := groups[key]
+		if !ok {
+			vals := make([]types.Value, len(lhsPos))
+			for k, p := range lhsPos {
+				vals[k] = row[p]
+			}
+			g = &acc{vals: vals, rhs: map[string]bool{}}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.n++
+		g.rhs[row[rhsPos].Key()] = true
+		if viol[id] {
+			g.nViol++
+		}
+		return true
+	})
+	out := make([]LHSGroup, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		out = append(out, LHSGroup{
+			Values:     g.vals,
+			Tuples:     g.n,
+			RHSValues:  len(g.rhs),
+			Violations: g.nViol,
+		})
+	}
+	// Violating groups first, then by size.
+	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i].Violations > 0) != (out[j].Violations > 0) {
+			return out[i].Violations > 0
+		}
+		return out[i].Tuples > out[j].Tuples
+	})
+	return out, nil
+}
+
+// RHSValue is the fourth level: one distinct RHS value among a LHS group's
+// tuples (Fig. 2's fourth table — three streets for one UK zip).
+type RHSValue struct {
+	Value      types.Value
+	Tuples     int
+	Violations int
+	Majority   bool // the bulk value of the group, when in conflict
+}
+
+// RHSValues lists the distinct RHS values within one LHS group.
+func (e *Explorer) RHSValues(cfdID string, pattern int, lhsVals []types.Value) ([]RHSValue, error) {
+	c, err := e.find(cfdID)
+	if err != nil {
+		return nil, err
+	}
+	if pattern < 0 || pattern >= len(c.Tableau) {
+		return nil, fmt.Errorf("explore: CFD %s has no pattern %d", cfdID, pattern)
+	}
+	lhsPos := e.lhsPos[cfdID]
+	rhsPos := e.rhsPos[cfdID]
+	viol := e.violatingIDs[cfdID]
+	want := groupKey(lhsVals)
+	type acc struct {
+		val   types.Value
+		n     int
+		nViol int
+	}
+	vals := map[string]*acc{}
+	var order []string
+	e.tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		if !c.MatchLHS(pattern, row, lhsPos) || row.KeyOn(lhsPos) != want {
+			return true
+		}
+		k := row[rhsPos].Key()
+		a, ok := vals[k]
+		if !ok {
+			a = &acc{val: row[rhsPos]}
+			vals[k] = a
+			order = append(order, k)
+		}
+		a.n++
+		if viol[id] {
+			a.nViol++
+		}
+		return true
+	})
+	var majKey string
+	if m := e.groupByLHSKey[cfdID]; m != nil {
+		if g, ok := m[want]; ok {
+			majKey = g.MajorityKey
+		}
+	}
+	out := make([]RHSValue, 0, len(order))
+	for _, k := range order {
+		a := vals[k]
+		out = append(out, RHSValue{
+			Value:      a.val,
+			Tuples:     a.n,
+			Violations: a.nViol,
+			Majority:   majKey != "" && k == majKey,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Tuples > out[j].Tuples })
+	return out, nil
+}
+
+// TupleRow pairs a tuple with its vio(t) for the final drill-down level.
+type TupleRow struct {
+	ID  relstore.TupleID
+	Row relstore.Tuple
+	Vio int
+}
+
+// Tuples lists the tuples of one LHS group holding one RHS value.
+func (e *Explorer) Tuples(cfdID string, pattern int, lhsVals []types.Value, rhsVal types.Value) ([]TupleRow, error) {
+	c, err := e.find(cfdID)
+	if err != nil {
+		return nil, err
+	}
+	if pattern < 0 || pattern >= len(c.Tableau) {
+		return nil, fmt.Errorf("explore: CFD %s has no pattern %d", cfdID, pattern)
+	}
+	lhsPos := e.lhsPos[cfdID]
+	rhsPos := e.rhsPos[cfdID]
+	want := groupKey(lhsVals)
+	var out []TupleRow
+	e.tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		if !c.MatchLHS(pattern, row, lhsPos) || row.KeyOn(lhsPos) != want {
+			return true
+		}
+		if !row[rhsPos].Equal(rhsVal) {
+			return true
+		}
+		out = append(out, TupleRow{ID: id, Row: row.Clone(), Vio: e.rep.Vio[id]})
+		return true
+	})
+	return out, nil
+}
+
+// Relevance is the reverse exploration: one (CFD, pattern) applying to a
+// tuple, with whether the tuple violates it — "the reasons why the tuple is
+// regarded as a violation".
+type Relevance struct {
+	CFDID    string
+	Pattern  int
+	Text     string // pattern rendering
+	Violated bool
+	Kind     detect.Kind // meaningful when Violated
+}
+
+// ForTuple lists every CFD pattern whose LHS the tuple matches.
+func (e *Explorer) ForTuple(id relstore.TupleID) ([]Relevance, error) {
+	row, ok := e.tab.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("explore: no tuple %d", id)
+	}
+	// Index this tuple's violations by CFD and kind.
+	kinds := map[string]detect.Kind{}
+	violated := map[string]bool{}
+	for _, v := range e.rep.Violations {
+		if v.TupleID != id {
+			continue
+		}
+		violated[v.CFDID] = true
+		if prev, ok := kinds[v.CFDID]; !ok || prev == detect.MultiTuple {
+			kinds[v.CFDID] = v.Kind
+		}
+	}
+	var out []Relevance
+	for _, c := range e.merged {
+		lhsPos := e.lhsPos[c.ID]
+		for i := range c.Tableau {
+			if !c.MatchLHS(i, row, lhsPos) {
+				continue
+			}
+			out = append(out, Relevance{
+				CFDID:    c.ID,
+				Pattern:  i,
+				Text:     c.Tableau[i].String(),
+				Violated: violated[c.ID],
+				Kind:     kinds[c.ID],
+			})
+		}
+	}
+	return out, nil
+}
+
+// MapEntry is one row of the Fig. 3 tuple-level data quality map.
+type MapEntry struct {
+	ID     relstore.TupleID
+	Vio    int
+	Bucket int // 0 (clean) .. 4 (dirtiest), the "color" of the row
+}
+
+// QualityMap returns every tuple's vio(t) bucketed into 5 intensity levels
+// scaled by the maximum observed vio, plus a histogram of the buckets.
+func (e *Explorer) QualityMap() ([]MapEntry, [5]int) {
+	max := e.rep.MaxVio()
+	var hist [5]int
+	var out []MapEntry
+	e.tab.Scan(func(id relstore.TupleID, _ relstore.Tuple) bool {
+		v := e.rep.Vio[id]
+		b := bucket(v, max)
+		hist[b]++
+		out = append(out, MapEntry{ID: id, Vio: v, Bucket: b})
+		return true
+	})
+	return out, hist
+}
+
+// bucket maps a vio count to a 0..4 intensity on a log scale: vio(t) is
+// dominated by multi-tuple partner counts, which span orders of magnitude
+// when group sizes differ (one bad tuple in a 1000-tuple group gives every
+// member vio >= 1), so a linear scale would wash the map out.
+func bucket(v, max int) int {
+	if v == 0 || max == 0 {
+		return 0
+	}
+	if v > max {
+		v = max
+	}
+	den := math.Log2(float64(max) + 1)
+	if den <= 0 {
+		return 1
+	}
+	b := 1 + int(3*math.Log2(float64(v)+1)/den)
+	if b > 4 {
+		b = 4
+	}
+	return b
+}

@@ -1,0 +1,215 @@
+package monitor
+
+import (
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/detect"
+	"semandaq/internal/relstore"
+	"semandaq/internal/repair"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+func setup(t *testing.T) (*relstore.Table, []*cfd.CFD) {
+	t.Helper()
+	tab := relstore.NewTable(schema.New("customer", "CNT", "ZIP", "STR", "CC"))
+	ins := func(cnt, zip, str string, cc int64) {
+		tab.MustInsert(relstore.Tuple{
+			types.NewString(cnt), types.NewString(zip),
+			types.NewString(str), types.NewInt(cc)})
+	}
+	ins("UK", "EH2", "Mayfield", 44)
+	ins("UK", "EH2", "Mayfield", 44)
+	ins("US", "07974", "Mtn Ave", 1)
+	cfds, err := cfd.ParseSet(`
+phi2@ customer: [CNT=UK, ZIP=_] -> [STR=_]
+phi3@ customer: [CC=44] -> [CNT=UK]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, cfds
+}
+
+func row(cnt, zip, str string, cc int64) relstore.Tuple {
+	return relstore.Tuple{
+		types.NewString(cnt), types.NewString(zip),
+		types.NewString(str), types.NewInt(cc)}
+}
+
+func TestDetectionModeReportsViolations(t *testing.T) {
+	tab, cfds := setup(t)
+	m, err := New(tab, cfds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cleansed() {
+		t.Error("should start uncleansed")
+	}
+	res, err := m.Apply([]Update{
+		{Op: OpInsert, Row: row("UK", "EH2", "Wrongstreet", 44)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted) != 1 {
+		t.Fatalf("inserted = %v", res.Inserted)
+	}
+	// Detection only: the violation is reported, not repaired.
+	if len(res.Repairs) != 0 {
+		t.Errorf("repairs in detection mode: %+v", res.Repairs)
+	}
+	if res.Dirty != 3 { // new tuple + the two Mayfield tuples
+		t.Errorf("dirty = %d", res.Dirty)
+	}
+	if res.Changed[res.Inserted[0]] == 0 {
+		t.Errorf("changed = %v", res.Changed)
+	}
+}
+
+func TestRepairModeFixesIncoming(t *testing.T) {
+	tab, cfds := setup(t)
+	m, err := New(tab, cfds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Apply([]Update{
+		{Op: OpInsert, Row: row("UK", "EH2", "Wrongstreet", 44)},
+		{Op: OpInsert, Row: row("US", "X1", "Elm", 44)}, // CC=44 but US
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dirty != 0 {
+		t.Errorf("dirty after repair mode batch = %d", res.Dirty)
+	}
+	if len(res.Repairs) < 2 {
+		t.Errorf("repairs = %+v", res.Repairs)
+	}
+	// The first insert was aligned with the existing street.
+	sc := tab.Schema()
+	got, _ := tab.Get(res.Inserted[0])
+	if got[sc.MustPos("STR")].Str() != "Mayfield" {
+		t.Errorf("STR = %v", got[sc.MustPos("STR")])
+	}
+	got, _ = tab.Get(res.Inserted[1])
+	if got[sc.MustPos("CNT")].Str() != "UK" {
+		t.Errorf("CNT = %v", got[sc.MustPos("CNT")])
+	}
+	// Changed map reflects post-repair state (all zero).
+	for id, v := range res.Changed {
+		if v != 0 {
+			t.Errorf("changed[%d] = %d after repair", id, v)
+		}
+	}
+}
+
+func TestMarkCleansedSwitchesMode(t *testing.T) {
+	tab, cfds := setup(t)
+	m, err := New(tab, cfds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty insert in detection mode: stays dirty.
+	res, err := m.Apply([]Update{{Op: OpInsert, Row: row("UK", "EH2", "Wrong", 44)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dirty == 0 {
+		t.Fatal("expected dirt")
+	}
+	// Clean the table (the cleanser would do this), then mark cleansed.
+	rres, err := repair.NewRepairer().Repair(tab, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := repair.Apply(tab, rres.Modifications); err != nil {
+		t.Fatal(err)
+	}
+	// The monitor's tracker is stale now; rebuild (realistic flow: new
+	// monitor after cleansing).
+	m, err = New(tab, cfds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MarkCleansed()
+	if !m.Cleansed() {
+		t.Error("MarkCleansed")
+	}
+	res, err = m.Apply([]Update{{Op: OpInsert, Row: row("UK", "EH2", "Wrng", 44)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dirty != 0 {
+		t.Errorf("dirty = %d in cleansed mode", res.Dirty)
+	}
+}
+
+func TestDeleteAndSetUpdates(t *testing.T) {
+	tab, cfds := setup(t)
+	m, err := New(tab, cfds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create a conflict by changing tuple 1's street.
+	res, err := m.Apply([]Update{
+		{Op: OpSet, ID: 1, Attr: "STR", Value: types.NewString("Other")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dirty != 2 {
+		t.Errorf("dirty = %d", res.Dirty)
+	}
+	// Deleting the changed tuple resolves it.
+	res, err = m.Apply([]Update{{Op: OpDelete, ID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dirty != 0 {
+		t.Errorf("dirty after delete = %d", res.Dirty)
+	}
+	// Tracker state still matches batch detection.
+	batch, err := detect.NativeDetector{}.Detect(tab, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := detect.Equivalent(batch, m.Report()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	tab, cfds := setup(t)
+	m, err := New(tab, cfds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply([]Update{{Op: OpDelete, ID: 999}}); err == nil {
+		t.Error("bad delete should fail")
+	}
+	if _, err := m.Apply([]Update{{Op: OpSet, ID: 0, Attr: "NOPE"}}); err == nil {
+		t.Error("bad attr should fail")
+	}
+	if _, err := m.Apply([]Update{{Op: Op(99)}}); err == nil {
+		t.Error("bad op should fail")
+	}
+	if _, err := m.Apply([]Update{{Op: OpInsert, Row: relstore.Tuple{}}}); err == nil {
+		t.Error("bad arity should fail")
+	}
+}
+
+func TestMonitorAccessors(t *testing.T) {
+	tab, cfds := setup(t)
+	m, err := New(tab, cfds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DirtyCount() != 0 {
+		t.Errorf("dirty = %d", m.DirtyCount())
+	}
+	if m.Tracker() == nil || m.Report() == nil {
+		t.Error("accessors returned nil")
+	}
+}

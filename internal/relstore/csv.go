@@ -1,0 +1,71 @@
+package relstore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+// ReadCSV loads a table from CSV. The first record is the header and becomes
+// the schema (all attributes untyped); field values are inferred with
+// types.Parse. name becomes the table name.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relstore: read csv header: %w", err)
+	}
+	sc := schema.New(name, header...)
+	t := NewTable(sc)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relstore: read csv: %w", err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relstore: csv line %d: %d fields, want %d", line, len(rec), len(header))
+		}
+		row := make(Tuple, len(rec))
+		for i, f := range rec {
+			row[i] = types.Parse(f)
+		}
+		if _, err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table (header + live rows in insertion order) as CSV.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().AttrNames()); err != nil {
+		return fmt.Errorf("relstore: write csv header: %w", err)
+	}
+	var werr error
+	t.Scan(func(id TupleID, row Tuple) bool {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			rec[i] = v.CoerceString()
+		}
+		if err := cw.Write(rec); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return fmt.Errorf("relstore: write csv: %w", werr)
+	}
+	cw.Flush()
+	return cw.Error()
+}

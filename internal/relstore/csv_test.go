@@ -1,0 +1,88 @@
+package relstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semandaq/internal/types"
+)
+
+const sampleCSV = `NAME,CNT,CITY,ZIP,STR,CC,AC
+Mike,UK,Edinburgh,EH2 4SD,Mayfield,44,131
+Rick,UK,Edinburgh,EH2 4SD,Crichton,44,131
+Joe,US,New York,01202,Mtn Ave,1,908
+`
+
+func TestReadCSV(t *testing.T) {
+	tab, err := ReadCSV("customer", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	sc := tab.Schema()
+	if sc.Arity() != 7 || sc.Name != "customer" {
+		t.Fatalf("schema = %v", sc)
+	}
+	ids := tab.IDs()
+	row, _ := tab.Get(ids[0])
+	if row[sc.MustPos("NAME")].Str() != "Mike" {
+		t.Errorf("row = %v", row)
+	}
+	// CC column inferred as INT.
+	if row[sc.MustPos("CC")].Kind() != types.KindInt {
+		t.Errorf("CC kind = %v", row[sc.MustPos("CC")].Kind())
+	}
+	// ZIP with space stays a string.
+	if row[sc.MustPos("ZIP")].Kind() != types.KindString {
+		t.Errorf("ZIP kind = %v", row[sc.MustPos("ZIP")].Kind())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab, err := ReadCSV("customer", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("customer", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tab.Len() {
+		t.Fatalf("round-trip len %d != %d", back.Len(), tab.Len())
+	}
+	_, origRows := tab.Rows()
+	_, backRows := back.Rows()
+	for i := range origRows {
+		if !origRows[i].Equal(backRows[i]) {
+			t.Errorf("row %d: %v != %v", i, origRows[i], backRows[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	bad := "A,B\n1,2,3\n"
+	if _, err := ReadCSV("x", strings.NewReader(bad)); err == nil {
+		t.Error("ragged row should fail")
+	}
+}
+
+func TestReadCSVNulls(t *testing.T) {
+	tab, err := ReadCSV("x", strings.NewReader("A,B\nval,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows := tab.Rows()
+	if !rows[0][1].IsNull() {
+		t.Errorf("empty field should parse as NULL, got %v", rows[0][1])
+	}
+}

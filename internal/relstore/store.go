@@ -1,0 +1,455 @@
+// Package relstore implements the in-memory relational store that stands in
+// for the RDBMS at the bottom of the Semandaq architecture (Fig. 1 of the
+// paper). It provides tables with stable tuple IDs, insert/delete/update,
+// hash indexes on attribute lists, full scans, CSV import/export and
+// copy-on-read snapshots.
+//
+// Tuple identity matters throughout Semandaq: the error detector attributes
+// violation counts vio(t) to tuples, the repair algorithm edits cells
+// (tuple ID, attribute), and the monitor tracks deltas. IDs are assigned
+// once at insert time and never reused.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+// TupleID identifies a tuple within a table for its whole life.
+type TupleID int64
+
+// Tuple is one row: a value per schema attribute.
+type Tuple []types.Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyOn returns the grouping key of the tuple projected on positions.
+func (t Tuple) KeyOn(pos []int) string {
+	var b strings.Builder
+	for _, p := range pos {
+		b.WriteString(t[p].Key())
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Table is a mutable relation instance. All methods are safe for concurrent
+// use by multiple goroutines.
+type Table struct {
+	mu      sync.RWMutex
+	schema  *schema.Relation
+	rows    map[TupleID]Tuple
+	order   []TupleID // insertion order, compacted lazily
+	deleted int       // count of tombstones in order
+	nextID  TupleID
+	indexes map[string]*Index
+	version int64 // bumped on every mutation; lets caches invalidate
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(s *schema.Relation) *Table {
+	return &Table{
+		schema:  s,
+		rows:    make(map[TupleID]Tuple),
+		indexes: make(map[string]*Index),
+	}
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() *schema.Relation { return t.schema }
+
+// Len returns the number of live tuples.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Version returns a counter that changes with every mutation.
+func (t *Table) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Insert appends a tuple and returns its new ID. The tuple is copied.
+func (t *Table) Insert(row Tuple) (TupleID, error) {
+	if len(row) != t.schema.Arity() {
+		return 0, fmt.Errorf("relstore: insert into %s: got %d values, want %d",
+			t.schema.Name, len(row), t.schema.Arity())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	t.nextID++
+	r := row.Clone()
+	t.rows[id] = r
+	t.order = append(t.order, id)
+	t.version++
+	for _, ix := range t.indexes {
+		ix.add(id, r)
+	}
+	return id, nil
+}
+
+// MustInsert inserts and panics on arity mismatch; for tests and generators
+// that construct rows from the schema itself.
+func (t *Table) MustInsert(row Tuple) TupleID {
+	id, err := t.Insert(row)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Get returns a copy of the tuple with the given ID.
+func (t *Table) Get(id TupleID) (Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return row.Clone(), true
+}
+
+// Delete removes the tuple with the given ID. It reports whether the tuple
+// existed.
+func (t *Table) Delete(id TupleID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, ok := t.rows[id]
+	if !ok {
+		return false
+	}
+	for _, ix := range t.indexes {
+		ix.remove(id, row)
+	}
+	delete(t.rows, id)
+	t.deleted++
+	t.version++
+	if t.deleted > len(t.rows) && t.deleted > 64 {
+		t.compactLocked()
+	}
+	return true
+}
+
+// Update replaces the whole tuple with the given ID.
+func (t *Table) Update(id TupleID, row Tuple) error {
+	if len(row) != t.schema.Arity() {
+		return fmt.Errorf("relstore: update %s: got %d values, want %d",
+			t.schema.Name, len(row), t.schema.Arity())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("relstore: update %s: no tuple %d", t.schema.Name, id)
+	}
+	for _, ix := range t.indexes {
+		ix.remove(id, old)
+	}
+	r := row.Clone()
+	t.rows[id] = r
+	t.version++
+	for _, ix := range t.indexes {
+		ix.add(id, r)
+	}
+	return nil
+}
+
+// SetCell updates a single attribute of a tuple (a "cell", in repair-model
+// terms) and returns the old value.
+func (t *Table) SetCell(id TupleID, pos int, v types.Value) (types.Value, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, ok := t.rows[id]
+	if !ok {
+		return types.Null, fmt.Errorf("relstore: set cell in %s: no tuple %d", t.schema.Name, id)
+	}
+	if pos < 0 || pos >= len(row) {
+		return types.Null, fmt.Errorf("relstore: set cell in %s: position %d out of range", t.schema.Name, pos)
+	}
+	old := row[pos]
+	if old.Equal(v) {
+		return old, nil
+	}
+	for _, ix := range t.indexes {
+		ix.remove(id, row)
+	}
+	row[pos] = v
+	t.version++
+	for _, ix := range t.indexes {
+		ix.add(id, row)
+	}
+	return old, nil
+}
+
+// compactLocked drops tombstones from the order slice. Caller holds mu.
+func (t *Table) compactLocked() {
+	live := t.order[:0]
+	for _, id := range t.order {
+		if _, ok := t.rows[id]; ok {
+			live = append(live, id)
+		}
+	}
+	t.order = live
+	t.deleted = 0
+}
+
+// Scan calls fn for every live tuple in insertion order. The callback
+// receives the stored row; it must not be mutated or retained. Returning
+// false stops the scan early.
+func (t *Table) Scan(fn func(id TupleID, row Tuple) bool) {
+	t.mu.RLock()
+	order := make([]TupleID, len(t.order))
+	copy(order, t.order)
+	t.mu.RUnlock()
+	for _, id := range order {
+		t.mu.RLock()
+		row, ok := t.rows[id]
+		t.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn(id, row) {
+			return
+		}
+	}
+}
+
+// IDs returns the live tuple IDs in insertion order.
+func (t *Table) IDs() []TupleID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]TupleID, 0, len(t.rows))
+	for _, id := range t.order {
+		if _, ok := t.rows[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Rows returns copies of all live tuples in insertion order, paired with IDs.
+func (t *Table) Rows() ([]TupleID, []Tuple) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]TupleID, 0, len(t.rows))
+	rows := make([]Tuple, 0, len(t.rows))
+	for _, id := range t.order {
+		if row, ok := t.rows[id]; ok {
+			ids = append(ids, id)
+			rows = append(rows, row.Clone())
+		}
+	}
+	return ids, rows
+}
+
+// Snapshot returns an independent copy of the table (same schema object,
+// fresh rows, fresh IDs preserved). Indexes are not copied.
+func (t *Table) Snapshot() *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := NewTable(t.schema)
+	c.nextID = t.nextID
+	c.order = make([]TupleID, 0, len(t.rows))
+	for _, id := range t.order {
+		if row, ok := t.rows[id]; ok {
+			c.rows[id] = row.Clone()
+			c.order = append(c.order, id)
+		}
+	}
+	return c
+}
+
+// EnsureIndex builds (or returns) a hash index on the named attributes.
+func (t *Table) EnsureIndex(attrs ...string) (*Index, error) {
+	pos, err := t.schema.Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	key := indexKey(attrs)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, ok := t.indexes[key]; ok {
+		return ix, nil
+	}
+	ix := &Index{attrs: append([]string(nil), attrs...), pos: pos,
+		buckets: make(map[string][]TupleID)}
+	for id, row := range t.rows {
+		ix.add(id, row)
+	}
+	t.indexes[key] = ix
+	return ix, nil
+}
+
+// Index returns the existing index on attrs, if any.
+func (t *Table) Index(attrs ...string) (*Index, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[indexKey(attrs)]
+	return ix, ok
+}
+
+func indexKey(attrs []string) string {
+	low := make([]string, len(attrs))
+	for i, a := range attrs {
+		low[i] = strings.ToLower(a)
+	}
+	return strings.Join(low, "\x1f")
+}
+
+// Index is a hash index from projected attribute values to tuple IDs. It is
+// maintained by the owning table under the table lock; readers use Lookup.
+type Index struct {
+	attrs   []string
+	pos     []int
+	buckets map[string][]TupleID
+}
+
+// Attrs returns the indexed attribute names.
+func (ix *Index) Attrs() []string { return append([]string(nil), ix.attrs...) }
+
+func (ix *Index) add(id TupleID, row Tuple) {
+	k := row.KeyOn(ix.pos)
+	ix.buckets[k] = append(ix.buckets[k], id)
+}
+
+func (ix *Index) remove(id TupleID, row Tuple) {
+	k := row.KeyOn(ix.pos)
+	b := ix.buckets[k]
+	for i, v := range b {
+		if v == id {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(ix.buckets, k)
+	} else {
+		ix.buckets[k] = b
+	}
+}
+
+// Lookup returns the IDs of tuples whose projection equals vals. The result
+// is a fresh slice in unspecified order.
+func (ix *Index) Lookup(vals []types.Value) []TupleID {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(v.Key())
+		b.WriteByte(0x1f)
+	}
+	src := ix.buckets[b.String()]
+	out := make([]TupleID, len(src))
+	copy(out, src)
+	return out
+}
+
+// Buckets calls fn for every (key, ids) bucket. Used by group-based
+// detection. The ids slice must not be mutated.
+func (ix *Index) Buckets(fn func(key string, ids []TupleID) bool) {
+	for k, ids := range ix.buckets {
+		if !fn(k, ids) {
+			return
+		}
+	}
+}
+
+// Store is a named collection of tables — the "database" a Semandaq
+// instance connects to.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Create adds a new empty table with the given schema. It fails if a table
+// with the same (case-insensitive) name exists.
+func (s *Store) Create(sc *schema.Relation) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(sc.Name)
+	if _, ok := s.tables[key]; ok {
+		return nil, fmt.Errorf("relstore: table %q already exists", sc.Name)
+	}
+	t := NewTable(sc)
+	s.tables[key] = t
+	return t, nil
+}
+
+// Put registers an existing table (replacing any table of the same name).
+func (s *Store) Put(t *Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[strings.ToLower(t.schema.Name)] = t
+}
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Drop removes the named table; it reports whether it existed.
+func (s *Store) Drop(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.tables[key]; !ok {
+		return false
+	}
+	delete(s.tables, key)
+	return true
+}
+
+// Names returns the sorted table names.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for _, t := range s.tables {
+		names = append(names, t.schema.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,74 @@
+// Package repair implements Semandaq's data cleanser: the cost-based
+// heuristic repair of Cong, Fan, Geerts, Jia, Ma (VLDB 2007), which fixes
+// CFD violations by attribute-value modifications while minimizing a
+// weighted edit-distance cost to the original data. Finding a minimum-cost
+// repair is intractable (Bohannon et al., SIGMOD 2005), so BatchRepair is a
+// greedy fixpoint procedure; IncRepair handles update batches by modifying
+// only the new tuples.
+package repair
+
+import (
+	"semandaq/internal/relstore"
+	"semandaq/internal/types"
+)
+
+// CostModel prices an attribute-value modification: changing cell (t, A)
+// from v to v' costs Weight(t, A) * Distance(v, v'). The VLDB 2007 paper
+// uses per-cell confidence weights and normalized Damerau–Levenshtein
+// distance; both are pluggable here.
+type CostModel struct {
+	// Weight returns the confidence weight of a cell; higher means the
+	// current value is more trusted and so more expensive to change.
+	// Nil means weight 1 everywhere.
+	Weight func(id relstore.TupleID, attr string) float64
+	// Distance returns a value-change cost in [0, 1].
+	// Nil means types.Distance (normalized Damerau–Levenshtein).
+	Distance func(a, b types.Value) float64
+}
+
+// DefaultCostModel prices every cell with weight 1 and normalized DL
+// distance.
+func DefaultCostModel() CostModel { return CostModel{} }
+
+func (m CostModel) weight(id relstore.TupleID, attr string) float64 {
+	if m.Weight == nil {
+		return 1
+	}
+	return m.Weight(id, attr)
+}
+
+func (m CostModel) distance(a, b types.Value) float64 {
+	if m.Distance == nil {
+		return types.Distance(a, b)
+	}
+	return m.Distance(a, b)
+}
+
+// Cost prices changing cell (id, attr) from old to new.
+func (m CostModel) Cost(id relstore.TupleID, attr string, old, new types.Value) float64 {
+	return m.weight(id, attr) * m.distance(old, new)
+}
+
+// Alternative is one candidate value for a repaired cell, with the cost it
+// would have incurred. The data-cleansing review screen (paper Fig. 5)
+// shows these ranked by cost.
+type Alternative struct {
+	Value types.Value
+	Cost  float64
+}
+
+// Modification records one applied cell change with its provenance.
+type Modification struct {
+	TupleID relstore.TupleID
+	Attr    string
+	Old     types.Value
+	New     types.Value
+	Cost    float64
+	// CFDID names the constraint whose violation this change resolves.
+	CFDID string
+	// Reason distinguishes constant-pattern fixes from group merges.
+	Reason string
+	// Alternatives ranks the other candidate values that were considered
+	// (cheapest first, not including New).
+	Alternatives []Alternative
+}

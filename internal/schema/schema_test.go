@@ -1,0 +1,82 @@
+package schema
+
+import (
+	"testing"
+
+	"semandaq/internal/types"
+)
+
+func TestNewAndPositions(t *testing.T) {
+	r := New("customer", "NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC")
+	if r.Arity() != 7 {
+		t.Fatalf("Arity = %d, want 7", r.Arity())
+	}
+	if p, ok := r.Pos("CITY"); !ok || p != 2 {
+		t.Errorf("Pos(CITY) = %d,%v", p, ok)
+	}
+	// Case insensitive.
+	if p, ok := r.Pos("city"); !ok || p != 2 {
+		t.Errorf("Pos(city) = %d,%v", p, ok)
+	}
+	if _, ok := r.Pos("NOPE"); ok {
+		t.Error("Pos(NOPE) should not exist")
+	}
+	if !r.Has("zip") || r.Has("missing") {
+		t.Error("Has misbehaves")
+	}
+}
+
+func TestPositionsBatch(t *testing.T) {
+	r := New("r", "A", "B", "C")
+	pos, err := r.Positions([]string{"C", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos[0] != 2 || pos[1] != 0 {
+		t.Errorf("Positions = %v", pos)
+	}
+	if _, err := r.Positions([]string{"A", "X"}); err == nil {
+		t.Error("expected error for unknown attribute")
+	}
+}
+
+func TestMustPosPanics(t *testing.T) {
+	r := New("r", "A")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.MustPos("B")
+}
+
+func TestAttrNamesAndString(t *testing.T) {
+	r := New("r", "A", "B")
+	names := r.AttrNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("AttrNames = %v", names)
+	}
+	if s := r.String(); s != "r(A, B)" {
+		t.Errorf("String = %q", s)
+	}
+	rt := NewTyped("t", Attribute{Name: "N", Type: types.KindInt})
+	if s := rt.String(); s != "t(N INT)" {
+		t.Errorf("typed String = %q", s)
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := New("r", "A", "B")
+	c := r.Clone("s")
+	if c.Name != "s" || c.Arity() != 2 {
+		t.Errorf("Clone = %v", c)
+	}
+	c.Attrs[0].Name = "Z"
+	if r.Attrs[0].Name != "A" {
+		t.Error("Clone should be deep")
+	}
+	same := r.Clone("")
+	if same.Name != "r" {
+		t.Errorf("Clone(\"\") name = %q", same.Name)
+	}
+}

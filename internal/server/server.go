@@ -1,0 +1,576 @@
+// Package server exposes Semandaq over HTTP with a JSON API — the
+// reproduction's stand-in for the paper's EJB data-quality servers plus the
+// web-container data explorer. Every demo capability is an endpoint:
+// specifying CFDs (with the satisfiability gate), SQL-based detection,
+// auditing, exploration drill-down, repair with review, incremental
+// monitoring, and discovery from reference data.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"semandaq/internal/core"
+	"semandaq/internal/discovery"
+	"semandaq/internal/explore"
+	"semandaq/internal/monitor"
+	"semandaq/internal/relstore"
+	"semandaq/internal/repair"
+	"semandaq/internal/types"
+)
+
+// Server is the HTTP facade over one Semandaq session.
+type Server struct {
+	s  *core.Semandaq
+	mu sync.Mutex
+	// monitors holds one live monitor per table once started.
+	monitors map[string]*monitor.Monitor
+	// pending holds the last computed candidate repair per table, for the
+	// review-then-apply flow.
+	pending map[string]*repair.Result
+}
+
+// New builds a server over the session.
+func New(s *core.Semandaq) *Server {
+	return &Server{
+		s:        s,
+		monitors: map[string]*monitor.Monitor{},
+		pending:  map[string]*repair.Result{},
+	}
+}
+
+// Handler returns the routed http.Handler.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/tables", sv.handleTables)
+	mux.HandleFunc("POST /api/tables/{name}", sv.handleLoadCSV)
+	mux.HandleFunc("GET /api/tables/{name}", sv.handleTable)
+	mux.HandleFunc("POST /api/cfds/{table}", sv.handleRegisterCFDs)
+	mux.HandleFunc("GET /api/cfds/{table}", sv.handleListCFDs)
+	mux.HandleFunc("GET /api/consistency/{table}", sv.handleConsistency)
+	mux.HandleFunc("POST /api/detect/{table}", sv.handleDetect)
+	mux.HandleFunc("GET /api/detect/{table}/sql", sv.handleDetectSQL)
+	mux.HandleFunc("GET /api/audit/{table}", sv.handleAudit)
+	mux.HandleFunc("GET /api/explore/{table}/cfds", sv.handleExploreCFDs)
+	mux.HandleFunc("GET /api/explore/{table}/patterns", sv.handleExplorePatterns)
+	mux.HandleFunc("GET /api/explore/{table}/lhs", sv.handleExploreLHS)
+	mux.HandleFunc("GET /api/explore/{table}/map", sv.handleExploreMap)
+	mux.HandleFunc("GET /api/explore/{table}/tuple/{id}", sv.handleExploreTuple)
+	mux.HandleFunc("POST /api/repair/{table}", sv.handleRepair)
+	mux.HandleFunc("POST /api/repair/{table}/apply", sv.handleRepairApply)
+	mux.HandleFunc("POST /api/monitor/{table}", sv.handleMonitorStart)
+	mux.HandleFunc("POST /api/monitor/{table}/updates", sv.handleMonitorUpdates)
+	mux.HandleFunc("POST /api/discover/{table}", sv.handleDiscover)
+	return mux
+}
+
+// writeJSON writes a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeError maps an error to a JSON error payload.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// jsonValue converts a types.Value to its JSON representation.
+func jsonValue(v types.Value) any {
+	switch v.Kind() {
+	case types.KindNull:
+		return nil
+	case types.KindBool:
+		return v.Bool()
+	case types.KindInt:
+		return v.Int()
+	case types.KindFloat:
+		return v.Float()
+	default:
+		return v.Str()
+	}
+}
+
+func jsonRow(row relstore.Tuple) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		out[i] = jsonValue(v)
+	}
+	return out
+}
+
+func (sv *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"tables": sv.s.Tables()})
+}
+
+func (sv *Server) handleLoadCSV(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	tab, err := sv.s.LoadCSV(name, r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"table":  tab.Schema().Name,
+		"attrs":  tab.Schema().AttrNames(),
+		"tuples": tab.Len(),
+	})
+}
+
+func (sv *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	tab, err := sv.s.Table(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	limit := 100
+	if l := r.URL.Query().Get("limit"); l != "" {
+		if n, err := strconv.Atoi(l); err == nil && n >= 0 {
+			limit = n
+		}
+	}
+	offset := 0
+	if o := r.URL.Query().Get("offset"); o != "" {
+		if n, err := strconv.Atoi(o); err == nil && n >= 0 {
+			offset = n
+		}
+	}
+	type rowOut struct {
+		ID  int64 `json:"id"`
+		Row []any `json:"row"`
+	}
+	var rows []rowOut
+	i := 0
+	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		if i >= offset && len(rows) < limit {
+			rows = append(rows, rowOut{ID: int64(id), Row: jsonRow(row)})
+		}
+		i++
+		return len(rows) < limit || i <= offset
+	})
+	writeJSON(w, map[string]any{
+		"table":  tab.Schema().Name,
+		"attrs":  tab.Schema().AttrNames(),
+		"tuples": tab.Len(),
+		"rows":   rows,
+	})
+}
+
+func (sv *Server) handleRegisterCFDs(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	var body struct {
+		Text string `json:"text"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfds, err := sv.s.RegisterCFDText(table, body.Text)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var out []map[string]any
+	for _, c := range cfds {
+		out = append(out, map[string]any{"id": c.ID, "cfd": c.String()})
+	}
+	writeJSON(w, map[string]any{"registered": out})
+}
+
+func (sv *Server) handleListCFDs(w http.ResponseWriter, r *http.Request) {
+	cfds := sv.s.CFDs(r.PathValue("table"))
+	var out []map[string]any
+	for _, c := range cfds {
+		out = append(out, map[string]any{
+			"id":       c.ID,
+			"lhs":      c.LHS,
+			"rhs":      c.RHS,
+			"patterns": len(c.Tableau),
+			"text":     c.String(),
+		})
+	}
+	writeJSON(w, map[string]any{"cfds": out})
+}
+
+func (sv *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
+	rep, err := sv.s.CheckConsistency(r.PathValue("table"), nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := map[string]any{"satisfiable": rep.Satisfiable}
+	if rep.Conflict != nil {
+		out["conflict"] = rep.Conflict.String()
+	}
+	writeJSON(w, out)
+}
+
+func (sv *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	kind := core.SQLDetection
+	if r.URL.Query().Get("engine") == "native" {
+		kind = core.NativeDetection
+	}
+	rep, err := sv.s.Detect(r.PathValue("table"), kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	perCFD := map[string]any{}
+	for id, st := range rep.PerCFD {
+		perCFD[id] = map[string]int{
+			"singleTuple": st.SingleTuple,
+			"multiTuple":  st.MultiTuple,
+			"groups":      st.Groups,
+		}
+	}
+	vio := map[string]int{}
+	for id, n := range rep.Vio {
+		vio[strconv.FormatInt(int64(id), 10)] = n
+	}
+	writeJSON(w, map[string]any{
+		"table":      rep.Table,
+		"tuples":     rep.TupleCount,
+		"violations": rep.TotalViolations(),
+		"dirty":      len(rep.Vio),
+		"maxVio":     rep.MaxVio(),
+		"perCFD":     perCFD,
+		"vio":        vio,
+	})
+}
+
+func (sv *Server) handleDetectSQL(w http.ResponseWriter, r *http.Request) {
+	stmts, err := sv.s.DetectionSQL(r.PathValue("table"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"sql": stmts})
+}
+
+func (sv *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	a, err := sv.s.Audit(r.PathValue("table"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	attrs := make([]map[string]any, 0, len(a.Attrs))
+	for _, q := range a.Attrs {
+		attrs = append(attrs, map[string]any{
+			"attr":        q.Attr,
+			"pctVerified": q.PctVerified(),
+			"pctProbably": q.PctProbably(),
+			"pctArguably": q.PctArguably(),
+			"dirty":       q.Dirty,
+		})
+	}
+	pie := make([]map[string]any, 0, len(a.Pie))
+	for _, s := range a.Pie {
+		pie = append(pie, map[string]any{"cfd": s.CFDID, "violations": s.Violations})
+	}
+	writeJSON(w, map[string]any{
+		"table":         a.Table,
+		"tuples":        a.TupleCount,
+		"verifiedClean": a.VerifiedTuples,
+		"probablyClean": a.ProbablyTuples,
+		"arguablyClean": a.ArguablyTuples,
+		"dirty":         a.DirtyTuples,
+		"attrs":         attrs,
+		"pie":           pie,
+		"stats": map[string]any{
+			"totalVio": a.Stats.TotalVio,
+			"minVio":   a.Stats.MinVio,
+			"maxVio":   a.Stats.MaxVio,
+			"avgVio":   a.Stats.AvgVio,
+			"groups":   a.Stats.Groups,
+			"avgGroup": a.Stats.AvgGroup,
+		},
+		"text": a.Render(),
+	})
+}
+
+func (sv *Server) explorer(r *http.Request) (*explore.Explorer, error) {
+	return sv.s.Explore(r.PathValue("table"))
+}
+
+func (sv *Server) handleExploreCFDs(w http.ResponseWriter, r *http.Request) {
+	ex, err := sv.explorer(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"cfds": ex.CFDs()})
+}
+
+func (sv *Server) handleExplorePatterns(w http.ResponseWriter, r *http.Request) {
+	ex, err := sv.explorer(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pats, err := ex.Patterns(r.URL.Query().Get("cfd"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"patterns": pats})
+}
+
+func (sv *Server) handleExploreLHS(w http.ResponseWriter, r *http.Request) {
+	ex, err := sv.explorer(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pattern, _ := strconv.Atoi(r.URL.Query().Get("pattern"))
+	groups, err := ex.LHSGroups(r.URL.Query().Get("cfd"), pattern)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]map[string]any, 0, len(groups))
+	for _, g := range groups {
+		vals := make([]any, len(g.Values))
+		for i, v := range g.Values {
+			vals[i] = jsonValue(v)
+		}
+		out = append(out, map[string]any{
+			"values":     vals,
+			"tuples":     g.Tuples,
+			"rhsValues":  g.RHSValues,
+			"violations": g.Violations,
+		})
+	}
+	writeJSON(w, map[string]any{"groups": out})
+}
+
+func (sv *Server) handleExploreMap(w http.ResponseWriter, r *http.Request) {
+	ex, err := sv.explorer(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entries, hist := ex.QualityMap()
+	out := make([]map[string]any, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, map[string]any{
+			"id": int64(e.ID), "vio": e.Vio, "bucket": e.Bucket,
+		})
+	}
+	writeJSON(w, map[string]any{"map": out, "histogram": hist})
+}
+
+func (sv *Server) handleExploreTuple(w http.ResponseWriter, r *http.Request) {
+	ex, err := sv.explorer(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuple id: %w", err))
+		return
+	}
+	rels, err := ex.ForTuple(relstore.TupleID(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	out := make([]map[string]any, 0, len(rels))
+	for _, rel := range rels {
+		out = append(out, map[string]any{
+			"cfd":      rel.CFDID,
+			"pattern":  rel.Pattern,
+			"text":     rel.Text,
+			"violated": rel.Violated,
+			"kind":     rel.Kind.String(),
+		})
+	}
+	writeJSON(w, map[string]any{"relevant": out})
+}
+
+// modJSON serializes a repair modification for review.
+func modJSON(m repair.Modification) map[string]any {
+	alts := make([]map[string]any, 0, len(m.Alternatives))
+	for _, a := range m.Alternatives {
+		alts = append(alts, map[string]any{"value": jsonValue(a.Value), "cost": a.Cost})
+	}
+	return map[string]any{
+		"tuple": int64(m.TupleID), "attr": m.Attr,
+		"old": jsonValue(m.Old), "new": jsonValue(m.New),
+		"cost": m.Cost, "cfd": m.CFDID, "reason": m.Reason,
+		"alternatives": alts,
+	}
+}
+
+func (sv *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	res, err := sv.s.Repair(table)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sv.mu.Lock()
+	sv.pending[table] = res
+	sv.mu.Unlock()
+	mods := make([]map[string]any, 0, len(res.Modifications))
+	for _, m := range res.Modifications {
+		mods = append(mods, modJSON(m))
+	}
+	writeJSON(w, map[string]any{
+		"converged":     res.Converged,
+		"remaining":     res.Remaining,
+		"passes":        res.Passes,
+		"cost":          res.Cost,
+		"modifications": mods,
+	})
+}
+
+func (sv *Server) handleRepairApply(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	sv.mu.Lock()
+	res := sv.pending[table]
+	delete(sv.pending, table)
+	sv.mu.Unlock()
+	if res == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("no pending repair for %s; POST /api/repair/%s first", table, table))
+		return
+	}
+	applied, skipped, err := sv.s.ApplyRepair(table, res.Modifications)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sk := make([]map[string]any, 0, len(skipped))
+	for _, m := range skipped {
+		sk = append(sk, modJSON(m))
+	}
+	writeJSON(w, map[string]any{"applied": applied, "skipped": sk})
+}
+
+func (sv *Server) handleMonitorStart(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	cleansed := r.URL.Query().Get("cleansed") == "true"
+	m, err := sv.s.Monitor(table, cleansed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sv.mu.Lock()
+	sv.monitors[table] = m
+	sv.mu.Unlock()
+	writeJSON(w, map[string]any{"monitoring": table, "cleansed": cleansed, "dirty": m.DirtyCount()})
+}
+
+// updateJSON is the wire form of one monitor update.
+type updateJSON struct {
+	Op    string `json:"op"` // insert | delete | set
+	Row   []any  `json:"row,omitempty"`
+	ID    int64  `json:"id,omitempty"`
+	Attr  string `json:"attr,omitempty"`
+	Value any    `json:"value,omitempty"`
+}
+
+func valueFromJSON(v any) types.Value {
+	switch x := v.(type) {
+	case nil:
+		return types.Null
+	case bool:
+		return types.NewBool(x)
+	case float64:
+		if x == float64(int64(x)) {
+			return types.NewInt(int64(x))
+		}
+		return types.NewFloat(x)
+	case string:
+		return types.NewString(x)
+	default:
+		return types.NewString(fmt.Sprint(x))
+	}
+}
+
+func (sv *Server) handleMonitorUpdates(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	sv.mu.Lock()
+	m := sv.monitors[table]
+	sv.mu.Unlock()
+	if m == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("no monitor for %s; POST /api/monitor/%s first", table, table))
+		return
+	}
+	var body struct {
+		Updates []updateJSON `json:"updates"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch := make([]monitor.Update, 0, len(body.Updates))
+	for _, u := range body.Updates {
+		switch u.Op {
+		case "insert":
+			row := make(relstore.Tuple, len(u.Row))
+			for i, v := range u.Row {
+				row[i] = valueFromJSON(v)
+			}
+			batch = append(batch, monitor.Update{Op: monitor.OpInsert, Row: row})
+		case "delete":
+			batch = append(batch, monitor.Update{Op: monitor.OpDelete, ID: relstore.TupleID(u.ID)})
+		case "set":
+			batch = append(batch, monitor.Update{
+				Op: monitor.OpSet, ID: relstore.TupleID(u.ID),
+				Attr: u.Attr, Value: valueFromJSON(u.Value)})
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", u.Op))
+			return
+		}
+	}
+	res, err := m.Apply(batch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	repairs := make([]map[string]any, 0, len(res.Repairs))
+	for _, mod := range res.Repairs {
+		repairs = append(repairs, modJSON(mod))
+	}
+	inserted := make([]int64, 0, len(res.Inserted))
+	for _, id := range res.Inserted {
+		inserted = append(inserted, int64(id))
+	}
+	writeJSON(w, map[string]any{
+		"inserted": inserted,
+		"dirty":    res.Dirty,
+		"repairs":  repairs,
+	})
+}
+
+func (sv *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	var body struct {
+		MinSupport int `json:"minSupport"`
+		MaxLHS     int `json:"maxLHS"`
+	}
+	if r.Body != nil {
+		_ = json.NewDecoder(r.Body).Decode(&body) // defaults on empty body
+	}
+	cfds, err := sv.s.DiscoverCFDs(table, discovery.Options{
+		MinSupport: body.MinSupport,
+		MaxLHS:     body.MaxLHS,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]map[string]any, 0, len(cfds))
+	for _, c := range cfds {
+		out = append(out, map[string]any{"id": c.ID, "text": c.String()})
+	}
+	writeJSON(w, map[string]any{"discovered": out})
+}

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"semandaq/internal/core"
+)
+
+const customersCSV = `NAME,CNT,CITY,ZIP,STR,CC,AC
+Mike,UK,Edinburgh,EH2 4SD,Mayfield,44,131
+Rick,UK,Edinburgh,EH2 4SD,Mayfield,44,131
+Nora,UK,Edinburgh,EH2 4SD,Mayfeild,44,131
+Joe,US,New York,01202,Mtn Ave,44,908
+Ben,US,Chicago,60601,Wacker,1,312
+`
+
+const cfdText = `phi2@ customer: [CNT=UK, ZIP=_] -> [STR=_]
+phi4@ customer: [CC=44] -> [CNT=UK]`
+
+// testServer spins up a server with the customer data and CFDs loaded.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(core.New()).Handler())
+	t.Cleanup(ts.Close)
+	do(t, ts, "POST", "/api/tables/customer", customersCSV, http.StatusOK)
+	body, _ := json.Marshal(map[string]string{"text": cfdText})
+	do(t, ts, "POST", "/api/cfds/customer", string(body), http.StatusOK)
+	return ts
+}
+
+// do performs a request and decodes the JSON response.
+func do(t *testing.T, ts *httptest.Server, method, path, body string, wantStatus int) map[string]any {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decode: %v", method, path, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d (body %v)", method, path, resp.StatusCode, wantStatus, out)
+	}
+	return out
+}
+
+func TestLoadAndListTables(t *testing.T) {
+	ts := testServer(t)
+	out := do(t, ts, "GET", "/api/tables", "", http.StatusOK)
+	tables := out["tables"].([]any)
+	if len(tables) != 1 || tables[0] != "customer" {
+		t.Errorf("tables = %v", tables)
+	}
+	out = do(t, ts, "GET", "/api/tables/customer?limit=2&offset=1", "", http.StatusOK)
+	if out["tuples"].(float64) != 5 {
+		t.Errorf("tuples = %v", out["tuples"])
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+	first := rows[0].(map[string]any)
+	if first["id"].(float64) != 1 {
+		t.Errorf("offset ignored: %v", first)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	ts := httptest.NewServer(New(core.New()).Handler())
+	defer ts.Close()
+	do(t, ts, "POST", "/api/tables/x", "", http.StatusBadRequest)
+	do(t, ts, "GET", "/api/tables/missing", "", http.StatusNotFound)
+}
+
+func TestRegisterAndListCFDs(t *testing.T) {
+	ts := testServer(t)
+	out := do(t, ts, "GET", "/api/cfds/customer", "", http.StatusOK)
+	cfds := out["cfds"].([]any)
+	if len(cfds) != 2 {
+		t.Fatalf("cfds = %v", cfds)
+	}
+	first := cfds[0].(map[string]any)
+	if first["id"] != "phi2" {
+		t.Errorf("first = %v", first)
+	}
+	// Unsatisfiable registration is rejected.
+	bad, _ := json.Marshal(map[string]string{"text": `
+customer: [NAME=_] -> [CNT=UK]
+customer: [NAME=_] -> [CNT=US]`})
+	out = do(t, ts, "POST", "/api/cfds/customer", string(bad), http.StatusBadRequest)
+	if !strings.Contains(out["error"].(string), "unsatisfiable") {
+		t.Errorf("error = %v", out["error"])
+	}
+	// Malformed JSON body.
+	do(t, ts, "POST", "/api/cfds/customer", "{broken", http.StatusBadRequest)
+}
+
+func TestConsistencyEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := do(t, ts, "GET", "/api/consistency/customer", "", http.StatusOK)
+	if out["satisfiable"] != true {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestDetectEndpoint(t *testing.T) {
+	ts := testServer(t)
+	for _, engine := range []string{"", "?engine=native"} {
+		out := do(t, ts, "POST", "/api/detect/customer"+engine, "", http.StatusOK)
+		if out["dirty"].(float64) != 4 {
+			t.Errorf("engine %q dirty = %v", engine, out["dirty"])
+		}
+		per := out["perCFD"].(map[string]any)
+		if len(per) != 2 {
+			t.Errorf("perCFD = %v", per)
+		}
+	}
+	out := do(t, ts, "GET", "/api/detect/customer/sql", "", http.StatusOK)
+	stmts := out["sql"].([]any)
+	if len(stmts) == 0 {
+		t.Error("no SQL")
+	}
+	do(t, ts, "POST", "/api/detect/nope", "", http.StatusBadRequest)
+}
+
+func TestAuditEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := do(t, ts, "GET", "/api/audit/customer", "", http.StatusOK)
+	if out["dirty"].(float64) != 2 { // Nora + Joe
+		t.Errorf("dirty = %v", out["dirty"])
+	}
+	attrs := out["attrs"].([]any)
+	if len(attrs) != 7 {
+		t.Errorf("attrs = %d", len(attrs))
+	}
+	if !strings.Contains(out["text"].(string), "Data quality report") {
+		t.Error("text render missing")
+	}
+}
+
+func TestExploreEndpoints(t *testing.T) {
+	ts := testServer(t)
+	out := do(t, ts, "GET", "/api/explore/customer/cfds", "", http.StatusOK)
+	if len(out["cfds"].([]any)) != 2 {
+		t.Errorf("cfds = %v", out)
+	}
+	out = do(t, ts, "GET", "/api/explore/customer/patterns?cfd=phi2", "", http.StatusOK)
+	pats := out["patterns"].([]any)
+	if len(pats) != 1 {
+		t.Fatalf("patterns = %v", pats)
+	}
+	out = do(t, ts, "GET", "/api/explore/customer/lhs?cfd=phi2&pattern=0", "", http.StatusOK)
+	groups := out["groups"].([]any)
+	if len(groups) != 1 { // only the EH2 4SD group
+		t.Fatalf("groups = %v", groups)
+	}
+	g := groups[0].(map[string]any)
+	if g["rhsValues"].(float64) != 2 {
+		t.Errorf("group = %v", g)
+	}
+	out = do(t, ts, "GET", "/api/explore/customer/map", "", http.StatusOK)
+	if len(out["map"].([]any)) != 5 {
+		t.Errorf("map = %v", out["map"])
+	}
+	out = do(t, ts, "GET", "/api/explore/customer/tuple/0", "", http.StatusOK)
+	rel := out["relevant"].([]any)
+	if len(rel) != 2 {
+		t.Errorf("relevant = %v", rel)
+	}
+	do(t, ts, "GET", "/api/explore/customer/tuple/abc", "", http.StatusBadRequest)
+	do(t, ts, "GET", "/api/explore/customer/tuple/999", "", http.StatusNotFound)
+	do(t, ts, "GET", "/api/explore/customer/patterns?cfd=nope", "", http.StatusBadRequest)
+}
+
+func TestRepairReviewApplyFlow(t *testing.T) {
+	ts := testServer(t)
+	// Apply without a pending repair: conflict.
+	do(t, ts, "POST", "/api/repair/customer/apply", "", http.StatusConflict)
+	out := do(t, ts, "POST", "/api/repair/customer", "", http.StatusOK)
+	if out["converged"] != true {
+		t.Fatalf("repair = %v", out)
+	}
+	mods := out["modifications"].([]any)
+	if len(mods) == 0 {
+		t.Fatal("no modifications")
+	}
+	m := mods[0].(map[string]any)
+	for _, k := range []string{"tuple", "attr", "old", "new", "cost", "cfd", "reason"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("modification missing %q: %v", k, m)
+		}
+	}
+	out = do(t, ts, "POST", "/api/repair/customer/apply", "", http.StatusOK)
+	if out["applied"].(float64) == 0 {
+		t.Errorf("apply = %v", out)
+	}
+	// Detection is now clean.
+	out = do(t, ts, "POST", "/api/detect/customer", "", http.StatusOK)
+	if out["dirty"].(float64) != 0 {
+		t.Errorf("dirty after apply = %v", out["dirty"])
+	}
+	// Second apply: pending consumed.
+	do(t, ts, "POST", "/api/repair/customer/apply", "", http.StatusConflict)
+}
+
+func TestMonitorFlow(t *testing.T) {
+	ts := testServer(t)
+	// Repair + apply so the table is clean, then monitor cleansed.
+	do(t, ts, "POST", "/api/repair/customer", "", http.StatusOK)
+	do(t, ts, "POST", "/api/repair/customer/apply", "", http.StatusOK)
+	out := do(t, ts, "POST", "/api/monitor/customer?cleansed=true", "", http.StatusOK)
+	if out["dirty"].(float64) != 0 {
+		t.Fatalf("monitor start = %v", out)
+	}
+	// Updates without a monitor on another table: conflict.
+	do(t, ts, "POST", "/api/monitor/other/updates", `{"updates":[]}`, http.StatusConflict)
+
+	updates := map[string]any{"updates": []any{
+		map[string]any{"op": "insert",
+			"row": []any{"Zed", "US", "Edinburgh", "EH2 4SD", "Wrongstreet", 44, 131}},
+	}}
+	body, _ := json.Marshal(updates)
+	out = do(t, ts, "POST", "/api/monitor/customer/updates", string(body), http.StatusOK)
+	if out["dirty"].(float64) != 0 {
+		t.Errorf("monitor left dirt: %v", out)
+	}
+	if len(out["repairs"].([]any)) < 2 {
+		t.Errorf("repairs = %v", out["repairs"])
+	}
+	// set + delete round trip.
+	id := int64(out["inserted"].([]any)[0].(float64))
+	body, _ = json.Marshal(map[string]any{"updates": []any{
+		map[string]any{"op": "set", "id": id, "attr": "NAME", "value": "Zed2"},
+		map[string]any{"op": "delete", "id": id},
+	}})
+	out = do(t, ts, "POST", "/api/monitor/customer/updates", string(body), http.StatusOK)
+	if out["dirty"].(float64) != 0 {
+		t.Errorf("after delete = %v", out)
+	}
+	// Unknown op.
+	body, _ = json.Marshal(map[string]any{"updates": []any{map[string]any{"op": "warp"}}})
+	do(t, ts, "POST", "/api/monitor/customer/updates", string(body), http.StatusBadRequest)
+}
+
+func TestDiscoverEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := do(t, ts, "POST", "/api/discover/customer", `{"minSupport":2,"maxLHS":1}`, http.StatusOK)
+	disc := out["discovered"].([]any)
+	if len(disc) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	// The table is dirty (Joe has CC=44 with CNT=US), so [CC=44]->[CNT=UK]
+	// must NOT be mined; [CNT=UK]->[CC=44] holds on all 3 UK rows.
+	found, foundBad := false, false
+	for _, d := range disc {
+		text := d.(map[string]any)["text"].(string)
+		if strings.Contains(text, "[CNT=UK] -> [CC=44]") {
+			found = true
+		}
+		if strings.Contains(text, "[CC=44] -> [CNT=UK]") {
+			foundBad = true
+		}
+	}
+	if !found {
+		t.Errorf("expected CNT=UK -> CC=44 among %v", disc)
+	}
+	if foundBad {
+		t.Error("mined a rule the dirty data violates")
+	}
+	do(t, ts, "POST", "/api/discover/none", "{}", http.StatusBadRequest)
+}
+
+func TestJSONValueRoundTrip(t *testing.T) {
+	// Values survive JSON encoding through an insert+read cycle.
+	ts := testServer(t)
+	do(t, ts, "POST", "/api/monitor/customer", "", http.StatusOK)
+	body, _ := json.Marshal(map[string]any{"updates": []any{
+		map[string]any{"op": "insert",
+			"row": []any{"N", "FR", "Paris", "75001", "Rivoli", 33, 1.5}},
+	}})
+	out := do(t, ts, "POST", "/api/monitor/customer/updates", string(body), http.StatusOK)
+	id := int64(out["inserted"].([]any)[0].(float64))
+	tout := do(t, ts, "GET", fmt.Sprintf("/api/tables/customer?offset=5&limit=10"), "", http.StatusOK)
+	rows := tout["rows"].([]any)
+	var row []any
+	for _, r := range rows {
+		m := r.(map[string]any)
+		if int64(m["id"].(float64)) == id {
+			row = m["row"].([]any)
+		}
+	}
+	if row == nil {
+		t.Fatal("inserted row not found")
+	}
+	if row[5].(float64) != 33 || row[6].(float64) != 1.5 {
+		t.Errorf("row = %v", row)
+	}
+}

@@ -1,0 +1,292 @@
+package sqleng
+
+import (
+	"strings"
+
+	"semandaq/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 if absent
+	Offset   int // 0 if absent
+}
+
+// SelectItem is one projection: either Star (optionally qualified) or an
+// expression with an optional alias.
+type SelectItem struct {
+	Star      bool
+	StarTable string // for t.*
+	Expr      Expr
+	Alias     string
+}
+
+// FromItem is a base table reference with an optional alias.
+type FromItem struct {
+	Table string
+	Alias string
+}
+
+// JoinClause is an INNER/LEFT JOIN ... ON clause following the FROM list.
+type JoinClause struct {
+	Left bool // LEFT OUTER join; false means INNER
+	Item FromItem
+	On   Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// UpdateStmt is UPDATE t SET a = e, ... [WHERE e].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one assignment in UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE e].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// CreateTableStmt is CREATE TABLE t (col type, ...).
+type CreateTableStmt struct {
+	Table string
+	Cols  []ColumnDef
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type types.Kind
+}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct {
+	Table string
+}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+
+// Expr is an expression tree node.
+type Expr interface{ expr() }
+
+// ColumnRef names a column, optionally qualified with a table alias.
+type ColumnRef struct {
+	Table  string // "" if unqualified
+	Column string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value types.Value
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   string // =, <>, <, <=, >, >=, +, -, *, /, AND, OR, LIKE, ||
+	L, R Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op string // NOT, -
+	E  Expr
+}
+
+// IsNullExpr is `e IS [NOT] NULL`.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+// InExpr is `e [NOT] IN (v1, v2, ...)`.
+type InExpr struct {
+	E    Expr
+	Not  bool
+	List []Expr
+}
+
+// BetweenExpr is `e [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	E      Expr
+	Not    bool
+	Lo, Hi Expr
+}
+
+// CaseExpr is a searched CASE: CASE WHEN c THEN v ... [ELSE v] END.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr
+}
+
+// WhenClause is one WHEN ... THEN ... arm.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+// FuncExpr is a function call: aggregate or scalar.
+type FuncExpr struct {
+	Name     string // uppercased
+	Distinct bool   // COUNT(DISTINCT e)
+	Star     bool   // COUNT(*)
+	Args     []Expr
+}
+
+func (*ColumnRef) expr()   {}
+func (*Literal) expr()     {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*IsNullExpr) expr()  {}
+func (*InExpr) expr()      {}
+func (*BetweenExpr) expr() {}
+func (*CaseExpr) expr()    {}
+func (*FuncExpr) expr()    {}
+
+// aggregateFuncs names the supported aggregates.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// hasAggregate reports whether the expression contains an aggregate call
+// (not descending into nested aggregates, which are rejected elsewhere).
+func hasAggregate(e Expr) bool {
+	switch n := e.(type) {
+	case nil:
+		return false
+	case *FuncExpr:
+		if aggregateFuncs[n.Name] {
+			return true
+		}
+		for _, a := range n.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return hasAggregate(n.L) || hasAggregate(n.R)
+	case *UnaryExpr:
+		return hasAggregate(n.E)
+	case *IsNullExpr:
+		return hasAggregate(n.E)
+	case *InExpr:
+		if hasAggregate(n.E) {
+			return true
+		}
+		for _, v := range n.List {
+			if hasAggregate(v) {
+				return true
+			}
+		}
+	case *BetweenExpr:
+		return hasAggregate(n.E) || hasAggregate(n.Lo) || hasAggregate(n.Hi)
+	case *CaseExpr:
+		for _, w := range n.Whens {
+			if hasAggregate(w.Cond) || hasAggregate(w.Then) {
+				return true
+			}
+		}
+		return hasAggregate(n.Else)
+	}
+	return false
+}
+
+// exprString renders an expression back to SQL-ish text, used for error
+// messages and as the synthesized column name of unaliased projections.
+func exprString(e Expr) string {
+	switch n := e.(type) {
+	case nil:
+		return ""
+	case *ColumnRef:
+		if n.Table != "" {
+			return n.Table + "." + n.Column
+		}
+		return n.Column
+	case *Literal:
+		return n.Value.SQLString()
+	case *BinaryExpr:
+		return "(" + exprString(n.L) + " " + n.Op + " " + exprString(n.R) + ")"
+	case *UnaryExpr:
+		return n.Op + " " + exprString(n.E)
+	case *IsNullExpr:
+		if n.Not {
+			return exprString(n.E) + " IS NOT NULL"
+		}
+		return exprString(n.E) + " IS NULL"
+	case *InExpr:
+		var parts []string
+		for _, v := range n.List {
+			parts = append(parts, exprString(v))
+		}
+		op := " IN ("
+		if n.Not {
+			op = " NOT IN ("
+		}
+		return exprString(n.E) + op + strings.Join(parts, ", ") + ")"
+	case *BetweenExpr:
+		op := " BETWEEN "
+		if n.Not {
+			op = " NOT BETWEEN "
+		}
+		return exprString(n.E) + op + exprString(n.Lo) + " AND " + exprString(n.Hi)
+	case *CaseExpr:
+		var b strings.Builder
+		b.WriteString("CASE")
+		for _, w := range n.Whens {
+			b.WriteString(" WHEN " + exprString(w.Cond) + " THEN " + exprString(w.Then))
+		}
+		if n.Else != nil {
+			b.WriteString(" ELSE " + exprString(n.Else))
+		}
+		b.WriteString(" END")
+		return b.String()
+	case *FuncExpr:
+		if n.Star {
+			return n.Name + "(*)"
+		}
+		var parts []string
+		for _, a := range n.Args {
+			parts = append(parts, exprString(a))
+		}
+		d := ""
+		if n.Distinct {
+			d = "DISTINCT "
+		}
+		return n.Name + "(" + d + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,99 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abc", 0},
+		{"london", "londom", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDamerauLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"ab", "ba", 1},     // transposition
+		{"abcd", "acbd", 1}, // inner transposition
+		{"ca", "abc", 3},    // restricted DL classic case
+		{"kitten", "sitting", 3},
+		{"edinburgh", "edinbrugh", 1},
+		{"x", "", 1},
+		{"", "xy", 2},
+	}
+	for _, c := range cases {
+		if got := DamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("DL(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceNormalization(t *testing.T) {
+	if d := Distance(NewString("abc"), NewString("abc")); d != 0 {
+		t.Errorf("identical distance = %v", d)
+	}
+	if d := Distance(NewString("abc"), NewString("xyz")); d != 1 {
+		t.Errorf("disjoint distance = %v, want 1", d)
+	}
+	if d := Distance(Null, Null); d != 0 {
+		t.Errorf("null-null distance = %v", d)
+	}
+	if d := Distance(Null, NewString("abcd")); d != 1 {
+		t.Errorf("null-string distance = %v, want 1", d)
+	}
+	d := Distance(NewString("london"), NewString("londom"))
+	if d <= 0 || d >= 1 {
+		t.Errorf("near-miss distance = %v, want in (0,1)", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	// Symmetry.
+	sym := func(a, b string) bool {
+		return Distance(NewString(a), NewString(b)) == Distance(NewString(b), NewString(a))
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	// Bounds [0,1].
+	bounds := func(a, b string) bool {
+		d := Distance(NewString(a), NewString(b))
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(bounds, nil); err != nil {
+		t.Error(err)
+	}
+	// Identity of indiscernibles (one direction): d(a,a) == 0.
+	ident := func(a string) bool { return Distance(NewString(a), NewString(a)) == 0 }
+	if err := quick.Check(ident, nil); err != nil {
+		t.Error(err)
+	}
+	// DL never exceeds Levenshtein.
+	dl := func(a, b string) bool {
+		if len(a) > 64 || len(b) > 64 {
+			return true
+		}
+		return DamerauLevenshtein(a, b) <= Levenshtein(a, b)
+	}
+	if err := quick.Check(dl, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package types defines the value model shared by every layer of Semandaq:
+// the relational store, the SQL engine, the CFD formalism and the repair
+// cost model all operate on Value.
+//
+// A Value is a small tagged union over the SQL-ish scalar types the paper's
+// customer relation needs (strings, integers, floats, booleans) plus NULL.
+// Values are immutable; all operations return new values.
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull sorts before every other kind;
+// comparisons across the numeric kinds coerce to float64.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64   // KindInt, KindBool (0/1)
+	f    float64 // KindFloat
+	s    string  // KindString
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a floating-point value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics if v is not an INT.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("types: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload, coercing INT. Panics on other kinds.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("types: Float() on %s value", v.kind))
+	}
+}
+
+// Str returns the string payload. It panics if v is not a STRING.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics if v is not a BOOL.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("types: Bool() on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// String renders the value for display. NULL renders as "NULL"; strings are
+// rendered bare (use SQLString for quoted form).
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// SQLString renders the value as a SQL literal (strings single-quoted with
+// embedded quotes doubled).
+func (v Value) SQLString() string {
+	if v.kind == KindString {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// Equal reports whether two values are equal. NULL equals only NULL
+// (this is the store-level identity notion, not SQL ternary logic; the SQL
+// engine layers three-valued logic on top). INT and FLOAT compare
+// numerically across kinds.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Compare orders two values: -1, 0, +1. The total order is
+// NULL < BOOL < numbers < STRING across kinds, with numeric kinds compared
+// by value.
+func (v Value) Compare(o Value) int {
+	vr, or := v.rank(), o.rank()
+	if vr != or {
+		if vr < or {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return cmpInt64(v.i, o.i)
+	case KindInt:
+		if o.kind == KindInt {
+			return cmpInt64(v.i, o.i)
+		}
+		return cmpFloat64(float64(v.i), o.f)
+	case KindFloat:
+		if o.kind == KindInt {
+			return cmpFloat64(v.f, float64(o.i))
+		}
+		return cmpFloat64(v.f, o.f)
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	default:
+		return 0
+	}
+}
+
+// rank groups kinds into comparison classes: numbers share a class.
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Key returns a compact string that is equal for equal values and distinct
+// for distinct values; it is used as a map key by indexes, group-by and the
+// violation bookkeeping. The leading tag byte keeps kinds from colliding
+// (numbers share a tag so 1 == 1.0 keys identically).
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "n"
+	case KindBool:
+		if v.i != 0 {
+			return "bt"
+		}
+		return "bf"
+	case KindInt:
+		return "d" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		f := v.f
+		if f == float64(int64(f)) {
+			// Key integral floats like ints so 1 and 1.0 group together.
+			return "d" + strconv.FormatInt(int64(f), 10)
+		}
+		return "f" + strconv.FormatFloat(f, 'g', -1, 64)
+	case KindString:
+		return "s" + v.s
+	default:
+		return "?"
+	}
+}
+
+// Parse converts a raw text field (e.g. from CSV) into a Value, inferring
+// the kind: empty → NULL, integer syntax → INT, float syntax → FLOAT,
+// TRUE/FALSE → BOOL, otherwise STRING.
+func Parse(raw string) Value {
+	if raw == "" {
+		return Null
+	}
+	if i, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		return NewFloat(f)
+	}
+	switch strings.ToUpper(raw) {
+	case "TRUE":
+		return NewBool(true)
+	case "FALSE":
+		return NewBool(false)
+	}
+	return NewString(raw)
+}
+
+// CoerceString renders any value as the string the CFD layer pattern-matches
+// against. NULL coerces to the empty string.
+func (v Value) CoerceString() string {
+	if v.kind == KindNull {
+		return ""
+	}
+	return v.String()
+}

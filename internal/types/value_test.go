@@ -1,0 +1,227 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if got := NewInt(42).Int(); got != 42 {
+		t.Errorf("Int() = %d, want 42", got)
+	}
+	if got := NewFloat(3.5).Float(); got != 3.5 {
+		t.Errorf("Float() = %v, want 3.5", got)
+	}
+	if got := NewString("abc").Str(); got != "abc" {
+		t.Errorf("Str() = %q, want abc", got)
+	}
+	if !NewBool(true).Bool() {
+		t.Error("Bool() = false, want true")
+	}
+	if !Null.IsNull() {
+		t.Error("Null.IsNull() = false")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value should be NULL")
+	}
+}
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{NewBool(false), KindBool},
+		{NewInt(1), KindInt},
+		{NewFloat(1), KindFloat},
+		{NewString(""), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() of %v = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNull: "NULL", KindBool: "BOOL", KindInt: "INT",
+		KindFloat: "FLOAT", KindString: "STRING",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Int on string", func() { NewString("x").Int() }},
+		{"Str on int", func() { NewInt(1).Str() }},
+		{"Bool on null", func() { Null.Bool() }},
+		{"Float on string", func() { NewString("x").Float() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c.f()
+		})
+	}
+}
+
+func TestFloatCoercesInt(t *testing.T) {
+	if got := NewInt(7).Float(); got != 7.0 {
+		t.Errorf("NewInt(7).Float() = %v, want 7", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+		{NewInt(-3), "-3"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSQLString(t *testing.T) {
+	if got := NewString("O'Brien").SQLString(); got != "'O''Brien'" {
+		t.Errorf("SQLString = %q", got)
+	}
+	if got := NewInt(5).SQLString(); got != "5" {
+		t.Errorf("SQLString = %q", got)
+	}
+	if got := Null.SQLString(); got != "NULL" {
+		t.Errorf("SQLString = %q", got)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// Ascending sequence across kinds.
+	seq := []Value{
+		Null,
+		NewBool(false), NewBool(true),
+		NewInt(-5), NewFloat(-1.5), NewInt(0), NewFloat(0.5), NewInt(1), NewInt(10),
+		NewString(""), NewString("a"), NewString("b"),
+	}
+	for i := range seq {
+		for j := range seq {
+			got := seq[i].Compare(seq[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", seq[i], seq[j], got, want)
+			}
+		}
+	}
+}
+
+func TestNumericCrossKindEquality(t *testing.T) {
+	if !NewInt(3).Equal(NewFloat(3)) {
+		t.Error("3 should equal 3.0")
+	}
+	if NewInt(3).Equal(NewFloat(3.1)) {
+		t.Error("3 should not equal 3.1")
+	}
+	if NewInt(3).Key() != NewFloat(3).Key() {
+		t.Error("3 and 3.0 should share a Key")
+	}
+}
+
+func TestKeyDistinctness(t *testing.T) {
+	vals := []Value{
+		Null, NewBool(true), NewBool(false),
+		NewInt(1), NewInt(2), NewFloat(1.5),
+		NewString("1"), NewString("TRUE"), NewString(""), NewString("n"),
+	}
+	keys := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if prev, ok := keys[k]; ok {
+			t.Errorf("Key collision between %v and %v: %q", prev, v, k)
+		}
+		keys[k] = v
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want Value
+	}{
+		{"", Null},
+		{"42", NewInt(42)},
+		{"-7", NewInt(-7)},
+		{"3.25", NewFloat(3.25)},
+		{"true", NewBool(true)},
+		{"FALSE", NewBool(false)},
+		{"hello", NewString("hello")},
+		{"EH2 4SD", NewString("EH2 4SD")},
+	}
+	for _, c := range cases {
+		if got := Parse(c.raw); !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("Parse(%q) = %v (%v), want %v (%v)",
+				c.raw, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestCoerceString(t *testing.T) {
+	if got := Null.CoerceString(); got != "" {
+		t.Errorf("NULL coerces to %q, want empty", got)
+	}
+	if got := NewInt(9).CoerceString(); got != "9" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	// Antisymmetry: Compare(a,b) == -Compare(b,a).
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Reflexivity of Equal for strings.
+	g := func(s string) bool { return NewString(s).Equal(NewString(s)) }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	// Key equality iff Equal, for mixed ints/strings.
+	h := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return (va.Key() == vb.Key()) == va.Equal(vb)
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}

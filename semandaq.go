@@ -1,0 +1,199 @@
+// Package semandaq is a data quality system based on conditional functional
+// dependencies (CFDs), reproducing Fan, Geerts, Jia, "Semandaq: A Data
+// Quality System Based on Conditional Functional Dependencies" (VLDB 2008)
+// and the algorithms of its companion papers (TODS 2008 detection and
+// static analysis; VLDB 2007 cost-based repair).
+//
+// The top-level type is System: load relational data, register CFDs (the
+// constraint engine checks the set is satisfiable), then detect violations
+// with automatically generated SQL, audit the data's quality, explore
+// violations interactively, repair the data with a cost-based heuristic,
+// and monitor updates incrementally.
+//
+//	sys := semandaq.New()
+//	sys.LoadCSV("customer", file)
+//	sys.RegisterCFDText("customer", `
+//	    customer: [CNT=UK, ZIP=_] -> [STR=_]
+//	    customer: [CC=44]         -> [CNT=UK]
+//	`)
+//	report, _ := sys.Detect("customer", semandaq.SQLDetection)
+//	audit, _  := sys.Audit("customer")
+//	repair, _ := sys.Repair("customer")
+//
+// This package re-exports the library's public surface; implementation
+// lives under internal/.
+package semandaq
+
+import (
+	"semandaq/internal/audit"
+	"semandaq/internal/cfd"
+	"semandaq/internal/consistency"
+	"semandaq/internal/core"
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+	"semandaq/internal/discovery"
+	"semandaq/internal/explore"
+	"semandaq/internal/monitor"
+	"semandaq/internal/relstore"
+	"semandaq/internal/repair"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+// System is one Semandaq data-quality session: tables, constraints and the
+// operations of the paper's architecture (Fig. 1).
+type System = core.Semandaq
+
+// New creates a System over an empty store.
+func New() *System { return core.New() }
+
+// NewWithStore creates a System over an existing store.
+func NewWithStore(store *Store) *System { return core.NewWithStore(store) }
+
+// Constraint model.
+type (
+	// CFD is a conditional functional dependency: an embedded FD X → Y
+	// plus a pattern tableau of constants and wildcards.
+	CFD = cfd.CFD
+	// PatternTuple is one tableau row.
+	PatternTuple = cfd.PatternTuple
+	// PatternValue is one tableau cell: a constant or the wildcard "_".
+	PatternValue = cfd.PatternValue
+)
+
+// Wild is the "don't care" pattern cell.
+var Wild = cfd.Wild
+
+// Constant builds a constant pattern cell.
+func Constant(v Value) PatternValue { return cfd.Constant(v) }
+
+// ParseCFD parses one CFD line, e.g.
+// "customer: [CNT=UK, ZIP=_] -> [STR=_]".
+func ParseCFD(line string) (*CFD, error) { return cfd.ParseLine(line) }
+
+// ParseCFDSet parses a multi-line CFD specification, merging patterns that
+// share an embedded FD.
+func ParseCFDSet(text string) ([]*CFD, error) { return cfd.ParseSet(text) }
+
+// NewFD builds the CFD form of a classical FD (all-wildcard pattern).
+func NewFD(id, table string, lhs, rhs []string) *CFD { return cfd.NewFD(id, table, lhs, rhs) }
+
+// Data model.
+type (
+	// Store is a named collection of tables.
+	Store = relstore.Store
+	// Table is one mutable relation instance with stable tuple IDs.
+	Table = relstore.Table
+	// Tuple is one row.
+	Tuple = relstore.Tuple
+	// TupleID identifies a tuple for its whole life.
+	TupleID = relstore.TupleID
+	// Value is a typed scalar (string/int/float/bool/NULL).
+	Value = types.Value
+	// Schema describes a relation.
+	Schema = schema.Relation
+)
+
+// NewStore creates an empty store.
+func NewStore() *Store { return relstore.NewStore() }
+
+// NewSchema builds a relation schema from attribute names.
+func NewSchema(name string, attrs ...string) *Schema { return schema.New(name, attrs...) }
+
+// Value constructors.
+var (
+	// Null is the NULL value.
+	Null = types.Null
+)
+
+// String builds a string value.
+func String(s string) Value { return types.NewString(s) }
+
+// Int builds an integer value.
+func Int(i int64) Value { return types.NewInt(i) }
+
+// Float builds a float value.
+func Float(f float64) Value { return types.NewFloat(f) }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return types.NewBool(b) }
+
+// Detection.
+type (
+	// DetectionReport is the result of violation detection, including the
+	// per-tuple counts vio(t).
+	DetectionReport = detect.Report
+	// Violation is one tuple's involvement in one CFD violation.
+	Violation = detect.Violation
+	// ViolationGroup is one multi-tuple violation group.
+	ViolationGroup = detect.Group
+	// Tracker maintains violations incrementally under updates.
+	Tracker = detect.Tracker
+	// DetectorKind selects the detection implementation.
+	DetectorKind = core.DetectorKind
+)
+
+// Detection engine choices.
+const (
+	// SQLDetection runs the two generated SQL queries per CFD (the
+	// paper's technique).
+	SQLDetection = core.SQLDetection
+	// NativeDetection runs the in-memory baseline.
+	NativeDetection = core.NativeDetection
+)
+
+// NewTracker starts incremental detection over a table.
+func NewTracker(tab *Table, cfds []*CFD) (*Tracker, error) {
+	return detect.NewTracker(tab, cfds)
+}
+
+// Static analysis.
+type (
+	// ConsistencyReport is the satisfiability verdict for a CFD set.
+	ConsistencyReport = consistency.Report
+	// Domains declares finite attribute domains for the analysis.
+	Domains = consistency.Domains
+)
+
+// CheckConsistency decides satisfiability of a CFD set over a schema.
+func CheckConsistency(sc *Schema, cfds []*CFD, domains Domains) (*ConsistencyReport, error) {
+	return consistency.Check(sc, cfds, domains)
+}
+
+// Audit, exploration, repair, monitoring, discovery.
+type (
+	// QualityReport is the audit result: verified/probably/arguably clean
+	// classification, per-attribute bars, violation pie and statistics.
+	QualityReport = audit.Report
+	// Explorer answers the Fig. 2 drill-down and Fig. 3 quality map.
+	Explorer = explore.Explorer
+	// RepairResult is a candidate repair with its modifications.
+	RepairResult = repair.Result
+	// Modification is one repaired cell with ranked alternatives.
+	Modification = repair.Modification
+	// Monitor watches updates and keeps quality from degrading.
+	Monitor = monitor.Monitor
+	// MonitorUpdate is one element of a monitored update batch.
+	MonitorUpdate = monitor.Update
+	// DiscoveryOptions tunes CFD mining from reference data.
+	DiscoveryOptions = discovery.Options
+	// GeneratorConfig configures the synthetic customer-data generator.
+	GeneratorConfig = datagen.Config
+	// Dataset is a generated clean/dirty pair with ground truth.
+	Dataset = datagen.Dataset
+)
+
+// Monitor update kinds.
+const (
+	OpInsert = monitor.OpInsert
+	OpDelete = monitor.OpDelete
+	OpSet    = monitor.OpSet
+)
+
+// GenerateCustomers builds the synthetic customer workload used by the
+// examples and benches (deterministic; optional injected noise).
+func GenerateCustomers(cfg GeneratorConfig) *Dataset { return datagen.Generate(cfg) }
+
+// StandardCFDs returns the paper's running-example constraint set for the
+// generated customer schema.
+func StandardCFDs() []*CFD { return datagen.StandardCFDs() }

@@ -1,0 +1,104 @@
+package semandaq_test
+
+import (
+	"strings"
+	"testing"
+
+	"semandaq"
+)
+
+// TestPublicAPIQuickstart exercises the README's quickstart through the
+// public package surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := semandaq.New()
+	csv := `NAME,CNT,CITY,ZIP,STR,CC,AC
+Mike,UK,Edinburgh,EH2 4SD,Mayfield,44,131
+Rick,UK,Edinburgh,EH2 4SD,Crichton,44,131
+Joe,US,New York,01202,Mtn Ave,44,908
+`
+	if _, err := sys.LoadCSV("customer", strings.NewReader(csv)); err != nil {
+		t.Fatal(err)
+	}
+	cfds, err := sys.RegisterCFDText("customer", `
+customer: [CNT=UK, ZIP=_] -> [STR=_]
+customer: [CC=44] -> [CNT=UK]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfds) != 2 {
+		t.Fatalf("cfds = %d", len(cfds))
+	}
+	rep, err := sys.Detect("customer", semandaq.SQLDetection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Vio) != 3 {
+		t.Errorf("dirty = %v", rep.Vio)
+	}
+	audit, err := sys.Audit("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.DirtyTuples == 0 {
+		t.Error("audit saw no dirt")
+	}
+	res, err := sys.Repair("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("repair did not converge")
+	}
+}
+
+func TestPublicConstructors(t *testing.T) {
+	if semandaq.String("x").Str() != "x" {
+		t.Error("String")
+	}
+	if semandaq.Int(3).Int() != 3 {
+		t.Error("Int")
+	}
+	if semandaq.Float(1.5).Float() != 1.5 {
+		t.Error("Float")
+	}
+	if !semandaq.Bool(true).Bool() {
+		t.Error("Bool")
+	}
+	if !semandaq.Null.IsNull() {
+		t.Error("Null")
+	}
+	if !semandaq.Wild.Wildcard {
+		t.Error("Wild")
+	}
+	if semandaq.Constant(semandaq.Int(44)).Wildcard {
+		t.Error("Constant")
+	}
+	c, err := semandaq.ParseCFD("customer: [CC=44] -> [CNT=UK]")
+	if err != nil || c.Table != "customer" {
+		t.Errorf("ParseCFD: %v %v", c, err)
+	}
+	fd := semandaq.NewFD("f", "r", []string{"A"}, []string{"B"})
+	if fd.HasVariablePattern() != true {
+		t.Error("NewFD")
+	}
+	sc := semandaq.NewSchema("r", "A", "B")
+	rep, err := semandaq.CheckConsistency(sc, []*semandaq.CFD{fd}, nil)
+	if err != nil || !rep.Satisfiable {
+		t.Errorf("CheckConsistency: %v %v", rep, err)
+	}
+}
+
+func TestPublicGeneratorAndTracker(t *testing.T) {
+	ds := semandaq.GenerateCustomers(semandaq.GeneratorConfig{Tuples: 300, Seed: 1, NoiseRate: 0.05})
+	if ds.Clean.Len() != 300 || ds.Dirty.Len() != 300 {
+		t.Fatal("generator size")
+	}
+	tr, err := semandaq.NewTracker(ds.Dirty, semandaq.StandardCFDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DirtyCount() == 0 {
+		t.Error("tracker saw no dirt on noisy data")
+	}
+}
