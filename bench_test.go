@@ -40,6 +40,7 @@ func BenchmarkExpF5Repair(b *testing.B)      { benchExp(b, "F5") }
 func BenchmarkExpD1DetectScale(b *testing.B)   { benchExp(b, "D1") }
 func BenchmarkExpD2PatternScale(b *testing.B)  { benchExp(b, "D2") }
 func BenchmarkExpD3Incremental(b *testing.B)   { benchExp(b, "D3") }
+func BenchmarkExpD4Parallel(b *testing.B)      { benchExp(b, "D4") }
 func BenchmarkExpR1RepairQuality(b *testing.B) { benchExp(b, "R1") }
 func BenchmarkExpR2RepairScale(b *testing.B)   { benchExp(b, "R2") }
 func BenchmarkExpR3IncRepair(b *testing.B)     { benchExp(b, "R3") }
@@ -88,7 +89,7 @@ func BenchmarkDetectSQL(b *testing.B) {
 }
 
 func BenchmarkDetectNative(b *testing.B) {
-	for _, n := range []int{1000, 10000, 50000} {
+	for _, n := range []int{1000, 10000, 100000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			ds, cfds := benchWorkload(b, n)
 			sys := semandaq.New()
@@ -107,6 +108,37 @@ func BenchmarkDetectNative(b *testing.B) {
 				}
 				b.StartTimer()
 				if _, err := sys2.Detect("customer", semandaq.NativeDetection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetectParallel mirrors BenchmarkDetectNative with the sharded
+// multi-core detector; compare the two at n=100000 for the speedup on
+// GOMAXPROCS >= 4 machines. Larger comparisons (up to 1M tuples, including
+// the SQL engine) live in cmd/semandaq-bench -exp D4.
+func BenchmarkDetectParallel(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds, cfds := benchWorkload(b, n)
+			sys := semandaq.New()
+			sys.RegisterTable(ds.Dirty)
+			if err := sys.RegisterCFDs("customer", cfds); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys2 := semandaq.New()
+				sys2.RegisterTable(ds.Dirty)
+				if err := sys2.RegisterCFDs("customer", cfds); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := sys2.Detect("customer", semandaq.ParallelDetection); err != nil {
 					b.Fatal(err)
 				}
 			}

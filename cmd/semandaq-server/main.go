@@ -31,9 +31,11 @@ func main() {
 	demo := flag.Bool("demo", false, "preload generated customer data and CFDs")
 	tuples := flag.Int("tuples", 1000, "demo dataset size")
 	noise := flag.Float64("noise", 0.05, "demo noise rate")
+	workers := flag.Int("workers", 0, "parallel detection worker count (default GOMAXPROCS)")
 	flag.Parse()
 
 	s := core.New()
+	s.SetWorkers(*workers)
 	if *demo {
 		ds := datagen.Generate(datagen.Config{Tuples: *tuples, Seed: 1, NoiseRate: *noise})
 		s.RegisterTable(ds.Dirty)

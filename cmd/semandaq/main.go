@@ -9,7 +9,7 @@
 // Commands:
 //
 //	check      check the CFD set for satisfiability
-//	detect     run violation detection (use -engine sql|native)
+//	detect     run violation detection (use -engine sql|native|parallel)
 //	sql        print the generated detection SQL without running it
 //	audit      print the data quality report
 //	map        print the tuple-level data quality map
@@ -44,7 +44,8 @@ func run(args []string, out io.Writer) error {
 	dataPath := fs.String("data", "", "CSV file holding the relation to check")
 	tableName := fs.String("table", "", "table name (default: file base name)")
 	cfdPath := fs.String("cfds", "", "file with CFDs, one pattern per line")
-	engine := fs.String("engine", "sql", "detection engine: sql or native")
+	engine := fs.String("engine", "sql", "detection engine: sql, native or parallel")
+	workers := fs.Int("workers", 0, "parallel engine worker count (default GOMAXPROCS)")
 	apply := fs.Bool("apply", false, "repair: apply the candidate repair and write the CSV back")
 	outPath := fs.String("o", "", "repair -apply: output CSV path (default: overwrite -data)")
 	minSupport := fs.Int("minsupport", 0, "discover: minimum pattern support")
@@ -127,11 +128,11 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "detect":
-		kind := core.SQLDetection
-		if *engine == "native" {
-			kind = core.NativeDetection
+		kind, err := core.ParseDetectorKind(*engine)
+		if err != nil {
+			return err
 		}
-		rep, err := s.Detect(table, kind)
+		rep, err := s.DetectWorkers(table, kind, *workers)
 		if err != nil {
 			return err
 		}

@@ -54,13 +54,27 @@ func TestCLIDetect(t *testing.T) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
 	}
-	// Native engine agrees.
-	out2, err := runCLI(t, "-data", csv, "-cfds", cfds, "-engine", "native", "detect")
+	// Native and parallel engines agree.
+	for _, engine := range []string{"native", "parallel"} {
+		out2, err := runCLI(t, "-data", csv, "-cfds", cfds, "-engine", engine, "detect")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out2, "4 dirty") {
+			t.Errorf("%s out:\n%s", engine, out2)
+		}
+	}
+	// Explicit worker count.
+	out3, err := runCLI(t, "-data", csv, "-cfds", cfds, "-engine", "parallel", "-workers", "2", "detect")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out2, "4 dirty") {
-		t.Errorf("native out:\n%s", out2)
+	if !strings.Contains(out3, "4 dirty") {
+		t.Errorf("parallel -workers 2 out:\n%s", out3)
+	}
+	// Unknown engine fails.
+	if _, err := runCLI(t, "-data", csv, "-cfds", cfds, "-engine", "warp", "detect"); err == nil {
+		t.Error("unknown engine should fail")
 	}
 }
 

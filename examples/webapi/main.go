@@ -50,6 +50,10 @@ customer: [CC=44] -> [CNT=UK]`})
 	out = post("/api/detect/customer", "")
 	fmt.Printf("detection: dirty=%v violations=%v\n", out["dirty"], out["violations"])
 
+	// The sharded multi-core detector returns the identical report.
+	out = post("/api/detect/customer?engine=parallel&workers=4", "")
+	fmt.Printf("parallel detection: dirty=%v violations=%v\n", out["dirty"], out["violations"])
+
 	// Peek at the generated SQL.
 	out = get("/api/detect/customer/sql")
 	fmt.Println("first generated query:")

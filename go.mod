@@ -1,0 +1,3 @@
+module semandaq
+
+go 1.24

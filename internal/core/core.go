@@ -33,6 +33,8 @@ type Semandaq struct {
 	cfds map[string][]*cfd.CFD
 	// reports caches the last detection per table, keyed by table version.
 	reports map[string]cachedReport
+	// workers is the ParallelDetection worker count; 0 means GOMAXPROCS.
+	workers int
 }
 
 type cachedReport struct {
@@ -55,6 +57,26 @@ func NewWithStore(store *relstore.Store) *Semandaq {
 
 // Store exposes the underlying store.
 func (s *Semandaq) Store() *relstore.Store { return s.store }
+
+// SetWorkers sets the goroutine count ParallelDetection uses; n <= 0 resets
+// to the default (runtime.GOMAXPROCS). The detection result does not depend
+// on the worker count, so cached reports stay valid.
+func (s *Semandaq) SetWorkers(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.workers = n
+}
+
+// Workers returns the configured ParallelDetection worker count; 0 means
+// the GOMAXPROCS default.
+func (s *Semandaq) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
+}
 
 // SQL executes an ad-hoc SQL statement against the store (the paper's data
 // explorer lets users navigate the data; this is the programmatic hatch).
@@ -127,7 +149,7 @@ func (s *Semandaq) RegisterCFDs(table string, cfds []*cfd.CFD) error {
 		return fmt.Errorf("semandaq: CFD set for %s is unsatisfiable: %s", table, rep.Conflict)
 	}
 	s.cfds[key] = all
-	for _, kind := range []DetectorKind{SQLDetection, NativeDetection} {
+	for _, kind := range detectorKinds {
 		delete(s.reports, key+"\x00"+fmt.Sprint(kind))
 	}
 	return nil
@@ -172,11 +194,56 @@ const (
 	SQLDetection DetectorKind = iota
 	// NativeDetection uses in-memory hash grouping (the baseline).
 	NativeDetection
+	// ParallelDetection shards the native hash grouping across
+	// runtime.GOMAXPROCS workers by LHS-key hash; the report is identical
+	// to NativeDetection's.
+	ParallelDetection
 )
 
-// Detect runs violation detection on a table with its registered CFDs.
-// The report is cached until the table changes.
+// detectorKinds lists every kind, for cache invalidation.
+var detectorKinds = []DetectorKind{SQLDetection, NativeDetection, ParallelDetection}
+
+// String names the detector kind.
+func (k DetectorKind) String() string {
+	switch k {
+	case SQLDetection:
+		return "sql"
+	case NativeDetection:
+		return "native"
+	case ParallelDetection:
+		return "parallel"
+	default:
+		return fmt.Sprintf("DetectorKind(%d)", int(k))
+	}
+}
+
+// ParseDetectorKind maps the CLI/HTTP engine names ("sql", "native",
+// "parallel") to a DetectorKind.
+func ParseDetectorKind(s string) (DetectorKind, error) {
+	switch s {
+	case "sql":
+		return SQLDetection, nil
+	case "native":
+		return NativeDetection, nil
+	case "parallel":
+		return ParallelDetection, nil
+	default:
+		return SQLDetection, fmt.Errorf("semandaq: unknown detection engine %q (want sql, native or parallel)", s)
+	}
+}
+
+// Detect runs violation detection on a table with its registered CFDs,
+// using the session's worker count for ParallelDetection. The report is
+// cached until the table changes.
 func (s *Semandaq) Detect(table string, kind DetectorKind) (*detect.Report, error) {
+	return s.DetectWorkers(table, kind, s.Workers())
+}
+
+// DetectWorkers is Detect with an explicit ParallelDetection worker count
+// for this call only (0 = GOMAXPROCS); other kinds ignore it. Servers use
+// it to honor a per-request worker override without mutating the shared
+// session.
+func (s *Semandaq) DetectWorkers(table string, kind DetectorKind, workers int) (*detect.Report, error) {
 	tab, err := s.Table(table)
 	if err != nil {
 		return nil, err
@@ -193,9 +260,12 @@ func (s *Semandaq) Detect(table string, kind DetectorKind) (*detect.Report, erro
 	}
 	s.mu.Unlock()
 	var det detect.Detector
-	if kind == SQLDetection {
+	switch kind {
+	case SQLDetection:
 		det = detect.NewSQLDetector(s.store)
-	} else {
+	case ParallelDetection:
+		det = detect.ParallelDetector{Workers: workers}
+	default:
 		det = detect.NativeDetector{}
 	}
 	version := tab.Version()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
 	"semandaq/internal/relstore"
 	"semandaq/internal/schema"
 	"semandaq/internal/types"
@@ -77,6 +78,15 @@ func TestCrossCheckRandomized(t *testing.T) {
 		if err := Equivalent(native, sqlRep); err != nil {
 			t.Fatalf("trial %d: detectors disagree: %v\ncfds:\n%v", trial, err, cfds)
 		}
+		workers := []int{1, 2, 8}[trial%3]
+		parRep, err := ParallelDetector{Workers: workers}.Detect(tab, cfds)
+		if err != nil {
+			t.Fatalf("trial %d: parallel: %v", trial, err)
+		}
+		if err := Equivalent(native, parRep); err != nil {
+			t.Fatalf("trial %d: parallel (workers=%d) disagrees: %v\ncfds:\n%v",
+				trial, workers, err, cfds)
+		}
 
 		// And the tracker, seeded from the same table, agrees too.
 		tr, err := NewTracker(tab, cfds)
@@ -85,6 +95,45 @@ func TestCrossCheckRandomized(t *testing.T) {
 		}
 		if err := Equivalent(native, tr.Report()); err != nil {
 			t.Fatalf("trial %d: tracker disagrees: %v", trial, err)
+		}
+	}
+}
+
+// TestParallelCrossCheckDatagen runs the three detectors over generated
+// customer tables at several noise rates and worker counts: ParallelDetector
+// must be Equivalent to both NativeDetector and SQLDetector on realistic
+// workloads (the standard CFD set mixes constant and variable patterns).
+func TestParallelCrossCheckDatagen(t *testing.T) {
+	for _, noise := range []float64{0, 0.02, 0.10} {
+		ds := datagen.Generate(datagen.Config{Tuples: 2000, Seed: 42, NoiseRate: noise})
+		store := relstore.NewStore()
+		store.Put(ds.Dirty)
+		cfds := datagen.StandardCFDs()
+		native, err := NativeDetector{}.Detect(ds.Dirty, cfds)
+		if err != nil {
+			t.Fatalf("noise=%.2f: native: %v", noise, err)
+		}
+		sqlRep, err := NewSQLDetector(store).Detect(ds.Dirty, cfds)
+		if err != nil {
+			t.Fatalf("noise=%.2f: sql: %v", noise, err)
+		}
+		if err := Equivalent(native, sqlRep); err != nil {
+			t.Fatalf("noise=%.2f: native vs sql: %v", noise, err)
+		}
+		if noise > 0 && len(native.Vio) == 0 {
+			t.Fatalf("noise=%.2f produced no violations; test is vacuous", noise)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			par, err := ParallelDetector{Workers: workers}.Detect(ds.Dirty, cfds)
+			if err != nil {
+				t.Fatalf("noise=%.2f workers=%d: %v", noise, workers, err)
+			}
+			if err := Equivalent(native, par); err != nil {
+				t.Errorf("noise=%.2f workers=%d: parallel vs native: %v", noise, workers, err)
+			}
+			if err := Equivalent(sqlRep, par); err != nil {
+				t.Errorf("noise=%.2f workers=%d: parallel vs sql: %v", noise, workers, err)
+			}
 		}
 	}
 }
@@ -117,7 +166,11 @@ func TestVioDefinitionOnKnownGroups(t *testing.T) {
 	ins("k2", "z")
 	ins("k2", "z")
 	fd := cfd.NewFD("f", "r", []string{"K"}, []string{"V"})
-	for name, det := range map[string]Detector{"native": NativeDetector{}, "sql": NewSQLDetector(store)} {
+	for name, det := range map[string]Detector{
+		"native":   NativeDetector{},
+		"sql":      NewSQLDetector(store),
+		"parallel": ParallelDetector{Workers: 3},
+	} {
 		t.Run(name, func(t *testing.T) {
 			rep, err := det.Detect(tab, []*cfd.CFD{fd})
 			if err != nil {

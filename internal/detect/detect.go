@@ -226,11 +226,15 @@ func finish(rep *Report) {
 	})
 }
 
+// lhsKey encodes an LHS value vector as a grouping key, in the shared
+// collision-free encoding (types.Value.WriteGroupKey): with a plain
+// separator, values containing the separator byte could make distinct LHS
+// vectors collide into one group. It matches relstore's Tuple.KeyOn, which
+// the detectors use when grouping whole-row projections.
 func lhsKey(vals []types.Value) string {
 	var b strings.Builder
 	for _, v := range vals {
-		b.WriteString(v.Key())
-		b.WriteByte(0x1f)
+		v.WriteGroupKey(&b)
 	}
 	return b.String()
 }
@@ -276,10 +280,33 @@ func (NativeDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report, err
 	return rep, nil
 }
 
-// detectOne processes one prepared CFD over the whole table.
+// detectOne processes one prepared CFD over the whole table. The per-tuple
+// checks and the group bookkeeping are shared with ParallelDetector, whose
+// sharded evaluation must stay byte-identical to this sequential one.
 func detectOne(tab *relstore.Table, p prepared, rep *Report, st *CFDStats) {
-	// Which patterns are constant (single-tuple) vs variable (multi-tuple)?
-	var constPatterns, varPatterns []int
+	constPatterns, varPatterns := splitPatterns(p)
+	groups := map[string]*groupAcc{}
+	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		var fired bool
+		rep.Violations, fired = appendConstViolations(rep.Violations, p, constPatterns, id, row)
+		if fired {
+			st.SingleTuple++
+		}
+		if matchesVarPattern(p, varPatterns, row) {
+			addToGroup(groups, row.KeyOn(p.lhsPos), p, id, row)
+		}
+		return true
+	})
+	var ng, nm int
+	rep.Groups, rep.Violations, ng, nm = flushGroups(groups, p, rep.Groups, rep.Violations)
+	st.Groups += ng
+	st.MultiTuple += nm
+}
+
+// splitPatterns classifies the tableau indexes: constant-RHS patterns can
+// only be violated by single tuples, wildcard-RHS patterns only by tuple
+// groups.
+func splitPatterns(p prepared) (constPatterns, varPatterns []int) {
 	for i := range p.c.Tableau {
 		if p.c.Tableau[i].RHS[0].Wildcard {
 			varPatterns = append(varPatterns, i)
@@ -287,81 +314,98 @@ func detectOne(tab *relstore.Table, p prepared, rep *Report, st *CFDStats) {
 			constPatterns = append(constPatterns, i)
 		}
 	}
+	return constPatterns, varPatterns
+}
 
-	type groupAcc struct {
-		lhsVals   []types.Value
-		members   []relstore.TupleID
-		rhsOf     map[relstore.TupleID]string
-		rhsCounts map[string]int
+// appendConstViolations appends row's single-tuple violations against the
+// constant patterns to dst and reports whether any fired (the per-CFD
+// SingleTuple statistic counts tuples, not pattern firings). NULL RHS
+// values are not flagged — matching the SQL technique, where t.Y <> tp.Y
+// is unknown on NULL.
+func appendConstViolations(dst []Violation, p prepared, constPatterns []int,
+	id relstore.TupleID, row relstore.Tuple) ([]Violation, bool) {
+	fired := false
+	for _, i := range constPatterns {
+		if !p.c.MatchLHS(i, row, p.lhsPos) {
+			continue
+		}
+		want := p.c.Tableau[i].RHS[0].Const
+		got := row[p.rhsPos]
+		if got.IsNull() || got.Equal(want) {
+			continue
+		}
+		dst = append(dst, Violation{
+			CFDID:    p.c.ID,
+			Kind:     SingleTuple,
+			Pattern:  i,
+			TupleID:  id,
+			Attr:     p.c.RHS[0],
+			Expected: want,
+			Got:      got,
+		})
+		fired = true
 	}
-	groups := map[string]*groupAcc{}
-	singleSeen := map[relstore.TupleID]bool{}
+	return dst, fired
+}
 
-	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
-		// Single-tuple violations against constant patterns.
-		for _, i := range constPatterns {
-			if !p.c.MatchLHS(i, row, p.lhsPos) {
-				continue
-			}
-			want := p.c.Tableau[i].RHS[0].Const
-			got := row[p.rhsPos]
-			// NULL RHS values are not flagged — matching the SQL technique,
-			// where t.Y <> tp.Y is unknown on NULL.
-			if got.IsNull() || got.Equal(want) {
-				continue
-			}
-			rep.Violations = append(rep.Violations, Violation{
-				CFDID:    p.c.ID,
-				Kind:     SingleTuple,
-				Pattern:  i,
-				TupleID:  id,
-				Attr:     p.c.RHS[0],
-				Expected: want,
-				Got:      got,
-			})
-			if !singleSeen[id] {
-				singleSeen[id] = true
-				st.SingleTuple++
-			}
+// matchesVarPattern reports whether row matches at least one variable
+// pattern's LHS. Tuples with equal LHS match the same patterns, so one
+// group membership per tuple suffices.
+func matchesVarPattern(p prepared, varPatterns []int, row relstore.Tuple) bool {
+	for _, i := range varPatterns {
+		if p.c.MatchLHS(i, row, p.lhsPos) {
+			return true
 		}
-		// Multi-tuple grouping against variable patterns. A tuple joins the
-		// group when it matches at least one variable pattern's LHS; tuples
-		// with equal LHS match the same patterns, so one membership per
-		// tuple suffices.
-		for _, i := range varPatterns {
-			if !p.c.MatchLHS(i, row, p.lhsPos) {
-				continue
-			}
-			key := row.KeyOn(p.lhsPos)
-			g, ok := groups[key]
-			if !ok {
-				lhsVals := make([]types.Value, len(p.lhsPos))
-				for k, pos := range p.lhsPos {
-					lhsVals[k] = row[pos]
-				}
-				g = &groupAcc{
-					lhsVals:   lhsVals,
-					rhsOf:     map[relstore.TupleID]string{},
-					rhsCounts: map[string]int{},
-				}
-				groups[key] = g
-			}
-			g.members = append(g.members, id)
-			rk := row[p.rhsPos].Key()
-			g.rhsOf[id] = rk
-			g.rhsCounts[rk]++
-			break
-		}
-		return true
-	})
+	}
+	return false
+}
 
-	// Emit multi-tuple violations for groups disagreeing on the RHS.
+// groupAcc accumulates one multi-tuple candidate group: the tuples sharing
+// an LHS value, with their RHS value keys and counts.
+type groupAcc struct {
+	lhsVals   []types.Value
+	members   []relstore.TupleID
+	rhsOf     map[relstore.TupleID]string
+	rhsCounts map[string]int
+}
+
+// addToGroup folds one tuple into its LHS group, creating the group on
+// first use. Callers must present tuples in snapshot order: member order is
+// part of the detectors' byte-identical-report contract.
+func addToGroup(groups map[string]*groupAcc, key string, p prepared,
+	id relstore.TupleID, row relstore.Tuple) {
+	g, ok := groups[key]
+	if !ok {
+		lhsVals := make([]types.Value, len(p.lhsPos))
+		for k, pos := range p.lhsPos {
+			lhsVals[k] = row[pos]
+		}
+		g = &groupAcc{
+			lhsVals:   lhsVals,
+			rhsOf:     map[relstore.TupleID]string{},
+			rhsCounts: map[string]int{},
+		}
+		groups[key] = g
+	}
+	g.members = append(g.members, id)
+	rk := row[p.rhsPos].Key()
+	g.rhsOf[id] = rk
+	g.rhsCounts[rk]++
+}
+
+// flushGroups emits every accumulated group that disagrees on the RHS: the
+// Group record plus one multi-tuple Violation per member, with the vio(t)
+// partner count. It returns the grown slices and the group/member counts
+// for the per-CFD statistics.
+func flushGroups(groups map[string]*groupAcc, p prepared,
+	outGroups []*Group, outViols []Violation) ([]*Group, []Violation, int, int) {
+	ng, nm := 0, 0
 	for _, g := range groups {
 		if len(g.rhsCounts) <= 1 {
 			continue
 		}
-		st.Groups++
-		grp := &Group{
+		ng++
+		outGroups = append(outGroups, &Group{
 			CFDID:       p.c.ID,
 			Attr:        p.c.RHS[0],
 			LHSAttrs:    append([]string(nil), p.c.LHS...),
@@ -370,21 +414,20 @@ func detectOne(tab *relstore.Table, p prepared, rep *Report, st *CFDStats) {
 			RHSOf:       g.rhsOf,
 			RHSCounts:   g.rhsCounts,
 			MajorityKey: majorityKey(g.rhsCounts),
-		}
-		rep.Groups = append(rep.Groups, grp)
+		})
 		for _, id := range g.members {
-			partners := len(g.members) - g.rhsCounts[g.rhsOf[id]]
-			rep.Violations = append(rep.Violations, Violation{
+			outViols = append(outViols, Violation{
 				CFDID:    p.c.ID,
 				Kind:     MultiTuple,
 				Pattern:  -1,
 				TupleID:  id,
 				Attr:     p.c.RHS[0],
-				Partners: partners,
+				Partners: len(g.members) - g.rhsCounts[g.rhsOf[id]],
 			})
-			st.MultiTuple++
+			nm++
 		}
 	}
+	return outGroups, outViols, ng, nm
 }
 
 // Equivalent reports whether two reports agree on vio(t) and per-CFD

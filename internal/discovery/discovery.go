@@ -269,8 +269,7 @@ func MineVariableCFDs(tab *relstore.Table, opts Options) ([]*cfd.CFD, error) {
 		for _, ri := range subset {
 			kb.Reset()
 			for _, x := range xs {
-				kb.WriteString(rows[ri][x].Key())
-				kb.WriteByte(0x1f)
+				rows[ri][x].WriteGroupKey(&kb)
 			}
 			key := kb.String()
 			av := rows[ri][a].Key()

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"semandaq/internal/cfd"
 	"semandaq/internal/datagen"
@@ -48,6 +49,73 @@ func RunD1(w io.Writer, quick bool) error {
 		}
 		ratio := float64(sqlTime) / float64(natTime)
 		fmt.Fprintf(w, "%10d %12s %12s %8.2f %8d\n", n, ms(sqlTime), ms(natTime), ratio, len(sqlRep.Vio))
+	}
+	return nil
+}
+
+// RunD4 measures multi-core detection: the sharded ParallelDetector against
+// the single-threaded native baseline and the SQL technique, over growing
+// data up to 1M tuples. Expected shape: parallel tracks native's linear
+// growth divided by the effective core count; the SQL engine (interpreted,
+// single-threaded) trails both and is skipped at the largest size to keep
+// the full run tractable.
+func RunD4(w io.Writer, quick bool) error {
+	header(w, "D4", "parallel detection: sharded vs native vs SQL")
+	sizes := []int{10000, 100000, 1000000}
+	sqlCap := 100000 // the interpreted SQL engine is too slow beyond this
+	if quick {
+		sizes = []int{2000, 10000}
+		sqlCap = 10000
+	}
+	workers := runtime.GOMAXPROCS(0)
+	cfds := datagen.StandardCFDs()
+	fmt.Fprintf(w, "workers=%d\n", workers)
+	fmt.Fprintf(w, "%10s %12s %12s %12s %8s %8s\n",
+		"tuples", "native_ms", "parallel_ms", "sql_ms", "speedup", "dirty")
+	for _, n := range sizes {
+		ds := datagen.Generate(datagen.Config{Tuples: n, Seed: 7, NoiseRate: 0.05})
+		store := relstore.NewStore()
+		store.Put(ds.Dirty)
+
+		var natRep, parRep *detect.Report
+		natTime, err := timed(func() error {
+			var err error
+			natRep, err = detect.NativeDetector{}.Detect(ds.Dirty, cfds)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		parTime, err := timed(func() error {
+			var err error
+			parRep, err = detect.ParallelDetector{}.Detect(ds.Dirty, cfds)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if err := detect.Equivalent(natRep, parRep); err != nil {
+			return fmt.Errorf("D4: parallel diverged at n=%d: %w", n, err)
+		}
+		sqlMS := "-"
+		if n <= sqlCap {
+			var sqlRep *detect.Report
+			sqlTime, err := timed(func() error {
+				var err error
+				sqlRep, err = detect.NewSQLDetector(store).Detect(ds.Dirty, cfds)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			if err := detect.Equivalent(natRep, sqlRep); err != nil {
+				return fmt.Errorf("D4: sql diverged at n=%d: %w", n, err)
+			}
+			sqlMS = ms(sqlTime)
+		}
+		speedup := float64(natTime) / float64(parTime)
+		fmt.Fprintf(w, "%10d %12s %12s %12s %7.2fx %8d\n",
+			n, ms(natTime), ms(parTime), sqlMS, speedup, len(natRep.Vio))
 	}
 	return nil
 }

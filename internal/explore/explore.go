@@ -82,11 +82,13 @@ func New(tab *relstore.Table, cfds []*cfd.CFD, rep *detect.Report) (*Explorer, e
 	return e, nil
 }
 
+// groupKey mirrors relstore's Tuple.KeyOn encoding (the shared
+// WriteGroupKey form) so the drill-down can match detector groups against
+// scanned rows.
 func groupKey(vals []types.Value) string {
 	var b strings.Builder
 	for _, v := range vals {
-		b.WriteString(v.Key())
-		b.WriteByte(0x1f)
+		v.WriteGroupKey(&b)
 	}
 	return b.String()
 }

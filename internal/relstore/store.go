@@ -46,12 +46,14 @@ func (t Tuple) Equal(o Tuple) bool {
 	return true
 }
 
-// KeyOn returns the grouping key of the tuple projected on positions.
+// KeyOn returns the grouping key of the tuple projected on positions. Each
+// component is length-prefixed (types.Value.WriteGroupKey) so a value whose
+// Key() contains the byte used as a separator cannot alias distinct
+// projections into one key.
 func (t Tuple) KeyOn(pos []int) string {
 	var b strings.Builder
 	for _, p := range pos {
-		b.WriteString(t[p].Key())
-		b.WriteByte(0x1f)
+		t[p].WriteGroupKey(&b)
 	}
 	return b.String()
 }
@@ -278,6 +280,26 @@ func (t *Table) Rows() ([]TupleID, []Tuple) {
 	return ids, rows
 }
 
+// RowsView returns the live tuple IDs and rows in insertion order WITHOUT
+// copying the tuples. The returned rows are the table's backing storage:
+// callers must treat them as read-only and must not hold them across
+// mutations of the table — the same contract Scan's callback rows carry,
+// extended over the returned slices' lifetime. Detection uses it to avoid
+// cloning every tuple on the hot path.
+func (t *Table) RowsView() ([]TupleID, []Tuple) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]TupleID, 0, len(t.rows))
+	rows := make([]Tuple, 0, len(t.rows))
+	for _, id := range t.order {
+		if row, ok := t.rows[id]; ok {
+			ids = append(ids, id)
+			rows = append(rows, row)
+		}
+	}
+	return ids, rows
+}
+
 // Snapshot returns an independent copy of the table (same schema object,
 // fresh rows, fresh IDs preserved). Indexes are not copied.
 func (t *Table) Snapshot() *Table {
@@ -370,8 +392,7 @@ func (ix *Index) remove(id TupleID, row Tuple) {
 func (ix *Index) Lookup(vals []types.Value) []TupleID {
 	var b strings.Builder
 	for _, v := range vals {
-		b.WriteString(v.Key())
-		b.WriteByte(0x1f)
+		v.WriteGroupKey(&b)
 	}
 	src := ix.buckets[b.String()]
 	out := make([]TupleID, len(src))

@@ -51,7 +51,7 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/cfds/{table}", sv.handleRegisterCFDs)
 	mux.HandleFunc("GET /api/cfds/{table}", sv.handleListCFDs)
 	mux.HandleFunc("GET /api/consistency/{table}", sv.handleConsistency)
-	mux.HandleFunc("POST /api/detect/{table}", sv.handleDetect)
+	mux.HandleFunc("POST /api/detect/{table}", sv.handleDetect) // ?engine=sql|native|parallel&workers=N
 	mux.HandleFunc("GET /api/detect/{table}/sql", sv.handleDetectSQL)
 	mux.HandleFunc("GET /api/audit/{table}", sv.handleAudit)
 	mux.HandleFunc("GET /api/explore/{table}/cfds", sv.handleExploreCFDs)
@@ -214,10 +214,23 @@ func (sv *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
 
 func (sv *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	kind := core.SQLDetection
-	if r.URL.Query().Get("engine") == "native" {
-		kind = core.NativeDetection
+	if e := r.URL.Query().Get("engine"); e != "" {
+		var err error
+		if kind, err = core.ParseDetectorKind(e); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
-	rep, err := sv.s.Detect(r.PathValue("table"), kind)
+	workers := sv.s.Workers()
+	if ws := r.URL.Query().Get("workers"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad workers value %q", ws))
+			return
+		}
+		workers = n // request-scoped; does not touch the shared session
+	}
+	rep, err := sv.s.DetectWorkers(r.PathValue("table"), kind, workers)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

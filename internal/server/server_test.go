@@ -117,7 +117,7 @@ func TestConsistencyEndpoint(t *testing.T) {
 
 func TestDetectEndpoint(t *testing.T) {
 	ts := testServer(t)
-	for _, engine := range []string{"", "?engine=native"} {
+	for _, engine := range []string{"", "?engine=native", "?engine=parallel", "?engine=parallel&workers=2"} {
 		out := do(t, ts, "POST", "/api/detect/customer"+engine, "", http.StatusOK)
 		if out["dirty"].(float64) != 4 {
 			t.Errorf("engine %q dirty = %v", engine, out["dirty"])
@@ -133,6 +133,8 @@ func TestDetectEndpoint(t *testing.T) {
 		t.Error("no SQL")
 	}
 	do(t, ts, "POST", "/api/detect/nope", "", http.StatusBadRequest)
+	do(t, ts, "POST", "/api/detect/customer?engine=warp", "", http.StatusBadRequest)
+	do(t, ts, "POST", "/api/detect/customer?engine=parallel&workers=x", "", http.StatusBadRequest)
 }
 
 func TestAuditEndpoint(t *testing.T) {

@@ -464,8 +464,7 @@ func joinRelations(left, right *relation, pending, on []Expr, outer bool) (*rela
 					null = true
 					break
 				}
-				kb.WriteString(v.Key())
-				kb.WriteByte(0x1f)
+				v.WriteGroupKey(&kb)
 			}
 			if null {
 				continue // NULL never equi-joins
@@ -486,8 +485,7 @@ func joinRelations(left, right *relation, pending, on []Expr, outer bool) (*rela
 					null = true
 					break
 				}
-				kb.WriteString(v.Key())
-				kb.WriteByte(0x1f)
+				v.WriteGroupKey(&kb)
 			}
 			matched := false
 			if !null {
@@ -772,8 +770,7 @@ func (e *Engine) projectAndFinish(st *SelectStmt, rel *relation) (*Result, error
 				if err != nil {
 					return nil, err
 				}
-				kb.WriteString(v.Key())
-				kb.WriteByte(0x1f)
+				v.WriteGroupKey(&kb)
 			}
 			key := kb.String()
 			g, ok := groups[key]
@@ -920,8 +917,7 @@ func (e *Engine) projectAndFinish(st *SelectStmt, rel *relation) (*Result, error
 		if st.Distinct {
 			var kb strings.Builder
 			for _, v := range or.vals {
-				kb.WriteString(v.Key())
-				kb.WriteByte(0x1f)
+				v.WriteGroupKey(&kb)
 			}
 			k := kb.String()
 			if seen[k] {

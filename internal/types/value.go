@@ -250,6 +250,20 @@ func (v Value) Key() string {
 	}
 }
 
+// WriteGroupKey appends v's Key() to b in length-prefixed form. Composite
+// grouping keys — store indexes, detection groups, SQL joins/GROUP
+// BY/DISTINCT — concatenate several value keys; the length prefix keeps a
+// byte sequence inside one key from aliasing the boundary between values,
+// which a plain separator byte cannot guarantee. Every layer building a
+// multi-value key must use this one encoding: some of the keys are compared
+// across packages.
+func (v Value) WriteGroupKey(b *strings.Builder) {
+	k := v.Key()
+	b.WriteString(strconv.Itoa(len(k)))
+	b.WriteByte(':')
+	b.WriteString(k)
+}
+
 // Parse converts a raw text field (e.g. from CSV) into a Value, inferring
 // the kind: empty → NULL, integer syntax → INT, float syntax → FLOAT,
 // TRUE/FALSE → BOOL, otherwise STRING.

@@ -10,6 +10,12 @@
 // violations interactively, repair the data with a cost-based heuristic,
 // and monitor updates incrementally.
 //
+// Three interchangeable detection engines produce the same report:
+// SQLDetection (the paper's generated-SQL technique), NativeDetection (a
+// single-threaded in-memory scan) and ParallelDetection (the native
+// algorithm sharded across all CPU cores by a hash of each CFD's LHS key,
+// for multi-core throughput on large tables).
+//
 //	sys := semandaq.New()
 //	sys.LoadCSV("customer", file)
 //	sys.RegisterCFDText("customer", `
@@ -140,6 +146,10 @@ const (
 	SQLDetection = core.SQLDetection
 	// NativeDetection runs the in-memory baseline.
 	NativeDetection = core.NativeDetection
+	// ParallelDetection shards the native detection across all CPU cores
+	// by LHS-key hash; the report is identical to NativeDetection's. Tune
+	// the goroutine count with System.SetWorkers.
+	ParallelDetection = core.ParallelDetection
 )
 
 // NewTracker starts incremental detection over a table.
