@@ -41,6 +41,7 @@ func BenchmarkExpD1DetectScale(b *testing.B)   { benchExp(b, "D1") }
 func BenchmarkExpD2PatternScale(b *testing.B)  { benchExp(b, "D2") }
 func BenchmarkExpD3Incremental(b *testing.B)   { benchExp(b, "D3") }
 func BenchmarkExpD4Parallel(b *testing.B)      { benchExp(b, "D4") }
+func BenchmarkExpD5Columnar(b *testing.B)      { benchExp(b, "D5") }
 func BenchmarkExpR1RepairQuality(b *testing.B) { benchExp(b, "R1") }
 func BenchmarkExpR2RepairScale(b *testing.B)   { benchExp(b, "R2") }
 func BenchmarkExpR3IncRepair(b *testing.B)     { benchExp(b, "R3") }
@@ -108,6 +109,39 @@ func BenchmarkDetectNative(b *testing.B) {
 				}
 				b.StartTimer()
 				if _, err := sys2.Detect("customer", semandaq.NativeDetection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetectColumnar mirrors BenchmarkDetectNative with the
+// sequential columnar-snapshot detector. The snapshot is version-cached on
+// the shared table, so the first iteration pays the dictionary build and
+// the rest measure the warm path — the steady state of a read-mostly
+// workload. Cold-vs-warm (and the 1M-tuple comparison) are reported
+// separately by cmd/semandaq-bench -exp D5.
+func BenchmarkDetectColumnar(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds, cfds := benchWorkload(b, n)
+			sys := semandaq.New()
+			sys.RegisterTable(ds.Dirty)
+			if err := sys.RegisterCFDs("customer", cfds); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys2 := semandaq.New()
+				sys2.RegisterTable(ds.Dirty)
+				if err := sys2.RegisterCFDs("customer", cfds); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := sys2.Detect("customer", semandaq.ColumnarDetection); err != nil {
 					b.Fatal(err)
 				}
 			}

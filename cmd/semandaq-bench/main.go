@@ -6,9 +6,14 @@
 //	semandaq-bench -quick          # everything, shrunk workloads
 //	semandaq-bench -exp F2 -exp D1 # selected experiments
 //	semandaq-bench -list           # list experiment IDs
+//	semandaq-bench -json BENCH_detect.json   # machine-readable detection
+//	                                         # sweep (ns/op, rows/s per
+//	                                         # engine and size)
 //
 // The experiment index (workloads, parameters, expected shapes) is in
-// DESIGN.md; EXPERIMENTS.md records paper-vs-measured for each.
+// DESIGN.md; EXPERIMENTS.md records paper-vs-measured for each. The -json
+// sweep feeds the BENCH_detect.json performance trajectory the CI
+// bench-smoke job uploads.
 package main
 
 import (
@@ -32,8 +37,17 @@ func main() {
 	var sel expFlags
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	jsonPath := flag.String("json", "", "run the detection bench sweep and write machine-readable results to this file")
 	flag.Var(&sel, "exp", "experiment ID to run (repeatable); default all")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if _, err := experiments.WriteDetectBenchJSON(*jsonPath, *quick, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "semandaq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -9,7 +9,7 @@
 // Commands:
 //
 //	check      check the CFD set for satisfiability
-//	detect     run violation detection (use -engine sql|native|parallel)
+//	detect     run violation detection (use -engine sql|native|parallel|columnar)
 //	sql        print the generated detection SQL without running it
 //	audit      print the data quality report
 //	map        print the tuple-level data quality map
@@ -44,7 +44,7 @@ func run(args []string, out io.Writer) error {
 	dataPath := fs.String("data", "", "CSV file holding the relation to check")
 	tableName := fs.String("table", "", "table name (default: file base name)")
 	cfdPath := fs.String("cfds", "", "file with CFDs, one pattern per line")
-	engine := fs.String("engine", "sql", "detection engine: sql, native or parallel")
+	engine := fs.String("engine", "sql", "detection engine: sql, native, parallel or columnar")
 	workers := fs.Int("workers", 0, "parallel engine worker count (default GOMAXPROCS)")
 	apply := fs.Bool("apply", false, "repair: apply the candidate repair and write the CSV back")
 	outPath := fs.String("o", "", "repair -apply: output CSV path (default: overwrite -data)")

@@ -192,16 +192,21 @@ const (
 	// SQLDetection generates and runs the two SQL queries per CFD (the
 	// paper's technique).
 	SQLDetection DetectorKind = iota
-	// NativeDetection uses in-memory hash grouping (the baseline).
+	// NativeDetection uses in-memory hash grouping over the row store
+	// (the single-threaded reference baseline).
 	NativeDetection
-	// ParallelDetection shards the native hash grouping across
-	// runtime.GOMAXPROCS workers by LHS-key hash; the report is identical
-	// to NativeDetection's.
+	// ParallelDetection shards detection over the table's columnar
+	// snapshot across runtime.GOMAXPROCS workers by a hash of each CFD's
+	// LHS code vector; the report is identical to NativeDetection's.
 	ParallelDetection
+	// ColumnarDetection runs the sequential scan over the table's
+	// columnar snapshot with dictionary-code group keys; the report is
+	// identical to NativeDetection's.
+	ColumnarDetection
 )
 
 // detectorKinds lists every kind, for cache invalidation.
-var detectorKinds = []DetectorKind{SQLDetection, NativeDetection, ParallelDetection}
+var detectorKinds = []DetectorKind{SQLDetection, NativeDetection, ParallelDetection, ColumnarDetection}
 
 // String names the detector kind.
 func (k DetectorKind) String() string {
@@ -212,13 +217,15 @@ func (k DetectorKind) String() string {
 		return "native"
 	case ParallelDetection:
 		return "parallel"
+	case ColumnarDetection:
+		return "columnar"
 	default:
 		return fmt.Sprintf("DetectorKind(%d)", int(k))
 	}
 }
 
 // ParseDetectorKind maps the CLI/HTTP engine names ("sql", "native",
-// "parallel") to a DetectorKind.
+// "parallel", "columnar") to a DetectorKind.
 func ParseDetectorKind(s string) (DetectorKind, error) {
 	switch s {
 	case "sql":
@@ -227,8 +234,10 @@ func ParseDetectorKind(s string) (DetectorKind, error) {
 		return NativeDetection, nil
 	case "parallel":
 		return ParallelDetection, nil
+	case "columnar":
+		return ColumnarDetection, nil
 	default:
-		return SQLDetection, fmt.Errorf("semandaq: unknown detection engine %q (want sql, native or parallel)", s)
+		return SQLDetection, fmt.Errorf("semandaq: unknown detection engine %q (want sql, native, parallel or columnar)", s)
 	}
 }
 
@@ -265,6 +274,8 @@ func (s *Semandaq) DetectWorkers(table string, kind DetectorKind, workers int) (
 		det = detect.NewSQLDetector(s.store)
 	case ParallelDetection:
 		det = detect.ParallelDetector{Workers: workers}
+	case ColumnarDetection:
+		det = detect.ColumnarDetector{Workers: 1}
 	default:
 		det = detect.NativeDetector{}
 	}

@@ -313,3 +313,43 @@ func TestTablesHidesArtifacts(t *testing.T) {
 		}
 	}
 }
+
+// TestDetectorKindMatrix pins the engine-name round-trip and that every
+// kind produces an equivalent report through the session facade (the
+// columnar and parallel engines additionally share the cache keyed per
+// kind).
+func TestDetectorKindMatrix(t *testing.T) {
+	names := map[DetectorKind]string{
+		SQLDetection:      "sql",
+		NativeDetection:   "native",
+		ParallelDetection: "parallel",
+		ColumnarDetection: "columnar",
+	}
+	for kind, name := range names {
+		if kind.String() != name {
+			t.Errorf("String(%d) = %q, want %q", int(kind), kind.String(), name)
+		}
+		parsed, err := ParseDetectorKind(name)
+		if err != nil || parsed != kind {
+			t.Errorf("ParseDetectorKind(%q) = %v, %v", name, parsed, err)
+		}
+	}
+	if _, err := ParseDetectorKind("vectorized"); err == nil {
+		t.Error("ParseDetectorKind accepted an unknown engine")
+	}
+
+	s := session(t)
+	base, err := s.Detect("customer", NativeDetection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind := range names {
+		rep, err := s.Detect("customer", kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := detect.Equivalent(base, rep); err != nil {
+			t.Errorf("%s vs native: %v", kind, err)
+		}
+	}
+}

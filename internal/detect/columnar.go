@@ -1,0 +1,401 @@
+package detect
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relstore"
+	"semandaq/internal/types"
+)
+
+// ColumnarDetector computes the NativeDetector report over the table's
+// columnar snapshot (relstore.Columnar) instead of the row store. The
+// semantics and the produced report are identical — same violations, same
+// group and member order — but the hot loop is integer work:
+//
+//   - a pattern constant is translated once per detection into the
+//     column's Equal-class code, so matching a tuple against a pattern
+//     cell is one uint32 comparison instead of a Value.Equal call;
+//   - the multi-tuple group key is the fixed-width vector of the tuple's
+//     LHS Equal-class codes, packed into a small byte buffer, instead of a
+//     length-prefixed Key() string rebuilt per tuple per CFD (the
+//     WriteGroupKey encoding remains the cross-snapshot key format, used
+//     by the incremental tracker and the SQL engine's generic paths);
+//   - the RHS value key of a group member is the dictionary's precomputed
+//     Key() string, shared by every member with that value.
+//
+// Workers selects the evaluation shape: <= 1 runs a sequential scan; more
+// run the two-phase sharded evaluation ParallelDetector describes (chunked
+// scan, then per-shard grouping routed by a hash of the code vector). The
+// report does not depend on the worker count.
+type ColumnarDetector struct {
+	Workers int
+}
+
+// colCell is one LHS pattern cell translated into a column's code space.
+type colCell struct {
+	wild bool
+	code uint32 // Equal-class code of the constant; valid when !wild
+}
+
+// colPattern is one tableau pattern resolved against a snapshot. dead
+// marks patterns with an LHS constant that no stored value Equals: they
+// cannot match any row of this snapshot.
+type colPattern struct {
+	idx  int // index in the (merged, normalized) tableau
+	lhs  []colCell
+	dead bool
+	// Constant-RHS patterns only: the expected Equal-class code. expOK is
+	// false when the constant is absent from the column's dictionary, in
+	// which case every matching tuple with a non-NULL RHS is a violation.
+	expCode uint32
+	expOK   bool
+}
+
+// colPrep is one prepared CFD bound to a columnar snapshot.
+type colPrep struct {
+	p         prepared
+	lhsCols   []*relstore.Column
+	rhsCol    *relstore.Column
+	rhsNull   uint32 // exact (= Equal-class) code of NULL in the RHS column
+	hasNull   bool
+	constPats []colPattern
+	varPats   []colPattern
+}
+
+// newColPrep resolves the prepared CFD's patterns into snapshot codes.
+func newColPrep(p prepared, snap *relstore.Columnar) colPrep {
+	cp := colPrep{
+		p:       p,
+		lhsCols: make([]*relstore.Column, len(p.lhsPos)),
+		rhsCol:  snap.Col(p.rhsPos),
+	}
+	cp.rhsNull, cp.hasNull = cp.rhsCol.NullCode()
+	for k, pos := range p.lhsPos {
+		cp.lhsCols[k] = snap.Col(pos)
+	}
+	if p.c.HasVariablePattern() {
+		cp.rhsCol.EnsureKeys() // group RHS keys sit in the scan's hot loop
+	}
+	for i := range p.c.Tableau {
+		pat := colPattern{idx: i, lhs: make([]colCell, len(p.lhsPos))}
+		for k, pv := range p.c.Tableau[i].LHS {
+			if pv.Wildcard {
+				pat.lhs[k] = colCell{wild: true}
+				continue
+			}
+			code, ok := cp.lhsCols[k].EqCodeOf(pv.Const)
+			if !ok {
+				pat.dead = true
+			}
+			pat.lhs[k] = colCell{code: code}
+		}
+		if rhs := p.c.Tableau[i].RHS[0]; rhs.Wildcard {
+			cp.varPats = append(cp.varPats, pat)
+		} else {
+			pat.expCode, pat.expOK = cp.rhsCol.EqCodeOf(rhs.Const)
+			cp.constPats = append(cp.constPats, pat)
+		}
+	}
+	return cp
+}
+
+// matchCells reports whether snapshot row idx matches the pattern cells.
+func matchCells(cells []colCell, cols []*relstore.Column, idx int) bool {
+	for k := range cells {
+		if cells[k].wild {
+			continue
+		}
+		if cols[k].EqCode(idx) != cells[k].code {
+			return false
+		}
+	}
+	return true
+}
+
+// appendConstViolationsColumnar is appendConstViolations over codes: it
+// appends row idx's single-tuple violations and reports whether any fired.
+func appendConstViolationsColumnar(dst []Violation, cp *colPrep, idx int,
+	id relstore.TupleID) ([]Violation, bool) {
+	if len(cp.constPats) == 0 {
+		return dst, false
+	}
+	fired := false
+	rhsExact := cp.rhsCol.Code(idx)
+	if cp.hasNull && rhsExact == cp.rhsNull {
+		return dst, false // NULL RHS is never flagged, matching the SQL path
+	}
+	rhsEq := cp.rhsCol.EqOf(rhsExact)
+	for pi := range cp.constPats {
+		pat := &cp.constPats[pi]
+		if pat.dead || !matchCells(pat.lhs, cp.lhsCols, idx) {
+			continue
+		}
+		if pat.expOK && rhsEq == pat.expCode {
+			continue
+		}
+		dst = append(dst, Violation{
+			CFDID:    cp.p.c.ID,
+			Kind:     SingleTuple,
+			Pattern:  pat.idx,
+			TupleID:  id,
+			Attr:     cp.p.c.RHS[0],
+			Expected: cp.p.c.Tableau[pat.idx].RHS[0].Const,
+			Got:      cp.rhsCol.Value(rhsExact),
+		})
+		fired = true
+	}
+	return dst, fired
+}
+
+// matchesVarColumnar reports whether row idx matches at least one live
+// variable pattern's LHS.
+func matchesVarColumnar(cp *colPrep, idx int) bool {
+	for pi := range cp.varPats {
+		pat := &cp.varPats[pi]
+		if !pat.dead && matchCells(pat.lhs, cp.lhsCols, idx) {
+			return true
+		}
+	}
+	return false
+}
+
+// packLHSCodes writes row idx's LHS Equal-class code vector into buf
+// (little-endian uint32 per attribute). Two rows pack identically iff
+// their LHS projections are component-wise Equal, so string(buf) is a
+// collision-free group key within one snapshot.
+func packLHSCodes(buf []byte, cp *colPrep, idx int) {
+	for k, col := range cp.lhsCols {
+		binary.LittleEndian.PutUint32(buf[4*k:], col.EqCode(idx))
+	}
+}
+
+// addToGroupColumnar folds row idx into the group keyed by its packed code
+// vector, materializing the representative LHS values (exact, from the
+// first member — exactly what the row path stores) on group creation.
+func addToGroupColumnar(groups map[string]*groupAcc, keyBuf []byte,
+	cp *colPrep, idx int, id relstore.TupleID) {
+	g, ok := groups[string(keyBuf)]
+	if !ok {
+		lhsVals := make([]types.Value, len(cp.lhsCols))
+		for k, col := range cp.lhsCols {
+			lhsVals[k] = col.Value(col.Code(idx))
+		}
+		g = &groupAcc{
+			lhsVals:   lhsVals,
+			rhsOf:     map[relstore.TupleID]string{},
+			rhsCounts: map[string]int{},
+		}
+		groups[string(keyBuf)] = g
+	}
+	g.members = append(g.members, id)
+	rk := cp.rhsCol.KeyOf(cp.rhsCol.Code(idx))
+	g.rhsOf[id] = rk
+	g.rhsCounts[rk]++
+}
+
+// Detect implements Detector.
+func (d ColumnarDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
+	preps, err := prepare(tab, cfds)
+	if err != nil {
+		return nil, err
+	}
+	snap := tab.Columnar()
+	rep := &Report{
+		Table:      tab.Schema().Name,
+		TupleCount: snap.Len(),
+		PerCFD:     make(map[string]*CFDStats),
+	}
+	cps := make([]colPrep, len(preps))
+	for i, p := range preps {
+		rep.PerCFD[p.c.ID] = &CFDStats{}
+		cps[i] = newColPrep(p, snap)
+	}
+	workers := d.Workers
+	// Clamp untrusted worker counts (the HTTP API forwards them): beyond
+	// the core count extra workers only add scheduling and routing-buffer
+	// overhead, and beyond the tuple count they do nothing at all.
+	if maxW := 8 * runtime.GOMAXPROCS(0); workers > maxW {
+		workers = maxW
+	}
+	if workers > snap.Len() {
+		workers = snap.Len()
+	}
+	if workers <= 1 {
+		for i := range cps {
+			detectOneColumnar(snap, &cps[i], rep, rep.PerCFD[preps[i].c.ID])
+		}
+	} else {
+		detectShardedColumnar(snap, cps, rep, workers)
+	}
+	finish(rep)
+	return rep, nil
+}
+
+// detectOneColumnar is the sequential scan for one CFD: single-tuple
+// checks inline, group accumulation keyed by packed code vectors.
+func detectOneColumnar(snap *relstore.Columnar, cp *colPrep, rep *Report, st *CFDStats) {
+	groups := map[string]*groupAcc{}
+	keyBuf := make([]byte, 4*len(cp.lhsCols))
+	ids := snap.IDs()
+	for idx := range ids {
+		var fired bool
+		rep.Violations, fired = appendConstViolationsColumnar(rep.Violations, cp, idx, ids[idx])
+		if fired {
+			st.SingleTuple++
+		}
+		if matchesVarColumnar(cp, idx) {
+			packLHSCodes(keyBuf, cp, idx)
+			addToGroupColumnar(groups, keyBuf, cp, idx, ids[idx])
+		}
+	}
+	var ng, nm int
+	rep.Groups, rep.Violations, ng, nm = flushGroups(groups, cp.p, rep.Groups, rep.Violations)
+	st.Groups += ng
+	st.MultiTuple += nm
+}
+
+// colChunkResult is one scan worker's output in the sharded evaluation.
+type colChunkResult struct {
+	violations []Violation
+	// singles counts, per prepared CFD, the chunk's tuples with at least
+	// one single-tuple violation (chunks partition the tuples, so these
+	// add up without double counting).
+	singles []int
+	// routed[cfdIdx][shard] lists the snapshot indexes of this chunk's
+	// tuples whose group lands in that shard, in snapshot order.
+	routed [][][]int32
+}
+
+// colShardResult is one group worker's output.
+type colShardResult struct {
+	violations []Violation
+	groups     []*Group
+	// multis and groupCounts are per prepared CFD.
+	multis      []int
+	groupCounts []int
+}
+
+// detectShardedColumnar runs the two-phase evaluation: chunked scan (phase
+// 1), then per-shard grouping (phase 2), merged by concatenation under the
+// deterministic finish() ordering — the same structure the row-based
+// ParallelDetector used, now routing 4-byte code vectors instead of keys.
+func detectShardedColumnar(snap *relstore.Columnar, cps []colPrep, rep *Report, workers int) {
+	ids := snap.IDs()
+	shards := workers
+	bounds := chunkBounds(len(ids), workers)
+	chunks := make([]colChunkResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scanChunkColumnar(&chunks[w], cps, ids, bounds[w], bounds[w+1], shards)
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 2: shard s consumes, for every CFD, the indexes routed to it
+	// by every chunk, in chunk order — which is snapshot order, so group
+	// members accumulate exactly as the sequential scan would.
+	results := make([]colShardResult, shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			groupShardColumnar(&results[s], cps, chunks, s, ids)
+		}(s)
+	}
+	wg.Wait()
+
+	for w := range chunks {
+		rep.Violations = append(rep.Violations, chunks[w].violations...)
+		for ci, n := range chunks[w].singles {
+			rep.PerCFD[cps[ci].p.c.ID].SingleTuple += n
+		}
+	}
+	for s := range results {
+		rep.Violations = append(rep.Violations, results[s].violations...)
+		rep.Groups = append(rep.Groups, results[s].groups...)
+		for ci := range cps {
+			st := rep.PerCFD[cps[ci].p.c.ID]
+			st.MultiTuple += results[s].multis[ci]
+			st.Groups += results[s].groupCounts[ci]
+		}
+	}
+}
+
+// scanChunkColumnar is phase 1 for one worker: single-tuple checks inline,
+// variable matches routed to shards by a hash of the packed code vector.
+func scanChunkColumnar(out *colChunkResult, cps []colPrep,
+	ids []relstore.TupleID, lo, hi, shards int) {
+	out.singles = make([]int, len(cps))
+	out.routed = make([][][]int32, len(cps))
+	keyBufs := make([][]byte, len(cps))
+	for ci := range cps {
+		out.routed[ci] = make([][]int32, shards)
+		keyBufs[ci] = make([]byte, 4*len(cps[ci].lhsCols))
+	}
+	for idx := lo; idx < hi; idx++ {
+		id := ids[idx]
+		for ci := range cps {
+			cp := &cps[ci]
+			var fired bool
+			out.violations, fired = appendConstViolationsColumnar(out.violations, cp, idx, id)
+			if fired {
+				out.singles[ci]++
+			}
+			if matchesVarColumnar(cp, idx) {
+				packLHSCodes(keyBufs[ci], cp, idx)
+				s := shardOfBytes(keyBufs[ci], shards)
+				out.routed[ci][s] = append(out.routed[ci][s], int32(idx))
+			}
+		}
+	}
+}
+
+// groupShardColumnar is phase 2 for one shard: re-pack each routed index's
+// code vector and accumulate groups, exactly as the sequential scan does.
+func groupShardColumnar(out *colShardResult, cps []colPrep,
+	chunks []colChunkResult, shard int, ids []relstore.TupleID) {
+	out.multis = make([]int, len(cps))
+	out.groupCounts = make([]int, len(cps))
+	for ci := range cps {
+		cp := &cps[ci]
+		groups := map[string]*groupAcc{}
+		keyBuf := make([]byte, 4*len(cp.lhsCols))
+		for w := range chunks {
+			for _, idx := range chunks[w].routed[ci][shard] {
+				packLHSCodes(keyBuf, cp, int(idx))
+				addToGroupColumnar(groups, keyBuf, cp, int(idx), ids[idx])
+			}
+		}
+		var ng, nm int
+		out.groups, out.violations, ng, nm = flushGroups(groups, cp.p, out.groups, out.violations)
+		out.groupCounts[ci] += ng
+		out.multis[ci] += nm
+	}
+}
+
+// chunkBounds splits n items into w contiguous ranges; returns w+1 offsets.
+func chunkBounds(n, w int) []int {
+	bounds := make([]int, w+1)
+	for i := 0; i <= w; i++ {
+		bounds[i] = i * n / w
+	}
+	return bounds
+}
+
+// shardOfBytes assigns a packed code vector to a shard with FNV-1a; any
+// deterministic hash works, since the merged report is re-sorted by
+// finish().
+func shardOfBytes(key []byte, shards int) int {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}

@@ -2,7 +2,9 @@ package detect
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"semandaq/internal/cfd"
@@ -87,6 +89,15 @@ func TestCrossCheckRandomized(t *testing.T) {
 			t.Fatalf("trial %d: parallel (workers=%d) disagrees: %v\ncfds:\n%v",
 				trial, workers, err, cfds)
 		}
+		colRep, err := ColumnarDetector{Workers: 1}.Detect(tab, cfds)
+		if err != nil {
+			t.Fatalf("trial %d: columnar: %v", trial, err)
+		}
+		// The columnar report must be byte-identical to the native one,
+		// not merely equivalent: same violations, same order, same groups.
+		if !reflect.DeepEqual(native, colRep) {
+			t.Fatalf("trial %d: columnar report not identical to native\ncfds:\n%v", trial, cfds)
+		}
 
 		// And the tracker, seeded from the same table, agrees too.
 		tr, err := NewTracker(tab, cfds)
@@ -138,6 +149,35 @@ func TestParallelCrossCheckDatagen(t *testing.T) {
 	}
 }
 
+// TestColumnarByteIdenticalDatagen is the cross-snapshot acceptance check
+// for the columnar read path: at noise 0, 2% and 10%, the sequential
+// columnar report and every sharded configuration must be deep-equal to
+// the native row-scan report — same violation records in the same order,
+// same groups, same members, same value representatives — not merely
+// statistics-equivalent.
+func TestColumnarByteIdenticalDatagen(t *testing.T) {
+	for _, noise := range []float64{0, 0.02, 0.10} {
+		ds := datagen.Generate(datagen.Config{Tuples: 2000, Seed: 77, NoiseRate: noise})
+		cfds := datagen.StandardCFDs()
+		native, err := NativeDetector{}.Detect(ds.Dirty, cfds)
+		if err != nil {
+			t.Fatalf("noise=%.2f: native: %v", noise, err)
+		}
+		if noise > 0 && len(native.Vio) == 0 {
+			t.Fatalf("noise=%.2f produced no violations; test is vacuous", noise)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			col, err := ColumnarDetector{Workers: workers}.Detect(ds.Dirty, cfds)
+			if err != nil {
+				t.Fatalf("noise=%.2f workers=%d: columnar: %v", noise, workers, err)
+			}
+			if !reflect.DeepEqual(native, col) {
+				t.Errorf("noise=%.2f workers=%d: columnar report not byte-identical to native", noise, workers)
+			}
+		}
+	}
+}
+
 func randPattern(rng *rand.Rand) cfd.PatternValue {
 	switch rng.Intn(4) {
 	case 0:
@@ -170,6 +210,7 @@ func TestVioDefinitionOnKnownGroups(t *testing.T) {
 		"native":   NativeDetector{},
 		"sql":      NewSQLDetector(store),
 		"parallel": ParallelDetector{Workers: 3},
+		"columnar": ColumnarDetector{Workers: 1},
 	} {
 		t.Run(name, func(t *testing.T) {
 			rep, err := det.Detect(tab, []*cfd.CFD{fd})
@@ -187,5 +228,81 @@ func TestVioDefinitionOnKnownGroups(t *testing.T) {
 				t.Errorf("dirty = %v", rep.Vio)
 			}
 		})
+	}
+}
+
+// TestColumnarIdenticalOnFloatEdgeCases pins the float edge cases that
+// once diverged between the row and columnar paths: NaN (which compared
+// "equal" to every number before cmpFloat64 grew its NaN arm) and the
+// -0.0/0.0 pair (bit-distinct, Equal, one Equal-class).
+func TestColumnarIdenticalOnFloatEdgeCases(t *testing.T) {
+	// NaN table: the constant pattern a=5 -> b=7 must flag the NaN row
+	// (NaN != 7), and the FD must see {NaN, 7} disagree in one group.
+	// reflect.DeepEqual cannot compare reports containing NaN (NaN != NaN
+	// under ==), so this half checks structure with Value.Equal.
+	store := relstore.NewStore()
+	tab, _ := store.Create(schema.New("r", "A", "B"))
+	nanID := tab.MustInsert(relstore.Tuple{types.NewInt(5), types.NewFloat(math.NaN())})
+	tab.MustInsert(relstore.Tuple{types.NewInt(5), types.NewInt(7)})
+	cfds := []*cfd.CFD{
+		cfd.New("c1", "r", []string{"A"}, []string{"B"}, cfd.PatternTuple{
+			LHS: []cfd.PatternValue{cfd.Constant(types.NewInt(5))},
+			RHS: []cfd.PatternValue{cfd.Constant(types.NewInt(7))},
+		}),
+		cfd.NewFD("c2", "r", []string{"A"}, []string{"B"}),
+	}
+	native, err := NativeDetector{}.Detect(tab, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if native.Vio[nanID] != 2 { // one single-tuple + one multi-tuple partner
+		t.Fatalf("native vio(NaN row) = %d, want 2", native.Vio[nanID])
+	}
+	for _, workers := range []int{1, 4} {
+		col, err := ColumnarDetector{Workers: workers}.Detect(tab, cfds)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := Equivalent(native, col); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(col.Violations) != len(native.Violations) {
+			t.Fatalf("workers=%d: %d violations, native %d",
+				workers, len(col.Violations), len(native.Violations))
+		}
+		for i, nv := range native.Violations {
+			cv := col.Violations[i]
+			if cv.CFDID != nv.CFDID || cv.Kind != nv.Kind || cv.TupleID != nv.TupleID ||
+				cv.Pattern != nv.Pattern || cv.Partners != nv.Partners ||
+				!cv.Expected.Equal(nv.Expected) || !cv.Got.Equal(nv.Got) ||
+				cv.Got.Kind() != nv.Got.Kind() {
+				t.Fatalf("workers=%d: violation %d differs: %+v vs %+v", workers, i, cv, nv)
+			}
+		}
+	}
+
+	// -0.0 table: bit-distinct, Equal values in one LHS group. No NaNs,
+	// so full deep-equality applies.
+	store2 := relstore.NewStore()
+	tab2, _ := store2.Create(schema.New("r", "A", "B"))
+	tab2.MustInsert(relstore.Tuple{types.NewFloat(math.Copysign(0, -1)), types.NewInt(1)})
+	tab2.MustInsert(relstore.Tuple{types.NewFloat(0), types.NewInt(2)})
+	tab2.MustInsert(relstore.Tuple{types.NewInt(0), types.NewInt(2)})
+	fd := cfd.NewFD("c2", "r", []string{"A"}, []string{"B"})
+	native2, err := NativeDetector{}.Detect(tab2, []*cfd.CFD{fd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(native2.Vio) != 3 {
+		t.Fatalf("-0.0 group: native dirty = %v, want all 3 tuples", native2.Vio)
+	}
+	for _, workers := range []int{1, 4} {
+		col, err := ColumnarDetector{Workers: workers}.Detect(tab2, []*cfd.CFD{fd})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(native2, col) {
+			t.Errorf("workers=%d: columnar diverges from native on -0.0/0.0/0 grouping", workers)
+		}
 	}
 }

@@ -15,11 +15,16 @@
 // single-tuple violation, and by the cardinality of the set of tuples that
 // jointly conflict with t per CFD with a multi-tuple violation.
 //
-// The package provides two interchangeable detectors: SQLDetector generates
-// the two SQL queries of the TODS paper per merged CFD and runs them on the
-// sqleng engine (the paper's technique, end to end), and NativeDetector
-// computes the same report with hand-rolled hash grouping (the baseline the
-// benches compare against, and the engine the incremental layer builds on).
+// The package provides interchangeable detectors producing one report:
+// SQLDetector generates the two SQL queries of the TODS paper per merged
+// CFD and runs them on the sqleng engine (the paper's technique, end to
+// end); NativeDetector computes the same report with hand-rolled hash
+// grouping over the row store (the reference semantics and the row-path
+// baseline the benches compare against); ColumnarDetector evaluates over
+// the table's columnar snapshot with dictionary-code group keys, either
+// sequentially or sharded across workers (ParallelDetector is its
+// multi-worker configuration). The incremental layer builds on the native
+// semantics.
 package detect
 
 import (
@@ -280,9 +285,9 @@ func (NativeDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report, err
 	return rep, nil
 }
 
-// detectOne processes one prepared CFD over the whole table. The per-tuple
-// checks and the group bookkeeping are shared with ParallelDetector, whose
-// sharded evaluation must stay byte-identical to this sequential one.
+// detectOne processes one prepared CFD over the whole table. The group
+// bookkeeping (groupAcc, flushGroups) is shared with ColumnarDetector,
+// whose code-vector evaluation must stay byte-identical to this row scan.
 func detectOne(tab *relstore.Table, p prepared, rep *Report, st *CFDStats) {
 	constPatterns, varPatterns := splitPatterns(p)
 	groups := map[string]*groupAcc{}
@@ -400,6 +405,20 @@ func addToGroup(groups map[string]*groupAcc, key string, p prepared,
 func flushGroups(groups map[string]*groupAcc, p prepared,
 	outGroups []*Group, outViols []Violation) ([]*Group, []Violation, int, int) {
 	ng, nm := 0, 0
+	// Pre-grow the violation slice: a dirty group emits one record per
+	// member, and at millions of members the append-doubling copies would
+	// otherwise dominate the flush.
+	total := 0
+	for _, g := range groups {
+		if len(g.rhsCounts) > 1 {
+			total += len(g.members)
+		}
+	}
+	if free := cap(outViols) - len(outViols); free < total {
+		grown := make([]Violation, len(outViols), len(outViols)+total)
+		copy(grown, outViols)
+		outViols = grown
+	}
 	for _, g := range groups {
 		if len(g.rhsCounts) <= 1 {
 			continue

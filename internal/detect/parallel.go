@@ -2,210 +2,41 @@ package detect
 
 import (
 	"runtime"
-	"sync"
 
 	"semandaq/internal/cfd"
 	"semandaq/internal/relstore"
 )
 
-// ParallelDetector computes the same report as NativeDetector with the work
-// partitioned across multiple goroutines. Detection runs in two phases over
-// a consistent snapshot of the table:
+// ParallelDetector computes the same report as NativeDetector with the
+// work partitioned across multiple goroutines. Since the columnar
+// read-path refactor it is the multi-worker configuration of
+// ColumnarDetector: detection runs in two phases over the table's columnar
+// snapshot:
 //
 //  1. Scan: the tuples are split into contiguous chunks, one per worker.
-//     Each chunk worker checks every constant pattern directly (single-tuple
-//     violations are per-tuple independent) and, for tuples matching a
-//     variable pattern, routes a (tuple, LHS key) record to a shard chosen
-//     by hashing the CFD's LHS key — so every multi-tuple violation group
-//     lands wholly in one shard.
-//  2. Group: one worker per shard folds the routed records into per-shard
-//     group maps (the same accumulation NativeDetector performs globally)
-//     and emits the multi-tuple violations for groups disagreeing on the
-//     RHS.
+//     Each chunk worker checks every constant pattern directly against
+//     dictionary codes (single-tuple violations are per-tuple independent)
+//     and, for tuples matching a variable pattern, routes the tuple's
+//     snapshot index to a shard chosen by hashing the CFD's packed LHS
+//     code vector — so every multi-tuple violation group lands wholly in
+//     one shard.
+//  2. Group: one worker per shard folds the routed tuples into per-shard
+//     group maps (the same accumulation the sequential scan performs
+//     globally) and emits the multi-tuple violations for groups
+//     disagreeing on the RHS.
 //
-// Both phases run the helpers detectOne uses, and shard results merge by
-// concatenation under the shared finish/majorityKey ordering, so the report
-// is byte-identical to NativeDetector's. Workers selects the goroutine
-// count; <= 0 means runtime.GOMAXPROCS(0).
+// Shard results merge by concatenation under the shared finish() ordering,
+// so the report is byte-identical to NativeDetector's. Workers selects the
+// goroutine count; <= 0 means runtime.GOMAXPROCS(0).
 type ParallelDetector struct {
 	Workers int
 }
 
-// groupRec routes one tuple (by snapshot position) into a shard's group map
-// under the LHS key computed during the scan phase.
-type groupRec struct {
-	idx int
-	key string
-}
-
-// chunkResult is one scan worker's output.
-type chunkResult struct {
-	violations []Violation
-	// singles counts, per prepared CFD, the chunk's tuples with at least
-	// one single-tuple violation (chunks partition the tuples, so these
-	// add up without double counting).
-	singles []int
-	// routed[cfdIdx][shard] holds the group records this chunk sends to
-	// each shard, in snapshot order.
-	routed [][][]groupRec
-}
-
-// shardResult is one group worker's output.
-type shardResult struct {
-	violations []Violation
-	groups     []*Group
-	// multis and groupCounts are per prepared CFD.
-	multis      []int
-	groupCounts []int
-}
-
 // Detect implements Detector.
 func (d ParallelDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
-	preps, err := prepare(tab, cfds)
-	if err != nil {
-		return nil, err
-	}
-	ids, rows := tab.RowsView() // one consistent snapshot for both phases
 	workers := d.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// Clamp untrusted worker counts (the HTTP API forwards them): beyond
-	// the core count extra workers only add scheduling and routing-buffer
-	// overhead, and beyond the tuple count they do nothing at all.
-	if maxW := 8 * runtime.GOMAXPROCS(0); workers > maxW {
-		workers = maxW
-	}
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	rep := &Report{
-		Table:      tab.Schema().Name,
-		TupleCount: len(ids),
-		PerCFD:     make(map[string]*CFDStats),
-	}
-	constPats := make([][]int, len(preps))
-	varPats := make([][]int, len(preps))
-	for ci, p := range preps {
-		rep.PerCFD[p.c.ID] = &CFDStats{}
-		constPats[ci], varPats[ci] = splitPatterns(p)
-	}
-
-	// Phase 1: chunk scan. Worker w owns rows [bounds[w], bounds[w+1]).
-	shards := workers
-	bounds := chunkBounds(len(ids), workers)
-	chunks := make([]chunkResult, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			scanChunk(&chunks[w], preps, constPats, varPats, ids, rows,
-				bounds[w], bounds[w+1], shards)
-		}(w)
-	}
-	wg.Wait()
-
-	// Phase 2: per-shard grouping. Shard s consumes, for every CFD, the
-	// records routed to it by every chunk, in chunk order — which is
-	// snapshot order, so group members accumulate exactly as a sequential
-	// scan would.
-	results := make([]shardResult, shards)
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			groupShard(&results[s], preps, chunks, s, ids, rows)
-		}(s)
-	}
-	wg.Wait()
-
-	// Merge: concatenate and add; finish() establishes the deterministic
-	// order shared with the other detectors.
-	for w := range chunks {
-		rep.Violations = append(rep.Violations, chunks[w].violations...)
-		for ci, n := range chunks[w].singles {
-			rep.PerCFD[preps[ci].c.ID].SingleTuple += n
-		}
-	}
-	for s := range results {
-		rep.Violations = append(rep.Violations, results[s].violations...)
-		rep.Groups = append(rep.Groups, results[s].groups...)
-		for ci := range preps {
-			st := rep.PerCFD[preps[ci].c.ID]
-			st.MultiTuple += results[s].multis[ci]
-			st.Groups += results[s].groupCounts[ci]
-		}
-	}
-	finish(rep)
-	return rep, nil
-}
-
-// chunkBounds splits n items into w contiguous ranges; returns w+1 offsets.
-func chunkBounds(n, w int) []int {
-	bounds := make([]int, w+1)
-	for i := 0; i <= w; i++ {
-		bounds[i] = i * n / w
-	}
-	return bounds
-}
-
-// scanChunk is phase 1 for one worker: single-tuple checks inline, variable
-// matches routed to shards by LHS-key hash.
-func scanChunk(out *chunkResult, preps []prepared, constPats, varPats [][]int,
-	ids []relstore.TupleID, rows []relstore.Tuple, lo, hi, shards int) {
-	out.singles = make([]int, len(preps))
-	out.routed = make([][][]groupRec, len(preps))
-	for ci := range preps {
-		out.routed[ci] = make([][]groupRec, shards)
-	}
-	for idx := lo; idx < hi; idx++ {
-		id, row := ids[idx], rows[idx]
-		for ci, p := range preps {
-			var fired bool
-			out.violations, fired = appendConstViolations(out.violations, p, constPats[ci], id, row)
-			if fired {
-				out.singles[ci]++
-			}
-			if matchesVarPattern(p, varPats[ci], row) {
-				key := row.KeyOn(p.lhsPos)
-				s := shardOf(key, shards)
-				out.routed[ci][s] = append(out.routed[ci][s], groupRec{idx: idx, key: key})
-			}
-		}
-	}
-}
-
-// groupShard is phase 2 for one shard: accumulate groups and emit the
-// multi-tuple violations, exactly as NativeDetector's per-CFD grouping does.
-func groupShard(out *shardResult, preps []prepared, chunks []chunkResult,
-	shard int, ids []relstore.TupleID, rows []relstore.Tuple) {
-	out.multis = make([]int, len(preps))
-	out.groupCounts = make([]int, len(preps))
-	for ci, p := range preps {
-		groups := map[string]*groupAcc{}
-		for w := range chunks {
-			for _, rec := range chunks[w].routed[ci][shard] {
-				addToGroup(groups, rec.key, p, ids[rec.idx], rows[rec.idx])
-			}
-		}
-		var ng, nm int
-		out.groups, out.violations, ng, nm = flushGroups(groups, p, out.groups, out.violations)
-		out.groupCounts[ci] += ng
-		out.multis[ci] += nm
-	}
-}
-
-// shardOf assigns a group key to a shard with FNV-1a; any deterministic
-// hash works, since the merged report is re-sorted by finish().
-func shardOf(key string, shards int) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return int(h % uint32(shards))
+	return ColumnarDetector{Workers: workers}.Detect(tab, cfds)
 }

@@ -42,6 +42,7 @@ func TestLHSKeySeparatorCollision(t *testing.T) {
 		"sql":       NewSQLDetector(store),
 		"parallel1": ParallelDetector{Workers: 1},
 		"parallel4": ParallelDetector{Workers: 4},
+		"columnar":  ColumnarDetector{Workers: 1},
 	}
 	for name, det := range dets {
 		rep, err := det.Detect(tab, []*cfd.CFD{fd})

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+	"semandaq/internal/relstore"
+)
+
+// Machine-readable detection benchmarks. cmd/semandaq-bench -json writes
+// the report to BENCH_detect.json so successive PRs accumulate a
+// performance trajectory that scripts (and the CI bench-smoke job) can
+// diff, instead of eyeballing text tables.
+
+// DetectBenchSchema versions the JSON layout.
+const DetectBenchSchema = "semandaq/bench-detect/v1"
+
+// DetectBenchEntry is one (engine, size) measurement.
+type DetectBenchEntry struct {
+	Engine     string  `json:"engine"`
+	Tuples     int     `json:"tuples"`
+	Workers    int     `json:"workers,omitempty"`
+	NsOp       int64   `json:"ns_op"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Dirty      int     `json:"dirty"`
+}
+
+// DetectBenchReport is the full sweep: every detection engine over growing
+// generated workloads (5% noise, the standard CFD set).
+type DetectBenchReport struct {
+	Schema      string             `json:"schema"`
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Quick       bool               `json:"quick"`
+	NoiseRate   float64            `json:"noise_rate"`
+	Results     []DetectBenchEntry `json:"results"`
+}
+
+// DetectBench measures every detection engine at each size and returns the
+// report. The interpreted SQL engine is capped (it is orders of magnitude
+// slower and would dominate the sweep's runtime). Engines are cross-checked
+// per size; a mismatch fails the sweep.
+func DetectBench(quick bool) (*DetectBenchReport, error) {
+	sizes := []int{10000, 100000, 1000000}
+	sqlCap := 100000
+	if quick {
+		sizes = []int{2000, 10000}
+		sqlCap = 10000
+	}
+	const noise = 0.05
+	workers := runtime.GOMAXPROCS(0)
+	cfds := datagen.StandardCFDs()
+	rep := &DetectBenchReport{
+		Schema:      DetectBenchSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  workers,
+		Quick:       quick,
+		NoiseRate:   noise,
+	}
+	for _, n := range sizes {
+		ds := datagen.Generate(datagen.Config{Tuples: n, Seed: 7, NoiseRate: noise})
+		store := relstore.NewStore()
+		store.Put(ds.Dirty)
+		engines := []struct {
+			name    string
+			workers int
+			det     detect.Detector
+		}{
+			{"native", 0, detect.NativeDetector{}},
+			{"columnar", 1, detect.ColumnarDetector{Workers: 1}},
+			{"parallel", workers, detect.ParallelDetector{}},
+			{"sql", 0, detect.NewSQLDetector(store)},
+		}
+		var baseline *detect.Report
+		for _, eng := range engines {
+			if eng.name == "sql" && n > sqlCap {
+				continue
+			}
+			var r *detect.Report
+			dur, err := timed(func() error {
+				var err error
+				r, err = eng.det.Detect(ds.Dirty, cfds)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench %s n=%d: %w", eng.name, n, err)
+			}
+			if baseline == nil {
+				baseline = r
+			} else if err := detect.Equivalent(baseline, r); err != nil {
+				return nil, fmt.Errorf("bench %s n=%d diverged: %w", eng.name, n, err)
+			}
+			rep.Results = append(rep.Results, DetectBenchEntry{
+				Engine:     eng.name,
+				Tuples:     n,
+				Workers:    eng.workers,
+				NsOp:       dur.Nanoseconds(),
+				RowsPerSec: float64(n) / dur.Seconds(),
+				Dirty:      len(r.Vio),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteDetectBenchJSON runs the sweep, writes the JSON report to path and
+// prints a human-readable summary table to w.
+func WriteDetectBenchJSON(path string, quick bool, w io.Writer) (*DetectBenchReport, error) {
+	rep, err := DetectBench(quick)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "wrote %s (gomaxprocs=%d)\n", path, rep.GoMaxProcs)
+	fmt.Fprintf(w, "%-10s %10s %14s %14s %8s\n", "engine", "tuples", "ns_op", "rows_per_sec", "dirty")
+	for _, e := range rep.Results {
+		fmt.Fprintf(w, "%-10s %10d %14d %14.0f %8d\n",
+			e.Engine, e.Tuples, e.NsOp, e.RowsPerSec, e.Dirty)
+	}
+	return rep, nil
+}

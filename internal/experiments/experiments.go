@@ -38,6 +38,7 @@ func All() []Exp {
 		{ID: "D2", Title: "detection vs number of pattern tuples", Run: RunD2},
 		{ID: "D3", Title: "incremental vs batch detection", Run: RunD3},
 		{ID: "D4", Title: "parallel detection: sharded vs native vs SQL", Run: RunD4},
+		{ID: "D5", Title: "columnar detection: row vs columnar vs parallel-columnar", Run: RunD5},
 		{ID: "R1", Title: "repair quality vs noise rate", Run: RunR1},
 		{ID: "R2", Title: "repair scalability", Run: RunR2},
 		{ID: "R3", Title: "incremental vs batch repair", Run: RunR3},

@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -27,7 +27,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Error("ByID(nope) should fail")
 	}
-	if got := len(IDs()); got != 15 {
+	if got := len(IDs()); got != 16 {
 		t.Errorf("IDs = %d", got)
 	}
 }
@@ -48,6 +48,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		"D2": {"patterns", "queries"},
 		"D3": {"delta", "incremental_ms", "speedup"},
 		"D4": {"workers", "native_ms", "parallel_ms", "sql_ms", "speedup"},
+		"D5": {"workers", "native_ms", "col_cold_ms", "col_warm_ms", "warm_x", "dirty"},
 		"R1": {"noise", "prec", "recall", "clean"},
 		"R2": {"repair_ms", "passes"},
 		"R3": {"inc_ms", "batch_ms", "dirty_after"},

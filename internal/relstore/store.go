@@ -78,6 +78,9 @@ type Table struct {
 	nextID  TupleID
 	indexes map[string]*Index
 	version int64 // bumped on every mutation; lets caches invalidate
+	// columnar caches the snapshot built by Columnar() for the current
+	// version; mutations drop it so the memory is reclaimable immediately.
+	columnar *Columnar
 }
 
 // NewTable creates an empty table with the given schema.
@@ -120,6 +123,7 @@ func (t *Table) Insert(row Tuple) (TupleID, error) {
 	t.rows[id] = r
 	t.order = append(t.order, id)
 	t.version++
+	t.columnar = nil
 	for _, ix := range t.indexes {
 		ix.add(id, r)
 	}
@@ -162,6 +166,7 @@ func (t *Table) Delete(id TupleID) bool {
 	delete(t.rows, id)
 	t.deleted++
 	t.version++
+	t.columnar = nil
 	if t.deleted > len(t.rows) && t.deleted > 64 {
 		t.compactLocked()
 	}
@@ -186,6 +191,7 @@ func (t *Table) Update(id TupleID, row Tuple) error {
 	r := row.Clone()
 	t.rows[id] = r
 	t.version++
+	t.columnar = nil
 	for _, ix := range t.indexes {
 		ix.add(id, r)
 	}
@@ -213,6 +219,7 @@ func (t *Table) SetCell(id TupleID, pos int, v types.Value) (types.Value, error)
 	}
 	row[pos] = v
 	t.version++
+	t.columnar = nil
 	for _, ix := range t.indexes {
 		ix.add(id, row)
 	}
@@ -275,26 +282,6 @@ func (t *Table) Rows() ([]TupleID, []Tuple) {
 		if row, ok := t.rows[id]; ok {
 			ids = append(ids, id)
 			rows = append(rows, row.Clone())
-		}
-	}
-	return ids, rows
-}
-
-// RowsView returns the live tuple IDs and rows in insertion order WITHOUT
-// copying the tuples. The returned rows are the table's backing storage:
-// callers must treat them as read-only and must not hold them across
-// mutations of the table — the same contract Scan's callback rows carry,
-// extended over the returned slices' lifetime. Detection uses it to avoid
-// cloning every tuple on the hot path.
-func (t *Table) RowsView() ([]TupleID, []Tuple) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ids := make([]TupleID, 0, len(t.rows))
-	rows := make([]Tuple, 0, len(t.rows))
-	for _, id := range t.order {
-		if row, ok := t.rows[id]; ok {
-			ids = append(ids, id)
-			rows = append(rows, row)
 		}
 	}
 	return ids, rows

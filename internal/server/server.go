@@ -51,7 +51,7 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/cfds/{table}", sv.handleRegisterCFDs)
 	mux.HandleFunc("GET /api/cfds/{table}", sv.handleListCFDs)
 	mux.HandleFunc("GET /api/consistency/{table}", sv.handleConsistency)
-	mux.HandleFunc("POST /api/detect/{table}", sv.handleDetect) // ?engine=sql|native|parallel&workers=N
+	mux.HandleFunc("POST /api/detect/{table}", sv.handleDetect) // ?engine=sql|native|parallel|columnar&workers=N
 	mux.HandleFunc("GET /api/detect/{table}/sql", sv.handleDetectSQL)
 	mux.HandleFunc("GET /api/audit/{table}", sv.handleAudit)
 	mux.HandleFunc("GET /api/explore/{table}/cfds", sv.handleExploreCFDs)

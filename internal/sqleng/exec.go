@@ -27,10 +27,19 @@ type Result struct {
 // Engine executes SQL statements against a relstore.Store.
 type Engine struct {
 	store *relstore.Store
+	// rowScan disables the columnar scan fast path, forcing base-table
+	// loads through Table.Scan; the cross-check tests use it to compare
+	// both read paths on identical queries.
+	rowScan bool
 }
 
 // New creates an engine over the given store.
 func New(store *relstore.Store) *Engine { return &Engine{store: store} }
+
+// SetColumnarScan toggles the columnar scan fast path (on by default).
+// Both paths produce identical results; the switch exists so tests can
+// cross-check them and benchmarks can isolate the row path.
+func (e *Engine) SetColumnarScan(enabled bool) { e.rowScan = !enabled }
 
 // Store returns the underlying store.
 func (e *Engine) Store() *relstore.Store { return e.store }
@@ -80,11 +89,26 @@ type relation struct {
 	cat    catalog
 	hidden []bool // parallel to cat; hidden columns are excluded from `*`
 	rows   [][]types.Value
+	// cnr and rowIdx carry the columnar fast path for freshly loaded base
+	// tables: cnr is the table's columnar snapshot and rowIdx maps each
+	// relation row to its snapshot row, kept in sync while filtering.
+	// While deferred is set the rows have not been materialized yet (only
+	// rowIdx exists); ensureRows builds them on demand. Joins and grouping
+	// drop the fast path (cnr == nil disables it).
+	cnr      *relstore.Columnar
+	rowIdx   []int32
+	deferred bool
 }
 
 func (r *relation) width() int { return len(r.cat) }
 
 // loadTable materializes a base table with its hidden _tid column first.
+// With the columnar path enabled it builds the rows from the table's
+// dictionary-encoded snapshot — one consistent, cached materialization
+// instead of a per-row map lookup under the table lock — and keeps the
+// snapshot attached for predicate pushdown in applyResolvable. Exact
+// dictionary codes round-trip the stored values, so both paths produce
+// identical rows in identical (insertion) order.
 func (e *Engine) loadTable(fi FromItem) (*relation, error) {
 	tab, ok := e.store.Table(fi.Table)
 	if !ok {
@@ -98,14 +122,54 @@ func (e *Engine) loadTable(fi FromItem) (*relation, error) {
 		rel.cat = append(rel.cat, colInfo{qual: fi.Alias, name: a.Name})
 		rel.hidden = append(rel.hidden, false)
 	}
-	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
-		out := make([]types.Value, 0, len(row)+1)
-		out = append(out, types.NewInt(int64(id)))
-		out = append(out, row...)
-		rel.rows = append(rel.rows, out)
-		return true
-	})
+	if e.rowScan {
+		tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+			out := make([]types.Value, 0, len(row)+1)
+			out = append(out, types.NewInt(int64(id)))
+			out = append(out, row...)
+			rel.rows = append(rel.rows, out)
+			return true
+		})
+		return rel, nil
+	}
+	// Row materialization is deferred (rel.deferred): applyResolvable's
+	// code filters narrow rowIdx first, so a selective WHERE only ever
+	// materializes the surviving tuples.
+	snap := tab.Columnar()
+	rel.cnr = snap
+	rel.deferred = true
+	rel.rowIdx = make([]int32, snap.Len())
+	for i := range rel.rowIdx {
+		rel.rowIdx[i] = int32(i)
+	}
 	return rel, nil
+}
+
+// ensureRows materializes a deferred base-table relation: one row per
+// surviving snapshot index, hidden _tid first, values from the exact
+// dictionary codes (bit-identical to the stored tuples). No-op for
+// relations already materialized.
+func (r *relation) ensureRows() {
+	if !r.deferred {
+		return
+	}
+	r.deferred = false
+	snap := r.cnr
+	width := snap.NumCols()
+	cols := make([]*relstore.Column, width)
+	for j := range cols {
+		cols[j] = snap.Col(j)
+	}
+	ids := snap.IDs()
+	r.rows = make([][]types.Value, 0, len(r.rowIdx))
+	for _, i := range r.rowIdx {
+		out := make([]types.Value, width+1)
+		out[0] = types.NewInt(int64(ids[i]))
+		for j, col := range cols {
+			out[j+1] = col.Value(col.Code(int(i)))
+		}
+		r.rows = append(r.rows, out)
+	}
 }
 
 // splitConjuncts flattens nested ANDs into a conjunct list.
@@ -309,9 +373,26 @@ func (e *Engine) selectNoFrom(st *SelectStmt) (*Result, error) {
 }
 
 // applyResolvable filters rel by every pending conjunct that resolves,
-// returning the surviving conjuncts.
+// returning the surviving conjuncts. On a freshly loaded base table
+// (rel.cnr != nil) equality-with-literal and IS [NOT] NULL conjuncts are
+// evaluated against dictionary codes — one probe plus an integer compare
+// per row — before the rows are even materialized; only the survivors are
+// built. Code-filterable conjuncts therefore run ahead of the compiled
+// ones regardless of their WHERE position (conjunction is commutative;
+// like most engines, evaluation order within a WHERE is unspecified).
 func applyResolvable(rel *relation, pending []Expr) (*relation, []Expr, error) {
 	var rest []Expr
+	if rel.cnr != nil {
+		var later []Expr
+		for _, c := range pending {
+			if resolvable(c, rel.cat) && !hasAggregate(c) && filterByCodes(rel, c) {
+				continue
+			}
+			later = append(later, c)
+		}
+		pending = later
+	}
+	rel.ensureRows()
 	for _, c := range pending {
 		if !resolvable(c, rel.cat) || hasAggregate(c) {
 			rest = append(rest, c)
@@ -321,19 +402,136 @@ func applyResolvable(rel *relation, pending []Expr) (*relation, []Expr, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		var kept [][]types.Value
-		for _, row := range rel.rows {
+		var evalErr error
+		rel.filterInPlace(func(row []types.Value) bool {
+			if evalErr != nil {
+				return false
+			}
 			v, err := f(row)
 			if err != nil {
-				return nil, nil, err
+				evalErr = err
+				return false
 			}
-			if truthy(v) {
-				kept = append(kept, row)
-			}
+			return truthy(v)
+		})
+		if evalErr != nil {
+			return nil, nil, evalErr
 		}
-		rel.rows = kept
 	}
 	return rel, rest, nil
+}
+
+// filterInPlace keeps the rows the predicate selects, maintaining the
+// snapshot row mapping when the columnar fast path is attached.
+func (r *relation) filterInPlace(keep func(row []types.Value) bool) {
+	rows := r.rows[:0]
+	idxs := r.rowIdx[:0]
+	for i, row := range r.rows {
+		if keep(row) {
+			rows = append(rows, row)
+			if r.rowIdx != nil {
+				idxs = append(idxs, r.rowIdx[i])
+			}
+		}
+	}
+	r.rows = rows
+	if r.rowIdx != nil {
+		r.rowIdx = idxs
+	}
+}
+
+// filterByCodes evaluates one conjunct against rel's columnar snapshot if
+// it has a code-comparable shape, reporting whether it was handled. The
+// supported shapes — `col = literal` (either side) and `col IS [NOT]
+// NULL` — are exactly the ones whose SQL semantics coincide with
+// dictionary-code comparison: `=` is true iff both sides are non-NULL and
+// Compare as equal, which is one Equal-class code equality; a literal
+// absent from the dictionary (or a NULL literal, never truthy under
+// three-valued logic) selects nothing.
+func filterByCodes(rel *relation, c Expr) bool {
+	colOf := func(e Expr) (*relstore.Column, bool) {
+		ref, ok := e.(*ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		idx, err := rel.cat.resolve(ref)
+		if err != nil || idx == 0 {
+			return nil, false // unresolvable, or the synthetic _tid column
+		}
+		return rel.cnr.Col(idx - 1), true
+	}
+	switch n := c.(type) {
+	case *BinaryExpr:
+		if n.Op != "=" {
+			return false
+		}
+		var col *relstore.Column
+		var lit *Literal
+		if cc, ok := colOf(n.L); ok {
+			if l, ok := n.R.(*Literal); ok {
+				col, lit = cc, l
+			}
+		} else if cc, ok := colOf(n.R); ok {
+			if l, ok := n.L.(*Literal); ok {
+				col, lit = cc, l
+			}
+		}
+		if col == nil || lit == nil {
+			return false
+		}
+		if lit.Value.IsNull() {
+			// x = NULL is NULL for every x: nothing survives.
+			rel.rows, rel.rowIdx = rel.rows[:0], rel.rowIdx[:0]
+			return true
+		}
+		want, present := col.EqCodeOf(lit.Value)
+		if !present {
+			rel.rows, rel.rowIdx = rel.rows[:0], rel.rowIdx[:0]
+			return true
+		}
+		// NULL rows never match: a non-NULL literal's Equal-class differs
+		// from the NULL code by construction.
+		rel.filterByCode(func(i int32) bool { return col.EqCode(int(i)) == want })
+		return true
+	case *IsNullExpr:
+		col, ok := colOf(n.E)
+		if !ok {
+			return false
+		}
+		nullCode, hasNull := col.NullCode()
+		switch {
+		case !n.Not && !hasNull:
+			rel.rows, rel.rowIdx = rel.rows[:0], rel.rowIdx[:0]
+		case !n.Not:
+			rel.filterByCode(func(i int32) bool { return col.Code(int(i)) == nullCode })
+		case hasNull:
+			rel.filterByCode(func(i int32) bool { return col.Code(int(i)) != nullCode })
+		default:
+			// IS NOT NULL with no NULLs stored: keep everything.
+		}
+		return true
+	}
+	return false
+}
+
+// filterByCode keeps the rows whose snapshot index the predicate selects.
+// On a still-deferred relation only rowIdx is filtered; materialized rows
+// are kept in sync otherwise.
+func (r *relation) filterByCode(keep func(snapRow int32) bool) {
+	idxs := r.rowIdx[:0]
+	rows := r.rows[:0]
+	for i, s := range r.rowIdx {
+		if keep(s) {
+			idxs = append(idxs, s)
+			if r.rows != nil {
+				rows = append(rows, r.rows[i])
+			}
+		}
+	}
+	r.rowIdx = idxs
+	if r.rows != nil {
+		r.rows = rows
+	}
 }
 
 // joinRelations joins left and right. Equi-join keys are harvested from
@@ -342,6 +540,8 @@ func applyResolvable(rel *relation, pending []Expr) (*relation, []Expr, error) {
 // whole ON condition is evaluated per pair and unmatched left rows are
 // null-extended.
 func joinRelations(left, right *relation, pending, on []Expr, outer bool) (*relation, []Expr, error) {
+	left.ensureRows()
+	right.ensureRows()
 	combinedCat := append(append(catalog{}, left.cat...), right.cat...)
 	combinedHidden := append(append([]bool{}, left.hidden...), right.hidden...)
 

@@ -9,6 +9,7 @@ package types
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -210,14 +211,28 @@ func cmpInt64(a, b int64) int {
 	}
 }
 
+// cmpFloat64 orders floats totally: NaN sorts before every number and all
+// NaNs compare equal. Without the explicit NaN arm, a NaN would compare
+// "equal" to every float (both < and > are false), making Equal fail to be
+// an equivalence relation and contradicting Key(), which gives NaN its own
+// class — the grouping layers require Equal and Key to induce the same
+// partition.
 func cmpFloat64(a, b float64) int {
 	switch {
 	case a < b:
 		return -1
 	case a > b:
 		return 1
-	default:
+	case a == b:
 		return 0
+	}
+	switch an, bn := math.IsNaN(a), math.IsNaN(b); {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	default:
+		return 1
 	}
 }
 

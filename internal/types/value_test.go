@@ -1,6 +1,7 @@
 package types
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -223,5 +224,30 @@ func TestCompareProperties(t *testing.T) {
 	}
 	if err := quick.Check(h, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCompareNaN pins the NaN arm of the float comparison: without it,
+// NaN compared "equal" to every number (both < and > are false), so Equal
+// was not an equivalence relation and disagreed with the partition Key()
+// induces — the columnar dictionary and the row-path grouping would then
+// split NaN rows differently.
+func TestCompareNaN(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if nan.Compare(NewFloat(5)) == 0 || nan.Equal(NewInt(5)) {
+		t.Error("NaN must not compare equal to a number")
+	}
+	if nan.Compare(NewFloat(math.NaN())) != 0 {
+		t.Error("NaN must compare equal to NaN")
+	}
+	if got, want := nan.Compare(NewFloat(-1e300)), -1; got != want {
+		t.Errorf("NaN vs -1e300 = %d, want %d (NaN sorts before numbers)", got, want)
+	}
+	if got, want := NewInt(0).Compare(nan), 1; got != want {
+		t.Errorf("0 vs NaN = %d, want %d", got, want)
+	}
+	// Key agrees: NaN is its own class.
+	if nan.Key() == NewFloat(5).Key() {
+		t.Error("NaN Key must differ from a number's Key")
 	}
 }

@@ -10,11 +10,14 @@
 // violations interactively, repair the data with a cost-based heuristic,
 // and monitor updates incrementally.
 //
-// Three interchangeable detection engines produce the same report:
+// Four interchangeable detection engines produce the same report:
 // SQLDetection (the paper's generated-SQL technique), NativeDetection (a
-// single-threaded in-memory scan) and ParallelDetection (the native
-// algorithm sharded across all CPU cores by a hash of each CFD's LHS key,
-// for multi-core throughput on large tables).
+// single-threaded in-memory row scan), ColumnarDetection (a scan over the
+// table's columnar snapshot with per-column interned dictionaries, so
+// grouping runs on fixed-width code vectors) and ParallelDetection (the
+// columnar evaluation sharded across all CPU cores by a hash of each
+// CFD's LHS code vector, for multi-core throughput on large tables).
+// docs/ENGINES.md has the full matrix and when-to-use guidance.
 //
 //	sys := semandaq.New()
 //	sys.LoadCSV("customer", file)
@@ -146,10 +149,15 @@ const (
 	SQLDetection = core.SQLDetection
 	// NativeDetection runs the in-memory baseline.
 	NativeDetection = core.NativeDetection
-	// ParallelDetection shards the native detection across all CPU cores
-	// by LHS-key hash; the report is identical to NativeDetection's. Tune
-	// the goroutine count with System.SetWorkers.
+	// ParallelDetection shards detection over the table's columnar
+	// snapshot across all CPU cores by a hash of each CFD's LHS code
+	// vector; the report is identical to NativeDetection's. Tune the
+	// goroutine count with System.SetWorkers.
 	ParallelDetection = core.ParallelDetection
+	// ColumnarDetection runs the sequential columnar-snapshot scan with
+	// dictionary-code group keys; the report is identical to
+	// NativeDetection's.
+	ColumnarDetection = core.ColumnarDetection
 )
 
 // NewTracker starts incremental detection over a table.
