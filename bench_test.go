@@ -8,6 +8,7 @@
 package semandaq_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -81,7 +82,7 @@ func BenchmarkDetectSQL(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := sys2.Detect("customer", semandaq.SQLDetection); err != nil {
+				if _, err := sys2.Detect(context.Background(), "customer", semandaq.WithEngine(semandaq.SQLDetection)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -108,7 +109,7 @@ func BenchmarkDetectNative(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := sys2.Detect("customer", semandaq.NativeDetection); err != nil {
+				if _, err := sys2.Detect(context.Background(), "customer", semandaq.WithEngine(semandaq.NativeDetection)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -141,7 +142,7 @@ func BenchmarkDetectColumnar(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := sys2.Detect("customer", semandaq.ColumnarDetection); err != nil {
+				if _, err := sys2.Detect(context.Background(), "customer", semandaq.WithEngine(semandaq.ColumnarDetection)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -172,7 +173,7 @@ func BenchmarkDetectParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := sys2.Detect("customer", semandaq.ParallelDetection); err != nil {
+				if _, err := sys2.Detect(context.Background(), "customer", semandaq.WithEngine(semandaq.ParallelDetection)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -215,7 +216,7 @@ func BenchmarkRepair(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.Repair("customer"); err != nil {
+				if _, err := sys.Repair(context.Background(), "customer"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -230,13 +231,13 @@ func BenchmarkAudit(b *testing.B) {
 	if err := sys.RegisterCFDs("customer", cfds); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := sys.Detect("customer", semandaq.NativeDetection); err != nil {
+	if _, err := sys.Detect(context.Background(), "customer", semandaq.WithEngine(semandaq.NativeDetection)); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Audit("customer"); err != nil {
+		if _, err := sys.Audit(context.Background(), "customer"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,15 +11,25 @@
 // dataset (1000 tuples, 5% noise) and the standard CFD set, so
 //
 //	curl -X POST localhost:8080/api/detect/customer
+//	curl -N localhost:8080/api/detect/customer?stream=1
 //	curl localhost:8080/api/audit/customer
 //
-// work immediately.
+// work immediately. Detection runs under each request's context: a client
+// that disconnects mid-scan (Ctrl-C on the curl) aborts the scan on the
+// server, and SIGINT shuts the server down gracefully, cancelling
+// in-flight scans.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"time"
 
 	"semandaq/internal/core"
 	"semandaq/internal/datagen"
@@ -44,6 +54,25 @@ func main() {
 		}
 		log.Printf("demo data loaded: customer (%d tuples, %.0f%% noise)", *tuples, *noise*100)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(s).Handler(),
+		// BaseContext ties every request context to the process signal
+		// context, so shutdown cancels in-flight scans too.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
 	log.Printf("semandaq-server listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(s).Handler()))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("semandaq-server stopped")
 }

@@ -9,7 +9,8 @@
 // Commands:
 //
 //	check      check the CFD set for satisfiability
-//	detect     run violation detection (use -engine sql|native|parallel|columnar)
+//	detect     run violation detection (use -engine sql|native|parallel|columnar;
+//	           -stream prints violations as NDJSON while the scan runs)
 //	sql        print the generated detection SQL without running it
 //	audit      print the data quality report
 //	map        print the tuple-level data quality map
@@ -17,41 +18,63 @@
 //	repair     compute a candidate repair; -apply commits it
 //	discover   mine CFDs from the loaded data
 //	demo       run the built-in paper example end to end
+//
+// Long scans are cancellable: Ctrl-C (or -timeout) aborts detection
+// mid-flight through the request context.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"semandaq/internal/core"
 	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
 	"semandaq/internal/discovery"
 	"semandaq/internal/relstore"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "semandaq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("semandaq", flag.ContinueOnError)
 	dataPath := fs.String("data", "", "CSV file holding the relation to check")
 	tableName := fs.String("table", "", "table name (default: file base name)")
 	cfdPath := fs.String("cfds", "", "file with CFDs, one pattern per line")
 	engine := fs.String("engine", "sql", "detection engine: sql, native, parallel or columnar")
 	workers := fs.Int("workers", 0, "parallel engine worker count (default GOMAXPROCS)")
+	stream := fs.Bool("stream", false, "detect: print violations as NDJSON while the scan runs")
+	timeout := fs.Duration("timeout", 0, "abort the command after this duration (0 = none)")
 	apply := fs.Bool("apply", false, "repair: apply the candidate repair and write the CSV back")
 	outPath := fs.String("o", "", "repair -apply: output CSV path (default: overwrite -data)")
 	minSupport := fs.Int("minsupport", 0, "discover: minimum pattern support")
 	maxLHS := fs.Int("maxlhs", 2, "discover: maximum LHS size")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	engineSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			engineSet = true
+		}
+	})
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	cmdArgs := fs.Args()
 	if len(cmdArgs) == 0 {
@@ -64,7 +87,7 @@ func run(args []string, out io.Writer) error {
 	table := *tableName
 
 	if cmd == "demo" {
-		return demo(s, out)
+		return demo(ctx, s, out)
 	}
 
 	if *dataPath == "" {
@@ -132,7 +155,50 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rep, err := s.DetectWorkers(table, kind, *workers)
+		opts := []core.Option{core.WithWorkers(*workers)}
+		// For -stream an unset -engine keeps DetectStream's default (the
+		// sharded columnar detector) instead of forcing the flag's "sql"
+		// default through the blocking fallback.
+		if engineSet || !*stream {
+			opts = append(opts, core.WithEngine(kind))
+		}
+		if *stream {
+			// Violations print as they are found; the report is never
+			// materialized.
+			type line struct {
+				CFD      string `json:"cfd"`
+				Kind     string `json:"kind"`
+				Pattern  *int   `json:"pattern,omitempty"`
+				Tuple    int64  `json:"tuple"`
+				Attr     string `json:"attr"`
+				Partners int    `json:"partners,omitempty"`
+				Expected string `json:"expected,omitempty"`
+				Got      string `json:"got,omitempty"`
+			}
+			enc := json.NewEncoder(out)
+			n := 0
+			for v, err := range s.DetectStream(ctx, table, opts...) {
+				if err != nil {
+					return err
+				}
+				l := line{CFD: v.CFDID, Kind: v.Kind.String(), Tuple: int64(v.TupleID), Attr: v.Attr}
+				if v.Kind == detect.SingleTuple {
+					pat := v.Pattern
+					l.Pattern = &pat
+					l.Expected = v.Expected.String()
+					l.Got = v.Got.String()
+				} else {
+					l.Partners = v.Partners
+				}
+				if err := enc.Encode(l); err != nil {
+					return err
+				}
+				n++
+			}
+			fmt.Fprintf(out, "# %d violations streamed\n", n)
+			return nil
+		}
+		rep, err := s.Detect(ctx, table, opts...)
 		if err != nil {
 			return err
 		}
@@ -145,7 +211,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "audit":
-		a, err := s.Audit(table)
+		a, err := s.Audit(ctx, table)
 		if err != nil {
 			return err
 		}
@@ -153,7 +219,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "map":
-		ex, err := s.Explore(table)
+		ex, err := s.Explore(ctx, table)
 		if err != nil {
 			return err
 		}
@@ -166,7 +232,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "explore":
-		ex, err := s.Explore(table)
+		ex, err := s.Explore(ctx, table)
 		if err != nil {
 			return err
 		}
@@ -206,7 +272,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "repair":
-		res, err := s.Repair(table)
+		res, err := s.Repair(ctx, table)
 		if err != nil {
 			return err
 		}
@@ -259,25 +325,25 @@ func run(args []string, out io.Writer) error {
 }
 
 // demo runs the paper's running example end to end on generated data.
-func demo(s *core.Semandaq, out io.Writer) error {
+func demo(ctx context.Context, s *core.Semandaq, out io.Writer) error {
 	ds := datagen.Generate(datagen.Config{Tuples: 1000, Seed: 1, NoiseRate: 0.05})
 	s.RegisterTable(ds.Dirty)
 	if err := s.RegisterCFDs("customer", datagen.StandardCFDs()); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "== Semandaq demo: 1000 customers, 5% noise, standard CFD set ==")
-	rep, err := s.Detect("customer", core.SQLDetection)
+	rep, err := s.Detect(ctx, "customer", core.WithEngine(core.SQLDetection))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "detected %d dirty tuples (%d violation records)\n",
 		len(rep.Vio), rep.TotalViolations())
-	a, err := s.Audit("customer")
+	a, err := s.Audit(ctx, "customer")
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, a.Render())
-	res, err := s.Repair("customer")
+	res, err := s.Repair(ctx, "customer")
 	if err != nil {
 		return err
 	}

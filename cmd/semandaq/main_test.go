@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"os"
 	"path/filepath"
@@ -39,7 +40,7 @@ func writeFixture(t *testing.T) (csvPath, cfdPath string) {
 func runCLI(t *testing.T, args ...string) (string, error) {
 	t.Helper()
 	var buf bytes.Buffer
-	err := run(args, &buf)
+	err := run(context.Background(), args, &buf)
 	return buf.String(), err
 }
 
@@ -216,5 +217,30 @@ func TestCLIErrors(t *testing.T) {
 		if _, err := runCLI(t, args...); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+}
+
+func TestCLIDetectStream(t *testing.T) {
+	csv, cfds := writeFixture(t)
+	out, err := runCLI(t, "-data", csv, "-cfds", cfds, "-stream", "detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "violations streamed") {
+		t.Errorf("missing stream summary in:\n%s", out)
+	}
+	if !strings.Contains(out, `"cfd"`) {
+		t.Errorf("no NDJSON violation lines in:\n%s", out)
+	}
+}
+
+func TestCLITimeoutCancelsDetect(t *testing.T) {
+	csv, cfds := writeFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, []string{"-data", csv, "-cfds", cfds, "detect"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("err = %v, want context cancellation", err)
 	}
 }

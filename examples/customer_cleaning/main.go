@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Generate the workload: clean world + seeded corruption with ground
 	// truth remembered for scoring.
 	ds := semandaq.GenerateCustomers(semandaq.GeneratorConfig{
@@ -49,7 +51,7 @@ func main() {
 	for _, q := range stmts {
 		fmt.Println(q + ";")
 	}
-	rep, err := sys.Detect("customer", semandaq.SQLDetection)
+	rep, err := sys.Detect(ctx, "customer", semandaq.WithEngine(semandaq.SQLDetection))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func main() {
 		len(rep.Vio), rep.TotalViolations(), rep.MaxVio())
 
 	// 3. Audit.
-	audit, err := sys.Audit("customer")
+	audit, err := sys.Audit(ctx, "customer")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func main() {
 	fmt.Print(audit.Render())
 
 	// 4. Exploration: drill into the CFD with the most violations.
-	ex, err := sys.Explore("customer")
+	ex, err := sys.Explore(ctx, "customer")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func main() {
 	}
 
 	// 5. Repair, then score against ground truth.
-	res, err := sys.Repair("customer")
+	res, err := sys.Repair(ctx, "customer")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func main() {
 	if _, _, err := sys.ApplyRepair("customer", res.Modifications); err != nil {
 		log.Fatal(err)
 	}
-	rep, err = sys.Detect("customer", semandaq.NativeDetection)
+	rep, err = sys.Detect(ctx, "customer", semandaq.WithEngine(semandaq.NativeDetection))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Trusted reference data: a clean sample of last quarter's customers.
 	ref := semandaq.GenerateCustomers(semandaq.GeneratorConfig{Tuples: 3000, Seed: 8})
 
@@ -45,7 +47,7 @@ func main() {
 	fmt.Println("\ndiscovered set registered: satisfiable")
 
 	// The reference data itself is clean under the mined rules.
-	rep, err := sys.Detect("customer", semandaq.NativeDetection)
+	rep, err := sys.Detect(ctx, "customer", semandaq.WithEngine(semandaq.NativeDetection))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 
 	// Start the monitor in cleansed mode and feed it dirty updates: new
 	// records arriving from an unreliable upstream system.
-	mon, err := sys.Monitor("customer", true)
+	mon, err := sys.Monitor(ctx, "customer", semandaq.WithCleansed(true))
 	if err != nil {
 		log.Fatal(err)
 	}

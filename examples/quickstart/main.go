@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -30,6 +31,7 @@ customer: [CC=44] -> [CNT=UK]
 `
 
 func main() {
+	ctx := context.Background()
 	sys := semandaq.New()
 
 	if _, err := sys.LoadCSV("customer", strings.NewReader(customers)); err != nil {
@@ -46,7 +48,7 @@ func main() {
 	}
 
 	// Detection via the paper's SQL technique.
-	rep, err := sys.Detect("customer", semandaq.SQLDetection)
+	rep, err := sys.Detect(ctx, "customer", semandaq.WithEngine(semandaq.SQLDetection))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func main() {
 	}
 
 	// The Fig. 4 quality report.
-	audit, err := sys.Audit("customer")
+	audit, err := sys.Audit(ctx, "customer")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func main() {
 	fmt.Print(audit.Render())
 
 	// Cost-based repair; the candidate is reviewed (printed) then applied.
-	res, err := sys.Repair("customer")
+	res, err := sys.Repair(ctx, "customer")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func main() {
 	if _, _, err := sys.ApplyRepair("customer", res.Modifications); err != nil {
 		log.Fatal(err)
 	}
-	rep, err = sys.Detect("customer", semandaq.SQLDetection)
+	rep, err = sys.Detect(ctx, "customer", semandaq.WithEngine(semandaq.SQLDetection))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -80,9 +81,24 @@ customer: [CC=44] -> [CNT=UK]`})
 	out = post("/api/repair/customer/apply", "")
 	fmt.Printf("applied %v modifications\n", out["applied"])
 
-	// Confirm clean.
+	// Confirm clean. The blocking payload now reports durationMs too.
 	out = post("/api/detect/customer", "")
-	fmt.Printf("after repair: dirty=%v\n", out["dirty"])
+	fmt.Printf("after repair: dirty=%v (%.2fms)\n", out["dirty"], out["durationMs"])
+
+	// Streaming detection: ?stream=1 returns NDJSON, one violation per
+	// line as the sharded columnar scan finds it — what `curl -N` would
+	// show. The table is clean now, so only the terminal done line
+	// arrives; on a dirty table violations stream before the scan ends.
+	resp, err := http.Get(ts.URL + "/api/detect/customer?stream=1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("\nstreaming detection (NDJSON):")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Println("  ", sc.Text())
+	}
 }
 
 func call(method, url, body string) map[string]any {

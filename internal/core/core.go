@@ -6,8 +6,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"iter"
 	"sort"
 	"strings"
 	"sync"
@@ -58,13 +60,14 @@ func NewWithStore(store *relstore.Store) *Semandaq {
 // Store exposes the underlying store.
 func (s *Semandaq) Store() *relstore.Store { return s.store }
 
-// SetWorkers sets the goroutine count ParallelDetection uses; n <= 0 resets
-// to the default (runtime.GOMAXPROCS). The detection result does not depend
-// on the worker count, so cached reports stay valid.
+// SetWorkers sets the goroutine count ParallelDetection uses; n <= 0 —
+// zero included — resets to the default (runtime.GOMAXPROCS). The
+// detection result does not depend on the worker count, so cached reports
+// stay valid.
 func (s *Semandaq) SetWorkers(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n < 0 {
+	if n <= 0 {
 		n = 0
 	}
 	s.workers = n
@@ -80,8 +83,9 @@ func (s *Semandaq) Workers() int {
 
 // SQL executes an ad-hoc SQL statement against the store (the paper's data
 // explorer lets users navigate the data; this is the programmatic hatch).
-func (s *Semandaq) SQL(query string) (*sqleng.Result, error) {
-	return s.engine.Query(query)
+// A cancelled ctx aborts the engine's scan loops and returns ctx.Err().
+func (s *Semandaq) SQL(ctx context.Context, query string) (*sqleng.Result, error) {
+	return s.engine.QueryContext(ctx, query)
 }
 
 // LoadCSV reads a CSV stream into a new table.
@@ -149,8 +153,8 @@ func (s *Semandaq) RegisterCFDs(table string, cfds []*cfd.CFD) error {
 		return fmt.Errorf("semandaq: CFD set for %s is unsatisfiable: %s", table, rep.Conflict)
 	}
 	s.cfds[key] = all
-	for _, kind := range detectorKinds {
-		delete(s.reports, key+"\x00"+fmt.Sprint(kind))
+	for _, kind := range detect.EngineKinds() {
+		delete(s.reports, key+"\x00"+kind.String())
 	}
 	return nil
 }
@@ -184,110 +188,207 @@ func (s *Semandaq) CheckConsistency(table string, domains consistency.Domains) (
 	return consistency.Check(tab.Schema(), s.CFDs(table), domains)
 }
 
-// DetectorKind selects the detection implementation.
-type DetectorKind int
+// DetectorKind selects the detection implementation. It aliases the
+// engine registry's kind (internal/detect), where the engines register
+// themselves; core no longer switches on it.
+type DetectorKind = detect.EngineKind
 
 // The available detectors.
 const (
 	// SQLDetection generates and runs the two SQL queries per CFD (the
 	// paper's technique).
-	SQLDetection DetectorKind = iota
+	SQLDetection = detect.SQLEngine
 	// NativeDetection uses in-memory hash grouping over the row store
 	// (the single-threaded reference baseline).
-	NativeDetection
+	NativeDetection = detect.NativeEngine
 	// ParallelDetection shards detection over the table's columnar
 	// snapshot across runtime.GOMAXPROCS workers by a hash of each CFD's
 	// LHS code vector; the report is identical to NativeDetection's.
-	ParallelDetection
+	ParallelDetection = detect.ParallelEngine
 	// ColumnarDetection runs the sequential scan over the table's
 	// columnar snapshot with dictionary-code group keys; the report is
 	// identical to NativeDetection's.
-	ColumnarDetection
+	ColumnarDetection = detect.ColumnarEngine
 )
 
-// detectorKinds lists every kind, for cache invalidation.
-var detectorKinds = []DetectorKind{SQLDetection, NativeDetection, ParallelDetection, ColumnarDetection}
-
-// String names the detector kind.
-func (k DetectorKind) String() string {
-	switch k {
-	case SQLDetection:
-		return "sql"
-	case NativeDetection:
-		return "native"
-	case ParallelDetection:
-		return "parallel"
-	case ColumnarDetection:
-		return "columnar"
-	default:
-		return fmt.Sprintf("DetectorKind(%d)", int(k))
-	}
-}
+// DefaultEngine is the engine blocking requests use when WithEngine is not
+// given: the sequential columnar scan, the fastest single-core engine.
+const DefaultEngine = ColumnarDetection
 
 // ParseDetectorKind maps the CLI/HTTP engine names ("sql", "native",
 // "parallel", "columnar") to a DetectorKind.
 func ParseDetectorKind(s string) (DetectorKind, error) {
-	switch s {
-	case "sql":
-		return SQLDetection, nil
-	case "native":
-		return NativeDetection, nil
-	case "parallel":
-		return ParallelDetection, nil
-	case "columnar":
-		return ColumnarDetection, nil
-	default:
-		return SQLDetection, fmt.Errorf("semandaq: unknown detection engine %q (want sql, native, parallel or columnar)", s)
-	}
+	return detect.ParseEngineKind(s)
 }
 
-// Detect runs violation detection on a table with its registered CFDs,
-// using the session's worker count for ParallelDetection. The report is
-// cached until the table changes.
-func (s *Semandaq) Detect(table string, kind DetectorKind) (*detect.Report, error) {
-	return s.DetectWorkers(table, kind, s.Workers())
-}
-
-// DetectWorkers is Detect with an explicit ParallelDetection worker count
-// for this call only (0 = GOMAXPROCS); other kinds ignore it. Servers use
-// it to honor a per-request worker override without mutating the shared
-// session.
-func (s *Semandaq) DetectWorkers(table string, kind DetectorKind, workers int) (*detect.Report, error) {
+// requestCFDs resolves a request's table and its constraints, applying the
+// WithCFDs scoping in registration order.
+func (s *Semandaq) requestCFDs(table string, o requestOptions) (*relstore.Table, []*cfd.CFD, error) {
 	tab, err := s.Table(table)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfds := s.CFDs(table)
 	if len(cfds) == 0 {
-		return nil, fmt.Errorf("semandaq: no CFDs registered for %s", table)
+		return nil, nil, fmt.Errorf("semandaq: no CFDs registered for %s", table)
 	}
-	key := strings.ToLower(table) + "\x00" + fmt.Sprint(kind)
-	s.mu.Lock()
-	if c, ok := s.reports[key]; ok && c.version == tab.Version() {
-		s.mu.Unlock()
-		return c.rep, nil
+	if len(o.cfdIDs) > 0 {
+		want := make(map[string]bool, len(o.cfdIDs))
+		for _, id := range o.cfdIDs {
+			want[id] = true
+		}
+		scoped := cfds[:0:0]
+		for _, c := range cfds {
+			if want[c.ID] {
+				scoped = append(scoped, c)
+				delete(want, c.ID)
+			}
+		}
+		if len(want) > 0 {
+			missing := make([]string, 0, len(want))
+			for id := range want {
+				missing = append(missing, id)
+			}
+			sort.Strings(missing)
+			return nil, nil, fmt.Errorf("semandaq: no CFD %s registered for %s", strings.Join(missing, ", "), table)
+		}
+		cfds = scoped
 	}
-	s.mu.Unlock()
-	var det detect.Detector
-	switch kind {
-	case SQLDetection:
-		det = detect.NewSQLDetector(s.store)
-	case ParallelDetection:
-		det = detect.ParallelDetector{Workers: workers}
-	case ColumnarDetection:
-		det = detect.ColumnarDetector{Workers: 1}
-	default:
-		det = detect.NativeDetector{}
+	return tab, cfds, nil
+}
+
+// limited returns rep with its violation records truncated to k (k <= 0:
+// unchanged). The truncation is a shallow copy with the slice capacity
+// clipped, so neither mutation nor append through the returned report can
+// reach the cached full report; vio(t) and the per-CFD statistics still
+// describe the full scan.
+func limited(rep *detect.Report, k int) *detect.Report {
+	if k <= 0 || len(rep.Violations) <= k {
+		return rep
 	}
-	version := tab.Version()
-	rep, err := det.Detect(tab, cfds)
+	out := *rep
+	out.Violations = rep.Violations[:k:k]
+	return &out
+}
+
+// Detect runs violation detection on a table with its registered CFDs:
+//
+//	rep, err := s.Detect(ctx, "customer",
+//	    core.WithEngine(core.ParallelDetection), core.WithWorkers(8))
+//
+// Without options it uses DefaultEngine, every registered CFD and the
+// session's worker count. A cancelled ctx aborts the scan mid-flight and
+// returns ctx.Err(). Unscoped reports are cached until the table changes;
+// WithCFDs-scoped requests bypass the cache.
+func (s *Semandaq) Detect(ctx context.Context, table string, opts ...Option) (*detect.Report, error) {
+	o := s.resolve(DefaultEngine, opts)
+	tab, cfds, err := s.requestCFDs(table, o)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.reports[key] = cachedReport{version: version, rep: rep}
-	s.mu.Unlock()
-	return rep, nil
+	return s.detectPrepared(ctx, table, tab, cfds, o)
+}
+
+// detectPrepared is Detect after option resolution and CFD scoping: cache
+// lookup, registry dispatch, cache fill, limit. Audit reuses it with its
+// already-resolved inputs so scoping runs once per request.
+func (s *Semandaq) detectPrepared(ctx context.Context, table string, tab *relstore.Table,
+	cfds []*cfd.CFD, o requestOptions) (*detect.Report, error) {
+	cacheable := len(o.cfdIDs) == 0
+	key := strings.ToLower(table) + "\x00" + o.kind.String()
+	if cacheable {
+		s.mu.Lock()
+		if c, ok := s.reports[key]; ok && c.version == tab.Version() {
+			s.mu.Unlock()
+			return limited(c.rep, o.limit), nil
+		}
+		s.mu.Unlock()
+	}
+	det, err := detect.NewDetector(o.kind, detect.Config{Workers: o.workers, Store: s.store})
+	if err != nil {
+		return nil, err
+	}
+	version := tab.Version()
+	rep, err := det.Detect(ctx, tab, cfds)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		s.mu.Lock()
+		s.reports[key] = cachedReport{version: version, rep: rep}
+		s.mu.Unlock()
+	}
+	return limited(rep, o.limit), nil
+}
+
+// DetectStream runs violation detection as a stream: the returned iterator
+// yields each violation as the engine finds it, never materializing the
+// full report — on a million-tuple table the first violation arrives while
+// the scan is still running. Breaking out of the loop (or a done ctx)
+// cancels the underlying scan. The default engine is ParallelDetection,
+// whose sharded columnar evaluation feeds the stream through a bounded
+// channel; engines without a streaming path (sql, native) fall back to a
+// blocking pass whose report is then replayed. Over a full iteration the
+// yielded set equals the blocking report's Violations, in engine order.
+func (s *Semandaq) DetectStream(ctx context.Context, table string, opts ...Option) iter.Seq2[detect.Violation, error] {
+	o := s.resolve(ParallelDetection, opts)
+	return func(yield func(detect.Violation, error) bool) {
+		tab, cfds, err := s.requestCFDs(table, o)
+		if err != nil {
+			yield(detect.Violation{}, err)
+			return
+		}
+		det, err := detect.NewDetector(o.kind, detect.Config{Workers: o.workers, Store: s.store})
+		if err != nil {
+			yield(detect.Violation{}, err)
+			return
+		}
+		n := 0
+		if str, ok := det.(detect.Streamer); ok {
+			for v, err := range str.DetectStream(ctx, tab, cfds) {
+				if err != nil {
+					yield(detect.Violation{}, err)
+					return
+				}
+				if !yield(v, nil) {
+					return
+				}
+				if n++; o.limit > 0 && n >= o.limit {
+					return
+				}
+			}
+			return
+		}
+		// Non-streaming engine: replay a blocking pass through the
+		// iterator. detectPrepared keeps the report cache in play, so a
+		// repeated sql/native stream on an unchanged table is served from
+		// cache (the limit is already applied by the truncation).
+		rep, err := s.detectPrepared(ctx, table, tab, cfds, o)
+		if err != nil {
+			yield(detect.Violation{}, err)
+			return
+		}
+		for _, v := range rep.Violations {
+			if !yield(v, nil) {
+				return
+			}
+		}
+	}
+}
+
+// DetectKind runs Detect with the pre-options positional signature.
+//
+// Deprecated: use Detect(ctx, table, WithEngine(kind)).
+func (s *Semandaq) DetectKind(table string, kind DetectorKind) (*detect.Report, error) {
+	return s.Detect(context.Background(), table, WithEngine(kind))
+}
+
+// DetectWorkers is DetectKind with an explicit worker count for this call
+// only (0 = GOMAXPROCS); non-sharded kinds ignore it.
+//
+// Deprecated: use Detect(ctx, table, WithEngine(kind), WithWorkers(n)).
+func (s *Semandaq) DetectWorkers(table string, kind DetectorKind, workers int) (*detect.Report, error) {
+	return s.Detect(context.Background(), table, WithEngine(kind), WithWorkers(workers))
 }
 
 // DetectionSQL returns the SQL statements Detect would generate (the
@@ -305,25 +406,29 @@ func (s *Semandaq) DetectionSQL(table string) ([]string, error) {
 }
 
 // Audit produces the data quality report (detecting first if needed).
-func (s *Semandaq) Audit(table string) (*audit.Report, error) {
-	tab, err := s.Table(table)
+// WithEngine/WithWorkers/WithCFDs select how and over which constraints;
+// WithLimit is ignored — the audit needs the full violation set.
+func (s *Semandaq) Audit(ctx context.Context, table string, opts ...Option) (*audit.Report, error) {
+	o := s.resolve(DefaultEngine, opts)
+	o.limit = 0 // the audit consumes the full violation set
+	tab, cfds, err := s.requestCFDs(table, o)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := s.Detect(table, NativeDetection)
+	rep, err := s.detectPrepared(ctx, table, tab, cfds, o)
 	if err != nil {
 		return nil, err
 	}
-	return audit.Audit(tab, s.CFDs(table), rep)
+	return audit.Audit(tab, cfds, rep)
 }
 
 // Explore builds the drill-down explorer over the current detection state.
-func (s *Semandaq) Explore(table string) (*explore.Explorer, error) {
+func (s *Semandaq) Explore(ctx context.Context, table string) (*explore.Explorer, error) {
 	tab, err := s.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := s.Detect(table, NativeDetection)
+	rep, err := s.Detect(ctx, table)
 	if err != nil {
 		return nil, err
 	}
@@ -331,17 +436,15 @@ func (s *Semandaq) Explore(table string) (*explore.Explorer, error) {
 }
 
 // Repair computes a candidate repair (the original table is not modified;
-// review then ApplyRepair).
-func (s *Semandaq) Repair(table string) (*repair.Result, error) {
-	tab, err := s.Table(table)
+// review then ApplyRepair). WithCFDs scopes the constraints being
+// repaired; a cancelled ctx aborts the repairer's detect-resolve passes.
+func (s *Semandaq) Repair(ctx context.Context, table string, opts ...Option) (*repair.Result, error) {
+	o := s.resolve(DefaultEngine, opts)
+	tab, cfds, err := s.requestCFDs(table, o)
 	if err != nil {
 		return nil, err
 	}
-	cfds := s.CFDs(table)
-	if len(cfds) == 0 {
-		return nil, fmt.Errorf("semandaq: no CFDs registered for %s", table)
-	}
-	return repair.NewRepairer().Repair(tab, cfds)
+	return repair.NewRepairer().Repair(ctx, tab, cfds)
 }
 
 // ApplyRepair commits reviewed modifications to the live table.
@@ -353,18 +456,20 @@ func (s *Semandaq) ApplyRepair(table string, mods []repair.Modification) (int, [
 	return repair.Apply(tab, mods)
 }
 
-// Monitor starts a data monitor on the table. cleansed selects incremental
-// repair (true) vs incremental detection only (false).
-func (s *Semandaq) Monitor(table string, cleansed bool) (*monitor.Monitor, error) {
-	tab, err := s.Table(table)
+// Monitor starts a data monitor on the table. WithCleansed(true) selects
+// incremental repair over incremental detection; WithCFDs scopes the
+// monitored constraints. A done ctx prevents the monitor from starting;
+// the tracker's initial seeding pass itself is not yet cancellable.
+func (s *Semandaq) Monitor(ctx context.Context, table string, opts ...Option) (*monitor.Monitor, error) {
+	o := s.resolve(DefaultEngine, opts)
+	tab, cfds, err := s.requestCFDs(table, o)
 	if err != nil {
 		return nil, err
 	}
-	cfds := s.CFDs(table)
-	if len(cfds) == 0 {
-		return nil, fmt.Errorf("semandaq: no CFDs registered for %s", table)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return monitor.New(tab, cfds, cleansed)
+	return monitor.New(tab, cfds, o.cleansed)
 }
 
 // DiscoverCFDs mines constraints from a reference table (does not register

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -48,11 +49,11 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	// Detection, both paths, must agree.
-	native, err := s.Detect("customer", NativeDetection)
+	native, err := s.Detect(context.Background(), "customer", WithEngine(NativeDetection))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sql, err := s.Detect("customer", SQLDetection)
+	sql, err := s.Detect(context.Background(), "customer", WithEngine(SQLDetection))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	// Audit.
-	a, err := s.Audit("customer")
+	a, err := s.Audit(context.Background(), "customer")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	// Explore.
-	ex, err := s.Explore("customer")
+	ex, err := s.Explore(context.Background(), "customer")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	// Repair + apply.
-	res, err := s.Repair("customer")
+	res, err := s.Repair(context.Background(), "customer")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 	// After applying, detection is clean (and the cache was invalidated by
 	// the table version change).
-	rep, err := s.Detect("customer", NativeDetection)
+	rep, err := s.Detect(context.Background(), "customer", WithEngine(NativeDetection))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestEndToEndPipeline(t *testing.T) {
 
 func TestDetectCache(t *testing.T) {
 	s := session(t)
-	r1, err := s.Detect("customer", NativeDetection)
+	r1, err := s.Detect(context.Background(), "customer", WithEngine(NativeDetection))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := s.Detect("customer", NativeDetection)
+	r2, err := s.Detect(context.Background(), "customer", WithEngine(NativeDetection))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestDetectCache(t *testing.T) {
 	}
 	tab, _ := s.Table("customer")
 	tab.SetCell(0, 0, types.NewString("Mike2"))
-	r3, err := s.Detect("customer", NativeDetection)
+	r3, err := s.Detect(context.Background(), "customer", WithEngine(NativeDetection))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,13 +193,13 @@ func TestNoCFDsErrors(t *testing.T) {
 	if _, err := s.LoadCSV("customer", strings.NewReader(customersCSV)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Detect("customer", NativeDetection); err == nil {
+	if _, err := s.Detect(context.Background(), "customer", WithEngine(NativeDetection)); err == nil {
 		t.Error("Detect without CFDs should fail")
 	}
-	if _, err := s.Repair("customer"); err == nil {
+	if _, err := s.Repair(context.Background(), "customer"); err == nil {
 		t.Error("Repair without CFDs should fail")
 	}
-	if _, err := s.Monitor("customer", false); err == nil {
+	if _, err := s.Monitor(context.Background(), "customer"); err == nil {
 		t.Error("Monitor without CFDs should fail")
 	}
 	if _, err := s.DetectionSQL("customer"); err == nil {
@@ -211,22 +212,22 @@ func TestUnknownTableErrors(t *testing.T) {
 	if _, err := s.Table("nope"); err == nil {
 		t.Error("Table")
 	}
-	if _, err := s.Detect("nope", NativeDetection); err == nil {
+	if _, err := s.Detect(context.Background(), "nope", WithEngine(NativeDetection)); err == nil {
 		t.Error("Detect")
 	}
-	if _, err := s.Audit("nope"); err == nil {
+	if _, err := s.Audit(context.Background(), "nope"); err == nil {
 		t.Error("Audit")
 	}
-	if _, err := s.Explore("nope"); err == nil {
+	if _, err := s.Explore(context.Background(), "nope"); err == nil {
 		t.Error("Explore")
 	}
-	if _, err := s.Repair("nope"); err == nil {
+	if _, err := s.Repair(context.Background(), "nope"); err == nil {
 		t.Error("Repair")
 	}
 	if _, _, err := s.ApplyRepair("nope", nil); err == nil {
 		t.Error("ApplyRepair")
 	}
-	if _, err := s.Monitor("nope", false); err == nil {
+	if _, err := s.Monitor(context.Background(), "nope"); err == nil {
 		t.Error("Monitor")
 	}
 	if _, err := s.DiscoverCFDs("nope", discovery.Options{}); err == nil {
@@ -246,7 +247,7 @@ func TestDetectionSQLAndAdHocSQL(t *testing.T) {
 	if len(stmts) == 0 {
 		t.Error("no SQL generated")
 	}
-	res, err := s.SQL("SELECT COUNT(*) FROM customer WHERE CNT = 'UK'")
+	res, err := s.SQL(context.Background(), "SELECT COUNT(*) FROM customer WHERE CNT = 'UK'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,14 +258,14 @@ func TestDetectionSQLAndAdHocSQL(t *testing.T) {
 
 func TestMonitorIntegration(t *testing.T) {
 	s := session(t)
-	res, err := s.Repair("customer")
+	res, err := s.Repair(context.Background(), "customer")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := s.ApplyRepair("customer", res.Modifications); err != nil {
 		t.Fatal(err)
 	}
-	m, err := s.Monitor("customer", true)
+	m, err := s.Monitor(context.Background(), "customer", WithCleansed(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestDiscoverIntegration(t *testing.T) {
 
 func TestTablesHidesArtifacts(t *testing.T) {
 	s := session(t)
-	if _, err := s.Detect("customer", SQLDetection); err != nil {
+	if _, err := s.Detect(context.Background(), "customer", WithEngine(SQLDetection)); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range s.Tables() {
@@ -339,12 +340,12 @@ func TestDetectorKindMatrix(t *testing.T) {
 	}
 
 	s := session(t)
-	base, err := s.Detect("customer", NativeDetection)
+	base, err := s.Detect(context.Background(), "customer", WithEngine(NativeDetection))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for kind := range names {
-		rep, err := s.Detect("customer", kind)
+		rep, err := s.Detect(context.Background(), "customer", WithEngine(kind))
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}

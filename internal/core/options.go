@@ -1,0 +1,87 @@
+package core
+
+// Option configures one request (Detect, DetectStream, Audit, Repair,
+// Monitor). Options are applied in order over the session's defaults, so a
+// later option wins over an earlier duplicate.
+type Option func(*requestOptions)
+
+// requestOptions is the resolved per-request configuration.
+type requestOptions struct {
+	kind    DetectorKind
+	kindSet bool
+	// workers overrides the session's ParallelDetection worker count when
+	// workersSet; 0 still means GOMAXPROCS (the old DetectWorkers
+	// contract, which servers rely on for per-request overrides).
+	workers    int
+	workersSet bool
+	// cfdIDs scopes detection to the named registered CFDs; empty means
+	// all of them.
+	cfdIDs []string
+	// limit caps the number of violation records returned/streamed;
+	// 0 means unlimited.
+	limit int
+	// cleansed selects the monitor's incremental-repair mode.
+	cleansed bool
+}
+
+// WithEngine selects the detection engine for this request. The default is
+// ColumnarDetection for Detect/Audit/Explore/Repair and ParallelDetection
+// for DetectStream; every engine produces an identical report.
+func WithEngine(kind DetectorKind) Option {
+	return func(o *requestOptions) {
+		o.kind = kind
+		o.kindSet = true
+	}
+}
+
+// WithWorkers overrides the worker count for the sharded engines for this
+// request only (the shared session is not mutated). n <= 0 means
+// runtime.GOMAXPROCS. Other engines ignore it.
+func WithWorkers(n int) Option {
+	return func(o *requestOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.workers = n
+		o.workersSet = true
+	}
+}
+
+// WithCFDs scopes the request to the registered CFDs with the given IDs.
+// Detection over a scoped set equals filtering the full report down to
+// those constraints. Unknown IDs are an error at request time.
+func WithCFDs(ids ...string) Option {
+	return func(o *requestOptions) {
+		o.cfdIDs = append(o.cfdIDs, ids...)
+	}
+}
+
+// WithLimit caps the violation records a request returns: Detect truncates
+// the report's Violations slice to k (the per-tuple counts and per-CFD
+// statistics still describe the full scan), and DetectStream stops after
+// yielding k violations, cancelling the underlying scan. k <= 0 means
+// unlimited.
+func WithLimit(k int) Option {
+	return func(o *requestOptions) {
+		if k < 0 {
+			k = 0
+		}
+		o.limit = k
+	}
+}
+
+// WithCleansed marks the monitored table as already cleaned: the monitor
+// repairs incoming errors incrementally instead of only detecting them.
+// Only Monitor consumes it.
+func WithCleansed(on bool) Option {
+	return func(o *requestOptions) { o.cleansed = on }
+}
+
+// resolve folds the options over the session defaults.
+func (s *Semandaq) resolve(defKind DetectorKind, opts []Option) requestOptions {
+	o := requestOptions{kind: defKind, workers: s.Workers()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}

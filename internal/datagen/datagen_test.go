@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"testing"
 
 	"semandaq/internal/detect"
@@ -10,7 +11,7 @@ import (
 
 func TestCleanDataSatisfiesStandardCFDs(t *testing.T) {
 	ds := Generate(Config{Tuples: 2000, Seed: 1})
-	rep, err := detect.NativeDetector{}.Detect(ds.Clean, StandardCFDs())
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), ds.Clean, StandardCFDs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestCleanDataSatisfiesStandardCFDs(t *testing.T) {
 // "clean" data (and wrecking the R2 experiment at 80k tuples).
 func TestCleanDataSatisfiesCFDsAtLargeZipPools(t *testing.T) {
 	ds := Generate(Config{Tuples: 6000, Seed: 2, ZipsPerCity: 1500})
-	rep, err := detect.NativeDetector{}.Detect(ds.Clean, StandardCFDs())
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), ds.Clean, StandardCFDs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestNoiseRateHonored(t *testing.T) {
 
 func TestDirtyDataHasViolations(t *testing.T) {
 	ds := Generate(Config{Tuples: 1000, Seed: 7, NoiseRate: 0.05})
-	rep, err := detect.NativeDetector{}.Detect(ds.Dirty, StandardCFDs())
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), ds.Dirty, StandardCFDs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestDefaults(t *testing.T) {
 
 func TestRepairScoring(t *testing.T) {
 	ds := Generate(Config{Tuples: 1500, Seed: 11, NoiseRate: 0.04})
-	res, err := repair.NewRepairer().Repair(ds.Dirty, StandardCFDs())
+	res, err := repair.NewRepairer().Repair(context.Background(), ds.Dirty, StandardCFDs())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"encoding/binary"
 	"runtime"
 	"sync"
@@ -197,7 +198,7 @@ func addToGroupColumnar(groups map[string]*groupAcc, keyBuf []byte,
 }
 
 // Detect implements Detector.
-func (d ColumnarDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
+func (d ColumnarDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
 	preps, err := prepare(tab, cfds)
 	if err != nil {
 		return nil, err
@@ -213,34 +214,48 @@ func (d ColumnarDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report,
 		rep.PerCFD[p.c.ID] = &CFDStats{}
 		cps[i] = newColPrep(p, snap)
 	}
-	workers := d.Workers
-	// Clamp untrusted worker counts (the HTTP API forwards them): beyond
-	// the core count extra workers only add scheduling and routing-buffer
-	// overhead, and beyond the tuple count they do nothing at all.
-	if maxW := 8 * runtime.GOMAXPROCS(0); workers > maxW {
-		workers = maxW
-	}
-	if workers > snap.Len() {
-		workers = snap.Len()
-	}
+	workers := clampWorkers(d.Workers, snap.Len())
 	if workers <= 1 {
 		for i := range cps {
-			detectOneColumnar(snap, &cps[i], rep, rep.PerCFD[preps[i].c.ID])
+			if err := detectOneColumnar(ctx, snap, &cps[i], rep, rep.PerCFD[preps[i].c.ID]); err != nil {
+				return nil, err
+			}
 		}
 	} else {
-		detectShardedColumnar(snap, cps, rep, workers)
+		if err := detectShardedColumnar(ctx, snap, cps, rep, workers); err != nil {
+			return nil, err
+		}
 	}
 	finish(rep)
 	return rep, nil
 }
 
+// clampWorkers bounds untrusted worker counts (the HTTP API forwards
+// them): beyond the core count extra workers only add scheduling and
+// routing-buffer overhead, and beyond the tuple count they do nothing at
+// all.
+func clampWorkers(workers, tuples int) int {
+	if maxW := 8 * runtime.GOMAXPROCS(0); workers > maxW {
+		workers = maxW
+	}
+	if workers > tuples {
+		workers = tuples
+	}
+	return workers
+}
+
 // detectOneColumnar is the sequential scan for one CFD: single-tuple
 // checks inline, group accumulation keyed by packed code vectors.
-func detectOneColumnar(snap *relstore.Columnar, cp *colPrep, rep *Report, st *CFDStats) {
+func detectOneColumnar(ctx context.Context, snap *relstore.Columnar, cp *colPrep, rep *Report, st *CFDStats) error {
 	groups := map[string]*groupAcc{}
 	keyBuf := make([]byte, 4*len(cp.lhsCols))
 	ids := snap.IDs()
 	for idx := range ids {
+		if idx%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		var fired bool
 		rep.Violations, fired = appendConstViolationsColumnar(rep.Violations, cp, idx, ids[idx])
 		if fired {
@@ -255,6 +270,7 @@ func detectOneColumnar(snap *relstore.Columnar, cp *colPrep, rep *Report, st *CF
 	rep.Groups, rep.Violations, ng, nm = flushGroups(groups, cp.p, rep.Groups, rep.Violations)
 	st.Groups += ng
 	st.MultiTuple += nm
+	return nil
 }
 
 // colChunkResult is one scan worker's output in the sharded evaluation.
@@ -282,7 +298,9 @@ type colShardResult struct {
 // 1), then per-shard grouping (phase 2), merged by concatenation under the
 // deterministic finish() ordering — the same structure the row-based
 // ParallelDetector used, now routing 4-byte code vectors instead of keys.
-func detectShardedColumnar(snap *relstore.Columnar, cps []colPrep, rep *Report, workers int) {
+// Cancellation is checked inside every worker; a cancelled run returns
+// ctx.Err() after the workers unwind.
+func detectShardedColumnar(ctx context.Context, snap *relstore.Columnar, cps []colPrep, rep *Report, workers int) error {
 	ids := snap.IDs()
 	shards := workers
 	bounds := chunkBounds(len(ids), workers)
@@ -292,10 +310,13 @@ func detectShardedColumnar(snap *relstore.Columnar, cps []colPrep, rep *Report, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			scanChunkColumnar(&chunks[w], cps, ids, bounds[w], bounds[w+1], shards)
+			scanChunkColumnar(ctx, &chunks[w], cps, ids, bounds[w], bounds[w+1], shards)
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// Phase 2: shard s consumes, for every CFD, the indexes routed to it
 	// by every chunk, in chunk order — which is snapshot order, so group
@@ -305,10 +326,13 @@ func detectShardedColumnar(snap *relstore.Columnar, cps []colPrep, rep *Report, 
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			groupShardColumnar(&results[s], cps, chunks, s, ids)
+			groupShardColumnar(ctx, &results[s], cps, chunks, s, ids)
 		}(s)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	for w := range chunks {
 		rep.Violations = append(rep.Violations, chunks[w].violations...)
@@ -325,11 +349,14 @@ func detectShardedColumnar(snap *relstore.Columnar, cps []colPrep, rep *Report, 
 			st.Groups += results[s].groupCounts[ci]
 		}
 	}
+	return nil
 }
 
 // scanChunkColumnar is phase 1 for one worker: single-tuple checks inline,
 // variable matches routed to shards by a hash of the packed code vector.
-func scanChunkColumnar(out *colChunkResult, cps []colPrep,
+// On cancellation the worker abandons its chunk; the caller notices via
+// ctx.Err() and discards every chunk's partial output.
+func scanChunkColumnar(ctx context.Context, out *colChunkResult, cps []colPrep,
 	ids []relstore.TupleID, lo, hi, shards int) {
 	out.singles = make([]int, len(cps))
 	out.routed = make([][][]int32, len(cps))
@@ -339,6 +366,9 @@ func scanChunkColumnar(out *colChunkResult, cps []colPrep,
 		keyBufs[ci] = make([]byte, 4*len(cps[ci].lhsCols))
 	}
 	for idx := lo; idx < hi; idx++ {
+		if (idx-lo)%cancelStride == 0 && ctx.Err() != nil {
+			return
+		}
 		id := ids[idx]
 		for ci := range cps {
 			cp := &cps[ci]
@@ -358,16 +388,20 @@ func scanChunkColumnar(out *colChunkResult, cps []colPrep,
 
 // groupShardColumnar is phase 2 for one shard: re-pack each routed index's
 // code vector and accumulate groups, exactly as the sequential scan does.
-func groupShardColumnar(out *colShardResult, cps []colPrep,
+func groupShardColumnar(ctx context.Context, out *colShardResult, cps []colPrep,
 	chunks []colChunkResult, shard int, ids []relstore.TupleID) {
 	out.multis = make([]int, len(cps))
 	out.groupCounts = make([]int, len(cps))
+	n := 0
 	for ci := range cps {
 		cp := &cps[ci]
 		groups := map[string]*groupAcc{}
 		keyBuf := make([]byte, 4*len(cp.lhsCols))
 		for w := range chunks {
 			for _, idx := range chunks[w].routed[ci][shard] {
+				if n++; n%cancelStride == 0 && ctx.Err() != nil {
+					return
+				}
 				packLHSCodes(keyBuf, cp, int(idx))
 				addToGroupColumnar(groups, keyBuf, cp, int(idx), ids[idx])
 			}

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -69,11 +70,11 @@ func TestCrossCheckRandomized(t *testing.T) {
 			cfds = append(cfds, cc)
 		}
 
-		native, err := NativeDetector{}.Detect(tab, cfds)
+		native, err := NativeDetector{}.Detect(context.Background(), tab, cfds)
 		if err != nil {
 			t.Fatalf("trial %d: native: %v", trial, err)
 		}
-		sqlRep, err := NewSQLDetector(store).Detect(tab, cfds)
+		sqlRep, err := NewSQLDetector(store).Detect(context.Background(), tab, cfds)
 		if err != nil {
 			t.Fatalf("trial %d: sql: %v", trial, err)
 		}
@@ -81,7 +82,7 @@ func TestCrossCheckRandomized(t *testing.T) {
 			t.Fatalf("trial %d: detectors disagree: %v\ncfds:\n%v", trial, err, cfds)
 		}
 		workers := []int{1, 2, 8}[trial%3]
-		parRep, err := ParallelDetector{Workers: workers}.Detect(tab, cfds)
+		parRep, err := ParallelDetector{Workers: workers}.Detect(context.Background(), tab, cfds)
 		if err != nil {
 			t.Fatalf("trial %d: parallel: %v", trial, err)
 		}
@@ -89,7 +90,7 @@ func TestCrossCheckRandomized(t *testing.T) {
 			t.Fatalf("trial %d: parallel (workers=%d) disagrees: %v\ncfds:\n%v",
 				trial, workers, err, cfds)
 		}
-		colRep, err := ColumnarDetector{Workers: 1}.Detect(tab, cfds)
+		colRep, err := ColumnarDetector{Workers: 1}.Detect(context.Background(), tab, cfds)
 		if err != nil {
 			t.Fatalf("trial %d: columnar: %v", trial, err)
 		}
@@ -120,11 +121,11 @@ func TestParallelCrossCheckDatagen(t *testing.T) {
 		store := relstore.NewStore()
 		store.Put(ds.Dirty)
 		cfds := datagen.StandardCFDs()
-		native, err := NativeDetector{}.Detect(ds.Dirty, cfds)
+		native, err := NativeDetector{}.Detect(context.Background(), ds.Dirty, cfds)
 		if err != nil {
 			t.Fatalf("noise=%.2f: native: %v", noise, err)
 		}
-		sqlRep, err := NewSQLDetector(store).Detect(ds.Dirty, cfds)
+		sqlRep, err := NewSQLDetector(store).Detect(context.Background(), ds.Dirty, cfds)
 		if err != nil {
 			t.Fatalf("noise=%.2f: sql: %v", noise, err)
 		}
@@ -135,7 +136,7 @@ func TestParallelCrossCheckDatagen(t *testing.T) {
 			t.Fatalf("noise=%.2f produced no violations; test is vacuous", noise)
 		}
 		for _, workers := range []int{1, 2, 8} {
-			par, err := ParallelDetector{Workers: workers}.Detect(ds.Dirty, cfds)
+			par, err := ParallelDetector{Workers: workers}.Detect(context.Background(), ds.Dirty, cfds)
 			if err != nil {
 				t.Fatalf("noise=%.2f workers=%d: %v", noise, workers, err)
 			}
@@ -159,7 +160,7 @@ func TestColumnarByteIdenticalDatagen(t *testing.T) {
 	for _, noise := range []float64{0, 0.02, 0.10} {
 		ds := datagen.Generate(datagen.Config{Tuples: 2000, Seed: 77, NoiseRate: noise})
 		cfds := datagen.StandardCFDs()
-		native, err := NativeDetector{}.Detect(ds.Dirty, cfds)
+		native, err := NativeDetector{}.Detect(context.Background(), ds.Dirty, cfds)
 		if err != nil {
 			t.Fatalf("noise=%.2f: native: %v", noise, err)
 		}
@@ -167,7 +168,7 @@ func TestColumnarByteIdenticalDatagen(t *testing.T) {
 			t.Fatalf("noise=%.2f produced no violations; test is vacuous", noise)
 		}
 		for _, workers := range []int{1, 2, 8} {
-			col, err := ColumnarDetector{Workers: workers}.Detect(ds.Dirty, cfds)
+			col, err := ColumnarDetector{Workers: workers}.Detect(context.Background(), ds.Dirty, cfds)
 			if err != nil {
 				t.Fatalf("noise=%.2f workers=%d: columnar: %v", noise, workers, err)
 			}
@@ -213,7 +214,7 @@ func TestVioDefinitionOnKnownGroups(t *testing.T) {
 		"columnar": ColumnarDetector{Workers: 1},
 	} {
 		t.Run(name, func(t *testing.T) {
-			rep, err := det.Detect(tab, []*cfd.CFD{fd})
+			rep, err := det.Detect(context.Background(), tab, []*cfd.CFD{fd})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -251,7 +252,7 @@ func TestColumnarIdenticalOnFloatEdgeCases(t *testing.T) {
 		}),
 		cfd.NewFD("c2", "r", []string{"A"}, []string{"B"}),
 	}
-	native, err := NativeDetector{}.Detect(tab, cfds)
+	native, err := NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestColumnarIdenticalOnFloatEdgeCases(t *testing.T) {
 		t.Fatalf("native vio(NaN row) = %d, want 2", native.Vio[nanID])
 	}
 	for _, workers := range []int{1, 4} {
-		col, err := ColumnarDetector{Workers: workers}.Detect(tab, cfds)
+		col, err := ColumnarDetector{Workers: workers}.Detect(context.Background(), tab, cfds)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -289,7 +290,7 @@ func TestColumnarIdenticalOnFloatEdgeCases(t *testing.T) {
 	tab2.MustInsert(relstore.Tuple{types.NewFloat(0), types.NewInt(2)})
 	tab2.MustInsert(relstore.Tuple{types.NewInt(0), types.NewInt(2)})
 	fd := cfd.NewFD("c2", "r", []string{"A"}, []string{"B"})
-	native2, err := NativeDetector{}.Detect(tab2, []*cfd.CFD{fd})
+	native2, err := NativeDetector{}.Detect(context.Background(), tab2, []*cfd.CFD{fd})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestColumnarIdenticalOnFloatEdgeCases(t *testing.T) {
 		t.Fatalf("-0.0 group: native dirty = %v, want all 3 tuples", native2.Vio)
 	}
 	for _, workers := range []int{1, 4} {
-		col, err := ColumnarDetector{Workers: workers}.Detect(tab2, []*cfd.CFD{fd})
+		col, err := ColumnarDetector{Workers: workers}.Detect(context.Background(), tab2, []*cfd.CFD{fd})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

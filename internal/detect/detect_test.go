@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestPaperExampleBothDetectors(t *testing.T) {
 	store, tab, cfds := paperStore(t)
 	for name, det := range detectors(store) {
 		t.Run(name, func(t *testing.T) {
-			rep, err := det.Detect(tab, cfds)
+			rep, err := det.Detect(context.Background(), tab, cfds)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,7 +104,7 @@ func TestPaperExampleBothDetectors(t *testing.T) {
 
 func TestSingleTupleViolationDetails(t *testing.T) {
 	_, tab, cfds := paperStore(t)
-	rep, err := NativeDetector{}.Detect(tab, cfds)
+	rep, err := NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestGroupsStructure(t *testing.T) {
 	store, tab, cfds := paperStore(t)
 	for name, det := range detectors(store) {
 		t.Run(name, func(t *testing.T) {
-			rep, err := det.Detect(tab, cfds)
+			rep, err := det.Detect(context.Background(), tab, cfds)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -177,7 +178,7 @@ r: [CC=1] -> [CNT=US]
 	}
 	for name, det := range detectors(store) {
 		t.Run(name, func(t *testing.T) {
-			rep, err := det.Detect(tab, cfds)
+			rep, err := det.Detect(context.Background(), tab, cfds)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -207,7 +208,7 @@ func TestVioCountsPartners(t *testing.T) {
 	fd := cfd.NewFD("f", "r", []string{"ZIP"}, []string{"STR"})
 	for name, det := range detectors(store) {
 		t.Run(name, func(t *testing.T) {
-			rep, err := det.Detect(tab, []*cfd.CFD{fd})
+			rep, err := det.Detect(context.Background(), tab, []*cfd.CFD{fd})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -234,7 +235,7 @@ func TestCleanTable(t *testing.T) {
 	fd := cfd.NewFD("f", "r", []string{"A"}, []string{"B"})
 	for name, det := range detectors(store) {
 		t.Run(name, func(t *testing.T) {
-			rep, err := det.Detect(tab, []*cfd.CFD{fd})
+			rep, err := det.Detect(context.Background(), tab, []*cfd.CFD{fd})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -263,11 +264,11 @@ r: [A=k] -> [B=v]
 	if err != nil {
 		t.Fatal(err)
 	}
-	native, err := NativeDetector{}.Detect(tab, cfds)
+	native, err := NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sqlRep, err := NewSQLDetector(store).Detect(tab, cfds)
+	sqlRep, err := NewSQLDetector(store).Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestDetectValidatesCFDs(t *testing.T) {
 	}
 	for name, det := range detectors(store) {
 		t.Run(name, func(t *testing.T) {
-			if _, err := det.Detect(tab, bad); err == nil {
+			if _, err := det.Detect(context.Background(), tab, bad); err == nil {
 				t.Error("unknown attribute should fail")
 			}
 		})
@@ -305,7 +306,7 @@ func TestDetectValidatesCFDs(t *testing.T) {
 func TestSQLDetectorRequiresRegisteredTable(t *testing.T) {
 	store, _, cfds := paperStore(t)
 	other := relstore.NewTable(schema.New("customer", "NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"))
-	if _, err := NewSQLDetector(store).Detect(other, cfds); err == nil {
+	if _, err := NewSQLDetector(store).Detect(context.Background(), other, cfds); err == nil {
 		t.Error("unregistered table should fail")
 	}
 }
@@ -313,7 +314,7 @@ func TestSQLDetectorRequiresRegisteredTable(t *testing.T) {
 func TestSQLDetectorCleansUpArtifacts(t *testing.T) {
 	store, tab, cfds := paperStore(t)
 	d := NewSQLDetector(store)
-	if _, err := d.Detect(tab, cfds); err != nil {
+	if _, err := d.Detect(context.Background(), tab, cfds); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range store.Names() {
@@ -323,7 +324,7 @@ func TestSQLDetectorCleansUpArtifacts(t *testing.T) {
 	}
 	// KeepArtifacts leaves the tableau tables.
 	d.KeepArtifacts = true
-	if _, err := d.Detect(tab, cfds); err != nil {
+	if _, err := d.Detect(context.Background(), tab, cfds); err != nil {
 		t.Fatal(err)
 	}
 	found := false
@@ -342,7 +343,7 @@ func TestSQLTrace(t *testing.T) {
 	d := NewSQLDetector(store)
 	var queries []string
 	d.Trace = func(sql string) { queries = append(queries, sql) }
-	if _, err := d.Detect(tab, cfds); err != nil {
+	if _, err := d.Detect(context.Background(), tab, cfds); err != nil {
 		t.Fatal(err)
 	}
 	// phi1: Qv only (1 or 2 queries depending on hits); phi2: Qv + join
@@ -410,7 +411,7 @@ func TestMultiAttributeRHSNormalized(t *testing.T) {
 	c := cfd.NewFD("f", "r", []string{"K"}, []string{"A", "B"})
 	for name, det := range detectors(store) {
 		t.Run(name, func(t *testing.T) {
-			rep, err := det.Detect(tab, []*cfd.CFD{c})
+			rep, err := det.Detect(context.Background(), tab, []*cfd.CFD{c})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -17,7 +18,7 @@ func TestTrackerMatchesBatchInitially(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := NativeDetector{}.Detect(tab, cfds)
+	batch, err := NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestTrackerVioMapCopy(t *testing.T) {
 // batch detection on the current table.
 func assertMatchesBatch(t *testing.T, tab *relstore.Table, cfds []*cfd.CFD, tr *Tracker) {
 	t.Helper()
-	batch, err := NativeDetector{}.Detect(tab, cfds)
+	batch, err := NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}

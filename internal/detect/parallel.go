@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"runtime"
 
 	"semandaq/internal/cfd"
@@ -33,10 +34,20 @@ type ParallelDetector struct {
 }
 
 // Detect implements Detector.
-func (d ParallelDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
+func (d ParallelDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
 	workers := d.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return ColumnarDetector{Workers: workers}.Detect(tab, cfds)
+	return ColumnarDetector{Workers: workers}.Detect(ctx, tab, cfds)
+}
+
+// DetectStream implements Streamer by delegating to the sharded columnar
+// streaming path with the configured worker count.
+func (d ParallelDetector) DetectStream(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) ViolationSeq {
+	workers := d.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return ColumnarDetector{Workers: workers}.DetectStream(ctx, tab, cfds)
 }

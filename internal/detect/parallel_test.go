@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -45,7 +46,7 @@ func TestLHSKeySeparatorCollision(t *testing.T) {
 		"columnar":  ColumnarDetector{Workers: 1},
 	}
 	for name, det := range dets {
-		rep, err := det.Detect(tab, []*cfd.CFD{fd})
+		rep, err := det.Detect(context.Background(), tab, []*cfd.CFD{fd})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -85,7 +86,7 @@ func TestParallelIdenticalToNative(t *testing.T) {
 			RHS: []cfd.PatternValue{cfd.ConstStr("w0")},
 		}),
 	}
-	native, err := NativeDetector{}.Detect(tab, cfds)
+	native, err := NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestParallelIdenticalToNative(t *testing.T) {
 		t.Fatal("workload produced no violations; test is vacuous")
 	}
 	for _, w := range []int{0, 1, 2, 3, 8, 500} {
-		par, err := ParallelDetector{Workers: w}.Detect(tab, cfds)
+		par, err := ParallelDetector{Workers: w}.Detect(context.Background(), tab, cfds)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
@@ -109,7 +110,7 @@ func TestParallelEmptyAndCleanTables(t *testing.T) {
 	tab, _ := store.Create(schema.New("r", "A", "B"))
 	fd := cfd.NewFD("f", "r", []string{"A"}, []string{"B"})
 
-	rep, err := ParallelDetector{Workers: 4}.Detect(tab, []*cfd.CFD{fd})
+	rep, err := ParallelDetector{Workers: 4}.Detect(context.Background(), tab, []*cfd.CFD{fd})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestParallelEmptyAndCleanTables(t *testing.T) {
 		tab.MustInsert(relstore.Tuple{
 			types.NewString(fmt.Sprintf("a%d", i)), types.NewString("b")})
 	}
-	rep, err = ParallelDetector{Workers: 4}.Detect(tab, []*cfd.CFD{fd})
+	rep, err = ParallelDetector{Workers: 4}.Detect(context.Background(), tab, []*cfd.CFD{fd})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestParallelValidatesCFDs(t *testing.T) {
 	store := relstore.NewStore()
 	tab, _ := store.Create(schema.New("r", "A", "B"))
 	bad := cfd.NewFD("f", "r", []string{"NOPE"}, []string{"B"})
-	if _, err := (ParallelDetector{}).Detect(tab, []*cfd.CFD{bad}); err == nil {
+	if _, err := (ParallelDetector{}).Detect(context.Background(), tab, []*cfd.CFD{bad}); err == nil {
 		t.Fatal("expected validation error for unknown attribute")
 	}
 }

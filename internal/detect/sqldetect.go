@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,7 @@ func NewSQLDetector(store *relstore.Store) *SQLDetector {
 }
 
 // Detect implements Detector.
-func (d *SQLDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
+func (d *SQLDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
 	preps, err := prepare(tab, cfds)
 	if err != nil {
 		return nil, err
@@ -53,9 +54,12 @@ func (d *SQLDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*Report, err
 	}
 	rep.TupleCount = tab.Len()
 	for i, p := range preps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		st := &CFDStats{}
 		rep.PerCFD[p.c.ID] = st
-		if err := d.detectOneSQL(tab, p, i, rep, st); err != nil {
+		if err := d.detectOneSQL(ctx, tab, p, i, rep, st); err != nil {
 			return nil, err
 		}
 	}
@@ -77,15 +81,17 @@ func sanitizeIdent(id string) string {
 	return b.String()
 }
 
-func (d *SQLDetector) run(sql string) (*sqleng.Result, error) {
+func (d *SQLDetector) run(ctx context.Context, sql string) (*sqleng.Result, error) {
 	if d.Trace != nil {
 		d.Trace(sql)
 	}
-	return d.Engine.Query(sql)
+	return d.Engine.QueryContext(ctx, sql)
 }
 
-// detectOneSQL generates and runs Qc and Qv for one merged CFD.
-func (d *SQLDetector) detectOneSQL(tab *relstore.Table, p prepared, seq int, rep *Report, st *CFDStats) error {
+// detectOneSQL generates and runs Qc and Qv for one merged CFD. The
+// context reaches the SQL engine's scan loops, so a mid-query cancel
+// aborts inside the generated query rather than between queries.
+func (d *SQLDetector) detectOneSQL(ctx context.Context, tab *relstore.Table, p prepared, seq int, rep *Report, st *CFDStats) error {
 	store := d.Engine.Store()
 	tpName := fmt.Sprintf("_tp_%d_%s", seq, sanitizeIdent(p.c.ID))
 	store.Drop(tpName)
@@ -126,7 +132,7 @@ func (d *SQLDetector) detectOneSQL(tab *relstore.Table, p prepared, seq int, rep
 			sqleng.TIDColumn, sqleng.TIDColumn, q(rhs), q(rhs),
 			q(dataName), q(tpName), match,
 			q(rhs), cfd.WildcardToken, q(rhs), q(rhs))
-		res, err := d.run(qc)
+		res, err := d.run(ctx, qc)
 		if err != nil {
 			return fmt.Errorf("detect: Qc for %s: %w", p.c.ID, err)
 		}
@@ -169,7 +175,7 @@ func (d *SQLDetector) detectOneSQL(tab *relstore.Table, p prepared, seq int, rep
 			q(rhs), cfd.WildcardToken,
 			strings.Join(groupCols, ", "),
 			coalesce("t."+q(rhs)))
-		res, err := d.run(qv1)
+		res, err := d.run(ctx, qv1)
 		if err != nil {
 			return fmt.Errorf("detect: Qv step 1 for %s: %w", p.c.ID, err)
 		}
@@ -202,7 +208,7 @@ func (d *SQLDetector) detectOneSQL(tab *relstore.Table, p prepared, seq int, rep
 			"SELECT t.%s, t.%s, %s FROM %s t, %s g WHERE %s",
 			sqleng.TIDColumn, q(rhs), strings.Join(lhsSel, ", "),
 			q(dataName), q(gName), strings.Join(joinConds, " AND "))
-		res, err = d.run(qv2)
+		res, err = d.run(ctx, qv2)
 		if err != nil {
 			return fmt.Errorf("detect: Qv step 2 for %s: %w", p.c.ID, err)
 		}

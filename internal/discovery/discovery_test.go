@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -192,7 +193,7 @@ func TestDiscoverOnGeneratedData(t *testing.T) {
 		}
 	}
 	// Every discovered CFD must actually hold on the clean data.
-	rep, err := detect.NativeDetector{}.Detect(ds.Clean, cfds)
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), ds.Clean, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestDiscoverOnGeneratedData(t *testing.T) {
 	}
 	// Discovered CFDs catch injected errors on dirty data.
 	dirty := datagen.Generate(datagen.Config{Tuples: 600, Seed: 9, NoiseRate: 0.05})
-	rep, err = detect.NativeDetector{}.Detect(dirty.Dirty, cfds)
+	rep, err = detect.NativeDetector{}.Detect(context.Background(), dirty.Dirty, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -66,7 +67,7 @@ func RunA1(w io.Writer, quick bool) error {
 		mq := 0
 		mergedDet.Trace = func(string) { mq++ }
 		mergedTime, err := timed(func() error {
-			_, err := mergedDet.Detect(ds.Dirty, []*cfd.CFD{merged})
+			_, err := mergedDet.Detect(context.Background(), ds.Dirty, []*cfd.CFD{merged})
 			return err
 		})
 		if err != nil {
@@ -77,7 +78,7 @@ func RunA1(w io.Writer, quick bool) error {
 			for _, s := range singles {
 				det := detect.NewSQLDetector(store)
 				det.Trace = func(string) { uq++ }
-				if _, err := det.Detect(ds.Dirty, []*cfd.CFD{s}); err != nil {
+				if _, err := det.Detect(context.Background(), ds.Dirty, []*cfd.CFD{s}); err != nil {
 					return err
 				}
 			}
@@ -136,7 +137,7 @@ accity@  customer: [CNT=_, AC=_] -> [CITY=_]
 	}{{"full", false}, {"naive", true}} {
 		r := repair.NewRepairer()
 		r.NaiveMerges = variant.naive
-		res, err := r.Repair(tab, cfds)
+		res, err := r.Repair(context.Background(), tab, cfds)
 		if err != nil {
 			return err
 		}

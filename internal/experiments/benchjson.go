@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -87,7 +88,7 @@ func DetectBench(quick bool) (*DetectBenchReport, error) {
 			var r *detect.Report
 			dur, err := timed(func() error {
 				var err error
-				r, err = eng.det.Detect(ds.Dirty, cfds)
+				r, err = eng.det.Detect(context.Background(), ds.Dirty, cfds)
 				return err
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -87,7 +88,7 @@ func runD5Point(w io.Writer, n int, noise float64, reps int, cfds []*cfd.CFD) er
 			var r *detect.Report
 			dur, err := timed(func() error {
 				var err error
-				r, err = det.Detect(tab, cfds)
+				r, err = det.Detect(context.Background(), tab, cfds)
 				return err
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -56,7 +57,7 @@ func RunF2(w io.Writer, quick bool) error {
 	header(w, "F2", "data exploration drill-down (paper Fig. 2)")
 	tab := fig2Table()
 	cfds := fig2CFDs()
-	rep, err := detect.NativeDetector{}.Detect(tab, cfds)
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		return err
 	}
@@ -145,7 +146,7 @@ func RunF3(w io.Writer, quick bool) error {
 	ds, cfds := f3Workload(quick)
 	store := relstore.NewStore()
 	store.Put(ds.Dirty)
-	rep, err := detect.NewSQLDetector(store).Detect(ds.Dirty, cfds)
+	rep, err := detect.NewSQLDetector(store).Detect(context.Background(), ds.Dirty, cfds)
 	if err != nil {
 		return err
 	}
@@ -196,7 +197,7 @@ func sortedCFDIDs(rep *detect.Report) []string {
 func RunF4(w io.Writer, quick bool) error {
 	header(w, "F4", "data quality report (paper Fig. 4)")
 	ds, cfds := f3Workload(quick)
-	rep, err := detect.NativeDetector{}.Detect(ds.Dirty, cfds)
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), ds.Dirty, cfds)
 	if err != nil {
 		return err
 	}
@@ -214,7 +215,7 @@ func RunF4(w io.Writer, quick bool) error {
 func RunF5(w io.Writer, quick bool) error {
 	header(w, "F5", "data cleansing review (paper Fig. 5)")
 	ds, cfds := f3Workload(quick)
-	res, err := repair.NewRepairer().Repair(ds.Dirty, cfds)
+	res, err := repair.NewRepairer().Repair(context.Background(), ds.Dirty, cfds)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -30,7 +31,7 @@ func RunD1(w io.Writer, quick bool) error {
 		var sqlRep, natRep *detect.Report
 		sqlTime, err := timed(func() error {
 			var err error
-			sqlRep, err = detect.NewSQLDetector(store).Detect(ds.Dirty, cfds)
+			sqlRep, err = detect.NewSQLDetector(store).Detect(context.Background(), ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -38,7 +39,7 @@ func RunD1(w io.Writer, quick bool) error {
 		}
 		natTime, err := timed(func() error {
 			var err error
-			natRep, err = detect.NativeDetector{}.Detect(ds.Dirty, cfds)
+			natRep, err = detect.NativeDetector{}.Detect(context.Background(), ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -80,7 +81,7 @@ func RunD4(w io.Writer, quick bool) error {
 		var natRep, parRep *detect.Report
 		natTime, err := timed(func() error {
 			var err error
-			natRep, err = detect.NativeDetector{}.Detect(ds.Dirty, cfds)
+			natRep, err = detect.NativeDetector{}.Detect(context.Background(), ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -88,7 +89,7 @@ func RunD4(w io.Writer, quick bool) error {
 		}
 		parTime, err := timed(func() error {
 			var err error
-			parRep, err = detect.ParallelDetector{}.Detect(ds.Dirty, cfds)
+			parRep, err = detect.ParallelDetector{}.Detect(context.Background(), ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -102,7 +103,7 @@ func RunD4(w io.Writer, quick bool) error {
 			var sqlRep *detect.Report
 			sqlTime, err := timed(func() error {
 				var err error
-				sqlRep, err = detect.NewSQLDetector(store).Detect(ds.Dirty, cfds)
+				sqlRep, err = detect.NewSQLDetector(store).Detect(context.Background(), ds.Dirty, cfds)
 				return err
 			})
 			if err != nil {
@@ -169,7 +170,7 @@ func RunD2(w io.Writer, quick bool) error {
 		var rep *detect.Report
 		dur, err := timed(func() error {
 			var err error
-			rep, err = det.Detect(ds.Dirty, []*cfd.CFD{c})
+			rep, err = det.Detect(context.Background(), ds.Dirty, []*cfd.CFD{c})
 			return err
 		})
 		if err != nil {
@@ -223,7 +224,7 @@ func RunD3(w io.Writer, quick bool) error {
 		var batchRep *detect.Report
 		batchTime, err := timed(func() error {
 			var err error
-			batchRep, err = detect.NativeDetector{}.Detect(tab2, cfds)
+			batchRep, err = detect.NativeDetector{}.Detect(context.Background(), tab2, cfds)
 			return err
 		})
 		if err != nil {

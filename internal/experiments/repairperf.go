@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,14 +30,14 @@ func RunR1(w io.Writer, quick bool) error {
 		var res *repair.Result
 		dur, err := timed(func() error {
 			var err error
-			res, err = repair.NewRepairer().Repair(ds.Dirty, cfds)
+			res, err = repair.NewRepairer().Repair(context.Background(), ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
 			return err
 		}
 		score := ds.ScoreRepairCells(res.Repaired, res.ModifiedCells())
-		rep, err := detect.NativeDetector{}.Detect(res.Repaired, cfds)
+		rep, err := detect.NativeDetector{}.Detect(context.Background(), res.Repaired, cfds)
 		if err != nil {
 			return err
 		}
@@ -62,7 +63,7 @@ func RunR2(w io.Writer, quick bool) error {
 		var res *repair.Result
 		dur, err := timed(func() error {
 			var err error
-			res, err = repair.NewRepairer().Repair(ds.Dirty, cfds)
+			res, err = repair.NewRepairer().Repair(context.Background(), ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -122,7 +123,7 @@ func RunR3(w io.Writer, quick bool) error {
 			tab2.MustInsert(freshRows[i])
 		}
 		batchTime, err := timed(func() error {
-			_, err := repair.NewRepairer().Repair(tab2, cfds)
+			_, err := repair.NewRepairer().Repair(context.Background(), tab2, cfds)
 			return err
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"testing"
 
 	"semandaq/internal/cfd"
@@ -38,7 +39,7 @@ phi4@ customer: [CC=44] -> [CNT=UK]
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := detect.NativeDetector{}.Detect(tab, cfds)
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"testing"
 
 	"semandaq/internal/cfd"
@@ -120,7 +121,7 @@ func TestMarkCleansedSwitchesMode(t *testing.T) {
 		t.Fatal("expected dirt")
 	}
 	// Clean the table (the cleanser would do this), then mark cleansed.
-	rres, err := repair.NewRepairer().Repair(tab, cfds)
+	rres, err := repair.NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestDeleteAndSetUpdates(t *testing.T) {
 		t.Errorf("dirty after delete = %d", res.Dirty)
 	}
 	// Tracker state still matches batch detection.
-	batch, err := detect.NativeDetector{}.Detect(tab, cfds)
+	batch, err := detect.NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"testing"
 
 	"semandaq/internal/cfd"
@@ -81,7 +82,7 @@ func TestNaiveMergesAblationPath(t *testing.T) {
 	cfds := tugCFDs(t)
 	r := NewRepairer()
 	r.NaiveMerges = true
-	res, err := r.Repair(tab, cfds)
+	res, err := r.Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestNaiveMergesAblationPath(t *testing.T) {
 		t.Error("non-converged result must report remaining violations")
 	}
 	// The full strategy converges on the same input.
-	full, err := NewRepairer().Repair(tab, cfds)
+	full, err := NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}

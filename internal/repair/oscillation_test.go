@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"testing"
 
 	"semandaq/internal/cfd"
@@ -39,14 +40,14 @@ accity@  customer: [CNT=_, AC=_] -> [CITY=_]
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewRepairer().Repair(tab, cfds)
+	res, err := NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Converged {
 		t.Fatalf("not converged: %d remaining after %d passes", res.Remaining, res.Passes)
 	}
-	rep, err := detect.NativeDetector{}.Detect(res.Repaired, cfds)
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), res.Repaired, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ r: [C=_] -> [B=_]
 	}
 	r := NewRepairer()
 	r.MaxPasses = 50
-	res, err := r.Repair(tab, cfds)
+	res, err := r.Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ r: [C=_] -> [B=_]
 		t.Errorf("passes = %d", res.Passes)
 	}
 	if res.Converged {
-		rep, _ := detect.NativeDetector{}.Detect(res.Repaired, cfds)
+		rep, _ := detect.NativeDetector{}.Detect(context.Background(), res.Repaired, cfds)
 		if len(rep.Violations) != 0 {
 			t.Error("claims convergence but table is dirty")
 		}

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -119,7 +120,7 @@ func (h *cellHistory) held(v types.Value) bool {
 //     tuple out of the losing group — the value-modification alternative of
 //     Bohannon et al.;
 //  5. repeat until clean, or MaxPasses / per-cell change caps hit.
-func (r *Repairer) Repair(tab *relstore.Table, cfds []*cfd.CFD) (*Result, error) {
+func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Result, error) {
 	maxPasses := r.MaxPasses
 	if maxPasses <= 0 {
 		maxPasses = 20
@@ -182,7 +183,7 @@ func (r *Repairer) Repair(tab *relstore.Table, cfds []*cfd.CFD) (*Result, error)
 	}
 
 	for pass := 0; pass < maxPasses; pass++ {
-		rep, err := det.Detect(work, cfds)
+		rep, err := det.Detect(ctx, work, cfds)
 		if err != nil {
 			return nil, err
 		}
@@ -276,7 +277,7 @@ func (r *Repairer) Repair(tab *relstore.Table, cfds []*cfd.CFD) (*Result, error)
 		}
 	}
 
-	rep, err := det.Detect(work, cfds)
+	rep, err := det.Detect(ctx, work, cfds)
 	if err != nil {
 		return nil, err
 	}

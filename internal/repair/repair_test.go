@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"testing"
 
 	"semandaq/internal/cfd"
@@ -39,14 +40,14 @@ phi4@ customer: [CC=44] -> [CNT=UK]
 
 func TestRepairConvergesAndIsClean(t *testing.T) {
 	tab, cfds := customerTable(t)
-	res, err := NewRepairer().Repair(tab, cfds)
+	res, err := NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Converged {
 		t.Fatalf("did not converge: %d remaining", res.Remaining)
 	}
-	rep, err := detect.NativeDetector{}.Detect(res.Repaired, cfds)
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), res.Repaired, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestRepairConvergesAndIsClean(t *testing.T) {
 
 func TestRepairPicksMajorityValue(t *testing.T) {
 	tab, cfds := customerTable(t)
-	res, err := NewRepairer().Repair(tab, cfds)
+	res, err := NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestRepairPicksMajorityValue(t *testing.T) {
 
 func TestRepairConstantPattern(t *testing.T) {
 	tab, cfds := customerTable(t)
-	res, err := NewRepairer().Repair(tab, cfds)
+	res, err := NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestRepairConstantPattern(t *testing.T) {
 func TestOriginalTableUntouched(t *testing.T) {
 	tab, cfds := customerTable(t)
 	before := tab.Snapshot()
-	if _, err := NewRepairer().Repair(tab, cfds); err != nil {
+	if _, err := NewRepairer().Repair(context.Background(), tab, cfds); err != nil {
 		t.Fatal(err)
 	}
 	ids, rows := tab.Rows()
@@ -132,7 +133,7 @@ func TestModificationAlternativesRanked(t *testing.T) {
 	ins("Z", "Beta")
 	ins("Z", "Gamma")
 	fd := cfd.NewFD("f", "r", []string{"ZIP"}, []string{"STR"})
-	res, err := NewRepairer().Repair(tab, []*cfd.CFD{fd})
+	res, err := NewRepairer().Repair(context.Background(), tab, []*cfd.CFD{fd})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestWeightedCostChangesTarget(t *testing.T) {
 		}
 		return 1
 	}
-	res, err := r.Repair(tab, []*cfd.CFD{fd})
+	res, err := r.Repair(context.Background(), tab, []*cfd.CFD{fd})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ phi4@ customer: [CC=44] -> [CNT=UK]
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewRepairer().Repair(tab, cfds)
+	res, err := NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestRepairCleanTableNoop(t *testing.T) {
 	tab := relstore.NewTable(schema.New("r", "A", "B"))
 	tab.MustInsert(relstore.Tuple{types.NewString("x"), types.NewString("1")})
 	fd := cfd.NewFD("f", "r", []string{"A"}, []string{"B"})
-	res, err := NewRepairer().Repair(tab, []*cfd.CFD{fd})
+	res, err := NewRepairer().Repair(context.Background(), tab, []*cfd.CFD{fd})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestRepairSQLDetectorAgrees(t *testing.T) {
 	// The working snapshot must be registered for the SQL detector; use a
 	// wrapper that registers on the fly.
 	r.Detector = registeringDetector{store: store}
-	res, err := r.Repair(tab, cfds)
+	res, err := r.Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,14 +261,14 @@ func TestRepairSQLDetectorAgrees(t *testing.T) {
 // delegating to the SQL detector.
 type registeringDetector struct{ store *relstore.Store }
 
-func (d registeringDetector) Detect(tab *relstore.Table, cfds []*cfd.CFD) (*detect.Report, error) {
+func (d registeringDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*detect.Report, error) {
 	d.store.Put(tab)
-	return detect.NewSQLDetector(d.store).Detect(tab, cfds)
+	return detect.NewSQLDetector(d.store).Detect(ctx, tab, cfds)
 }
 
 func TestApply(t *testing.T) {
 	tab, cfds := customerTable(t)
-	res, err := NewRepairer().Repair(tab, cfds)
+	res, err := NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestApply(t *testing.T) {
 	if applied != len(res.Modifications) || len(skipped) != 0 {
 		t.Fatalf("applied=%d skipped=%d", applied, len(skipped))
 	}
-	rep, err := detect.NativeDetector{}.Detect(tab, cfds)
+	rep, err := detect.NativeDetector{}.Detect(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestApply(t *testing.T) {
 
 func TestApplySkipsStaleModifications(t *testing.T) {
 	tab, cfds := customerTable(t)
-	res, err := NewRepairer().Repair(tab, cfds)
+	res, err := NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestApplySkipsStaleModifications(t *testing.T) {
 		t.Errorf("stale modification not skipped: %+v", skipped)
 	}
 	// A deleted tuple's modification is skipped too.
-	res2, _ := NewRepairer().Repair(tab, cfds)
+	res2, _ := NewRepairer().Repair(context.Background(), tab, cfds)
 	tab.Delete(3)
 	_, skipped2, err := Apply(tab, res2.Modifications)
 	if err != nil {
@@ -332,7 +333,7 @@ func TestApplyUnknownAttr(t *testing.T) {
 func TestIncRepairNewTupleAlignsWithCleanData(t *testing.T) {
 	tab, cfds := customerTable(t)
 	// Clean the base first.
-	res, err := NewRepairer().Repair(tab, cfds)
+	res, err := NewRepairer().Repair(context.Background(), tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}

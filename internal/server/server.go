@@ -9,11 +9,15 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"iter"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"semandaq/internal/core"
+	"semandaq/internal/detect"
 	"semandaq/internal/discovery"
 	"semandaq/internal/explore"
 	"semandaq/internal/monitor"
@@ -51,7 +55,11 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/cfds/{table}", sv.handleRegisterCFDs)
 	mux.HandleFunc("GET /api/cfds/{table}", sv.handleListCFDs)
 	mux.HandleFunc("GET /api/consistency/{table}", sv.handleConsistency)
-	mux.HandleFunc("POST /api/detect/{table}", sv.handleDetect) // ?engine=sql|native|parallel|columnar&workers=N
+	// ?engine=sql|native|parallel|columnar&workers=N&cfds=id1,id2&limit=K
+	// — and &stream=1 switches to NDJSON streaming over the sharded
+	// columnar detector, one violation per line as it is found.
+	mux.HandleFunc("POST /api/detect/{table}", sv.handleDetect)
+	mux.HandleFunc("GET /api/detect/{table}", sv.handleDetect) // curl -N friendly
 	mux.HandleFunc("GET /api/detect/{table}/sql", sv.handleDetectSQL)
 	mux.HandleFunc("GET /api/audit/{table}", sv.handleAudit)
 	mux.HandleFunc("GET /api/explore/{table}/cfds", sv.handleExploreCFDs)
@@ -212,29 +220,45 @@ func (sv *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-func (sv *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
-	kind := core.SQLDetection
-	if e := r.URL.Query().Get("engine"); e != "" {
-		var err error
-		if kind, err = core.ParseDetectorKind(e); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+// detectOptions maps the detect endpoint's query parameters onto request
+// options. The engine defaults to the paper's SQL technique for blocking
+// requests (the original endpoint contract) and to the sharded columnar
+// detector for streaming ones.
+func detectOptions(r *http.Request, stream bool) ([]core.Option, error) {
+	q := r.URL.Query()
+	var opts []core.Option
+	if e := q.Get("engine"); e != "" {
+		kind, err := core.ParseDetectorKind(e)
+		if err != nil {
+			return nil, err
 		}
+		opts = append(opts, core.WithEngine(kind))
+	} else if !stream {
+		opts = append(opts, core.WithEngine(core.SQLDetection))
 	}
-	workers := sv.s.Workers()
-	if ws := r.URL.Query().Get("workers"); ws != "" {
+	if ws := q.Get("workers"); ws != "" {
 		n, err := strconv.Atoi(ws)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad workers value %q", ws))
-			return
+			return nil, fmt.Errorf("bad workers value %q", ws)
 		}
-		workers = n // request-scoped; does not touch the shared session
+		opts = append(opts, core.WithWorkers(n)) // request-scoped; does not touch the shared session
 	}
-	rep, err := sv.s.DetectWorkers(r.PathValue("table"), kind, workers)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	if ids := q.Get("cfds"); ids != "" {
+		opts = append(opts, core.WithCFDs(strings.Split(ids, ",")...))
 	}
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad limit value %q", ls)
+		}
+		opts = append(opts, core.WithLimit(n))
+	}
+	return opts, nil
+}
+
+// reportJSON shapes a detection report for the wire; the blocking and
+// streaming detect endpoints share it.
+func reportJSON(rep *detect.Report) map[string]any {
 	perCFD := map[string]any{}
 	for id, st := range rep.PerCFD {
 		perCFD[id] = map[string]int{
@@ -247,7 +271,7 @@ func (sv *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	for id, n := range rep.Vio {
 		vio[strconv.FormatInt(int64(id), 10)] = n
 	}
-	writeJSON(w, map[string]any{
+	return map[string]any{
 		"table":      rep.Table,
 		"tuples":     rep.TupleCount,
 		"violations": rep.TotalViolations(),
@@ -255,6 +279,98 @@ func (sv *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		"maxVio":     rep.MaxVio(),
 		"perCFD":     perCFD,
 		"vio":        vio,
+	}
+}
+
+// violationJSON shapes one streamed violation as an NDJSON line payload.
+func violationJSON(v detect.Violation) map[string]any {
+	out := map[string]any{
+		"cfd":   v.CFDID,
+		"kind":  v.Kind.String(),
+		"tuple": int64(v.TupleID),
+		"attr":  v.Attr,
+	}
+	if v.Kind == detect.SingleTuple {
+		out["pattern"] = v.Pattern
+		out["expected"] = jsonValue(v.Expected)
+		out["got"] = jsonValue(v.Got)
+	} else {
+		out["partners"] = v.Partners
+	}
+	return out
+}
+
+func (sv *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	stream := false
+	if s := r.URL.Query().Get("stream"); s == "1" || s == "true" {
+		stream = true
+	}
+	opts, err := detectOptions(r, stream)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	table := r.PathValue("table")
+	start := time.Now()
+	if stream {
+		sv.streamDetect(w, r, table, opts, start)
+		return
+	}
+	rep, err := sv.s.Detect(r.Context(), table, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := reportJSON(rep)
+	out["durationMs"] = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, out)
+}
+
+// streamDetect writes the detection stream as NDJSON: one violation object
+// per line as the sharded scan finds it, flushed eagerly so a `curl -N`
+// client sees the first violation long before the scan completes, and a
+// terminal {"done":true,...} line with the totals. A dropped client
+// cancels the scan via the request context. The full Report is never
+// materialized.
+func (sv *Server) streamDetect(w http.ResponseWriter, r *http.Request, table string, opts []core.Option, start time.Time) {
+	next, stop := iter.Pull2(sv.s.DetectStream(r.Context(), table, opts...))
+	defer stop()
+	// Pull the first element before committing to a 200: a bad table,
+	// unknown CFD id or empty constraint set still gets a proper status.
+	v, err, ok := next()
+	if ok && err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	count := 0
+	lastFlush := time.Now()
+	for ; ok; v, err, ok = next() {
+		if err != nil {
+			// Mid-stream errors ride on a line of their own: the status
+			// header is long gone.
+			enc.Encode(map[string]any{"error": err.Error()})
+			return
+		}
+		if enc.Encode(violationJSON(v)) != nil {
+			return // client went away; loop exit cancels the scan
+		}
+		count++
+		// Eager flushing keeps the stream live without a syscall per
+		// line: the first lines go out immediately (the whole point of
+		// streaming), then batches, with a time floor so a slow scan
+		// with rare violations still trickles.
+		if flusher != nil && (count <= 16 || count%256 == 0 || time.Since(lastFlush) > 100*time.Millisecond) {
+			flusher.Flush()
+			lastFlush = time.Now()
+		}
+	}
+	enc.Encode(map[string]any{
+		"done":       true,
+		"violations": count,
+		"durationMs": float64(time.Since(start)) / float64(time.Millisecond),
 	})
 }
 
@@ -268,7 +384,7 @@ func (sv *Server) handleDetectSQL(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
-	a, err := sv.s.Audit(r.PathValue("table"))
+	a, err := sv.s.Audit(r.Context(), r.PathValue("table"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -309,7 +425,7 @@ func (sv *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) explorer(r *http.Request) (*explore.Explorer, error) {
-	return sv.s.Explore(r.PathValue("table"))
+	return sv.s.Explore(r.Context(), r.PathValue("table"))
 }
 
 func (sv *Server) handleExploreCFDs(w http.ResponseWriter, r *http.Request) {
@@ -424,7 +540,7 @@ func modJSON(m repair.Modification) map[string]any {
 
 func (sv *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	table := r.PathValue("table")
-	res, err := sv.s.Repair(table)
+	res, err := sv.s.Repair(r.Context(), table)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -470,7 +586,7 @@ func (sv *Server) handleRepairApply(w http.ResponseWriter, r *http.Request) {
 func (sv *Server) handleMonitorStart(w http.ResponseWriter, r *http.Request) {
 	table := r.PathValue("table")
 	cleansed := r.URL.Query().Get("cleansed") == "true"
-	m, err := sv.s.Monitor(table, cleansed)
+	m, err := sv.s.Monitor(r.Context(), table, core.WithCleansed(cleansed))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

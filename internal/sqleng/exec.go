@@ -1,6 +1,7 @@
 package sqleng
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -10,6 +11,20 @@ import (
 	"semandaq/internal/schema"
 	"semandaq/internal/types"
 )
+
+// cancelStride is how many rows the executor's hot loops (scans, joins,
+// grouping) process between context checks: a cancelled million-row query
+// aborts within a few thousand rows without the check showing up in
+// profiles.
+const cancelStride = 4096
+
+// strideCheck returns ctx.Err() every cancelStride-th call position i.
+func strideCheck(ctx context.Context, i int) error {
+	if i%cancelStride == 0 {
+		return ctx.Err()
+	}
+	return nil
+}
 
 // TIDColumn is the hidden pseudo-column exposing each base tuple's store ID.
 // Detection queries select it to attribute violations back to tuples, e.g.
@@ -44,13 +59,20 @@ func (e *Engine) SetColumnarScan(enabled bool) { e.rowScan = !enabled }
 // Store returns the underlying store.
 func (e *Engine) Store() *relstore.Store { return e.store }
 
-// Query parses and executes a single statement.
+// Query parses and executes a single statement without cancellation.
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryContext(context.Background(), sql)
+}
+
+// QueryContext parses and executes a single statement under a context: a
+// cancelled ctx aborts the executor's scan, join and grouping loops
+// promptly and returns ctx.Err().
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(st)
+	return e.RunContext(ctx, st)
 }
 
 // MustQuery is Query for tests; it panics on error.
@@ -62,17 +84,22 @@ func (e *Engine) MustQuery(sql string) *Result {
 	return r
 }
 
-// Run executes a pre-parsed statement.
+// Run executes a pre-parsed statement without cancellation.
 func (e *Engine) Run(st Statement) (*Result, error) {
+	return e.RunContext(context.Background(), st)
+}
+
+// RunContext executes a pre-parsed statement under a context.
+func (e *Engine) RunContext(ctx context.Context, st Statement) (*Result, error) {
 	switch s := st.(type) {
 	case *SelectStmt:
-		return e.runSelect(s)
+		return e.runSelect(ctx, s)
 	case *InsertStmt:
 		return e.runInsert(s)
 	case *UpdateStmt:
-		return e.runUpdate(s)
+		return e.runUpdate(ctx, s)
 	case *DeleteStmt:
-		return e.runDelete(s)
+		return e.runDelete(ctx, s)
 	case *CreateTableStmt:
 		return e.runCreate(s)
 	case *DropTableStmt:
@@ -109,7 +136,7 @@ func (r *relation) width() int { return len(r.cat) }
 // snapshot attached for predicate pushdown in applyResolvable. Exact
 // dictionary codes round-trip the stored values, so both paths produce
 // identical rows in identical (insertion) order.
-func (e *Engine) loadTable(fi FromItem) (*relation, error) {
+func (e *Engine) loadTable(ctx context.Context, fi FromItem) (*relation, error) {
 	tab, ok := e.store.Table(fi.Table)
 	if !ok {
 		return nil, fmt.Errorf("sql: no table %q", fi.Table)
@@ -123,13 +150,20 @@ func (e *Engine) loadTable(fi FromItem) (*relation, error) {
 		rel.hidden = append(rel.hidden, false)
 	}
 	if e.rowScan {
+		n := 0
 		tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+			if n++; n%cancelStride == 0 && ctx.Err() != nil {
+				return false
+			}
 			out := make([]types.Value, 0, len(row)+1)
 			out = append(out, types.NewInt(int64(id)))
 			out = append(out, row...)
 			rel.rows = append(rel.rows, out)
 			return true
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return rel, nil
 	}
 	// Row materialization is deferred (rel.deferred): applyResolvable's
@@ -149,9 +183,9 @@ func (e *Engine) loadTable(fi FromItem) (*relation, error) {
 // surviving snapshot index, hidden _tid first, values from the exact
 // dictionary codes (bit-identical to the stored tuples). No-op for
 // relations already materialized.
-func (r *relation) ensureRows() {
+func (r *relation) ensureRows(ctx context.Context) error {
 	if !r.deferred {
-		return
+		return nil
 	}
 	r.deferred = false
 	snap := r.cnr
@@ -162,7 +196,10 @@ func (r *relation) ensureRows() {
 	}
 	ids := snap.IDs()
 	r.rows = make([][]types.Value, 0, len(r.rowIdx))
-	for _, i := range r.rowIdx {
+	for n, i := range r.rowIdx {
+		if err := strideCheck(ctx, n); err != nil {
+			return err
+		}
 		out := make([]types.Value, width+1)
 		out[0] = types.NewInt(int64(ids[i]))
 		for j, col := range cols {
@@ -170,6 +207,7 @@ func (r *relation) ensureRows() {
 		}
 		r.rows = append(r.rows, out)
 	}
+	return nil
 }
 
 // splitConjuncts flattens nested ANDs into a conjunct list.
@@ -288,7 +326,7 @@ func (e *Engine) validateRefs(st *SelectStmt) error {
 	return check(all...)
 }
 
-func (e *Engine) runSelect(st *SelectStmt) (*Result, error) {
+func (e *Engine) runSelect(ctx context.Context, st *SelectStmt) (*Result, error) {
 	if len(st.From) == 0 {
 		return e.selectNoFrom(st)
 	}
@@ -299,31 +337,31 @@ func (e *Engine) runSelect(st *SelectStmt) (*Result, error) {
 
 	// Build the join tree left to right: comma-list tables first, then the
 	// explicit JOIN clauses.
-	rel, err := e.loadTable(st.From[0])
+	rel, err := e.loadTable(ctx, st.From[0])
 	if err != nil {
 		return nil, err
 	}
-	rel, pending, err = applyResolvable(rel, pending)
+	rel, pending, err = applyResolvable(ctx, rel, pending)
 	if err != nil {
 		return nil, err
 	}
 	for _, fi := range st.From[1:] {
-		right, err := e.loadTable(fi)
+		right, err := e.loadTable(ctx, fi)
 		if err != nil {
 			return nil, err
 		}
-		rel, pending, err = joinRelations(rel, right, pending, nil, false)
+		rel, pending, err = joinRelations(ctx, rel, right, pending, nil, false)
 		if err != nil {
 			return nil, err
 		}
 	}
 	for _, jc := range st.Joins {
-		right, err := e.loadTable(jc.Item)
+		right, err := e.loadTable(ctx, jc.Item)
 		if err != nil {
 			return nil, err
 		}
 		on := splitConjuncts(jc.On)
-		rel, pending, err = joinRelations(rel, right, pending, on, jc.Left)
+		rel, pending, err = joinRelations(ctx, rel, right, pending, on, jc.Left)
 		if err != nil {
 			return nil, err
 		}
@@ -335,7 +373,10 @@ func (e *Engine) runSelect(st *SelectStmt) (*Result, error) {
 			return nil, err
 		}
 		var kept [][]types.Value
-		for _, row := range rel.rows {
+		for i, row := range rel.rows {
+			if err := strideCheck(ctx, i); err != nil {
+				return nil, err
+			}
 			v, err := f(row)
 			if err != nil {
 				return nil, err
@@ -346,7 +387,7 @@ func (e *Engine) runSelect(st *SelectStmt) (*Result, error) {
 		}
 		rel.rows = kept
 	}
-	return e.projectAndFinish(st, rel)
+	return e.projectAndFinish(ctx, st, rel)
 }
 
 // selectNoFrom handles SELECT <exprs> with no FROM clause (constants).
@@ -380,7 +421,7 @@ func (e *Engine) selectNoFrom(st *SelectStmt) (*Result, error) {
 // built. Code-filterable conjuncts therefore run ahead of the compiled
 // ones regardless of their WHERE position (conjunction is commutative;
 // like most engines, evaluation order within a WHERE is unspecified).
-func applyResolvable(rel *relation, pending []Expr) (*relation, []Expr, error) {
+func applyResolvable(ctx context.Context, rel *relation, pending []Expr) (*relation, []Expr, error) {
 	var rest []Expr
 	if rel.cnr != nil {
 		var later []Expr
@@ -392,11 +433,16 @@ func applyResolvable(rel *relation, pending []Expr) (*relation, []Expr, error) {
 		}
 		pending = later
 	}
-	rel.ensureRows()
+	if err := rel.ensureRows(ctx); err != nil {
+		return nil, nil, err
+	}
 	for _, c := range pending {
 		if !resolvable(c, rel.cat) || hasAggregate(c) {
 			rest = append(rest, c)
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
 		}
 		f, err := compileExpr(c, rel.cat)
 		if err != nil {
@@ -539,9 +585,13 @@ func (r *relation) filterByCode(keep func(snapRow int32) bool) {
 // conjuncts. Non-key conditions are applied as filters. For LEFT joins the
 // whole ON condition is evaluated per pair and unmatched left rows are
 // null-extended.
-func joinRelations(left, right *relation, pending, on []Expr, outer bool) (*relation, []Expr, error) {
-	left.ensureRows()
-	right.ensureRows()
+func joinRelations(ctx context.Context, left, right *relation, pending, on []Expr, outer bool) (*relation, []Expr, error) {
+	if err := left.ensureRows(ctx); err != nil {
+		return nil, nil, err
+	}
+	if err := right.ensureRows(ctx); err != nil {
+		return nil, nil, err
+	}
 	combinedCat := append(append(catalog{}, left.cat...), right.cat...)
 	combinedHidden := append(append([]bool{}, left.hidden...), right.hidden...)
 
@@ -673,7 +723,10 @@ func joinRelations(left, right *relation, pending, on []Expr, outer bool) (*rela
 			buckets[key] = append(buckets[key], rrow)
 		}
 		nullRight := make([]types.Value, rightWidth)
-		for _, lrow := range left.rows {
+		for li, lrow := range left.rows {
+			if err := strideCheck(ctx, li); err != nil {
+				return nil, nil, err
+			}
 			var kb strings.Builder
 			null := false
 			for _, k := range keys {
@@ -709,7 +762,10 @@ func joinRelations(left, right *relation, pending, on []Expr, outer bool) (*rela
 	} else {
 		// Nested-loop join (cross product with residual filters).
 		nullRight := make([]types.Value, rightWidth)
-		for _, lrow := range left.rows {
+		for li, lrow := range left.rows {
+			if err := strideCheck(ctx, li); err != nil {
+				return nil, nil, err
+			}
 			matched := false
 			for _, rrow := range right.rows {
 				ok, err := emit(lrow, rrow)
@@ -728,11 +784,7 @@ func joinRelations(left, right *relation, pending, on []Expr, outer bool) (*rela
 	}
 
 	// Apply any WHERE conjunct that becomes resolvable on the joined shape.
-	return applyResolvableChain(out, pendingRest)
-}
-
-func applyResolvableChain(rel *relation, pending []Expr) (*relation, []Expr, error) {
-	return applyResolvable(rel, pending)
+	return applyResolvable(ctx, out, pendingRest)
 }
 
 // aggCall pairs an aggregate expression with its accumulator factory.
@@ -915,7 +967,7 @@ func (s *aggState) result() types.Value {
 
 // projectAndFinish runs grouping, having, projection, distinct, order and
 // limit over the filtered relation.
-func (e *Engine) projectAndFinish(st *SelectStmt, rel *relation) (*Result, error) {
+func (e *Engine) projectAndFinish(ctx context.Context, st *SelectStmt, rel *relation) (*Result, error) {
 	var orderExprs []Expr
 	for _, oi := range st.OrderBy {
 		orderExprs = append(orderExprs, oi.Expr)
@@ -963,7 +1015,10 @@ func (e *Engine) projectAndFinish(st *SelectStmt, rel *relation) (*Result, error
 		}
 		groups := map[string]*group{}
 		var order []string
-		for _, row := range rel.rows {
+		for i, row := range rel.rows {
+			if err := strideCheck(ctx, i); err != nil {
+				return nil, err
+			}
 			var kb strings.Builder
 			for _, f := range keyFns {
 				v, err := f(row)
@@ -1105,7 +1160,10 @@ func (e *Engine) projectAndFinish(st *SelectStmt, rel *relation) (*Result, error
 	}
 	var out []outRow
 	seen := map[string]bool{}
-	for _, row := range rel.rows {
+	for ri, row := range rel.rows {
+		if err := strideCheck(ctx, ri); err != nil {
+			return nil, err
+		}
 		or := outRow{vals: make([]types.Value, len(projs))}
 		for i, p := range projs {
 			v, err := p.fn(row)
@@ -1247,7 +1305,7 @@ func tableEnv(tab *relstore.Table) catalog {
 	return cat
 }
 
-func (e *Engine) runUpdate(st *UpdateStmt) (*Result, error) {
+func (e *Engine) runUpdate(ctx context.Context, st *UpdateStmt) (*Result, error) {
 	tab, ok := e.store.Table(st.Table)
 	if !ok {
 		return nil, fmt.Errorf("sql: no table %q", st.Table)
@@ -1284,7 +1342,14 @@ func (e *Engine) runUpdate(st *UpdateStmt) (*Result, error) {
 	}
 	var updates []pendingUpdate
 	var scanErr error
+	n := 0
 	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		if n++; n%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				scanErr = err
+				return false
+			}
+		}
 		if where != nil {
 			v, err := where(row)
 			if err != nil {
@@ -1318,7 +1383,7 @@ func (e *Engine) runUpdate(st *UpdateStmt) (*Result, error) {
 	return &Result{Affected: len(updates)}, nil
 }
 
-func (e *Engine) runDelete(st *DeleteStmt) (*Result, error) {
+func (e *Engine) runDelete(ctx context.Context, st *DeleteStmt) (*Result, error) {
 	tab, ok := e.store.Table(st.Table)
 	if !ok {
 		return nil, fmt.Errorf("sql: no table %q", st.Table)
@@ -1334,7 +1399,14 @@ func (e *Engine) runDelete(st *DeleteStmt) (*Result, error) {
 	}
 	var ids []relstore.TupleID
 	var scanErr error
+	n := 0
 	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		if n++; n%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				scanErr = err
+				return false
+			}
+		}
 		if where != nil {
 			v, err := where(row)
 			if err != nil {

@@ -19,15 +19,24 @@
 // CFD's LHS code vector, for multi-core throughput on large tables).
 // docs/ENGINES.md has the full matrix and when-to-use guidance.
 //
+// Requests take a context.Context and functional options, so callers can
+// cancel long scans (a dropped HTTP client, a CLI timeout) and tune each
+// call without mutating the shared session:
+//
 //	sys := semandaq.New()
 //	sys.LoadCSV("customer", file)
 //	sys.RegisterCFDText("customer", `
 //	    customer: [CNT=UK, ZIP=_] -> [STR=_]
 //	    customer: [CC=44]         -> [CNT=UK]
 //	`)
-//	report, _ := sys.Detect("customer", semandaq.SQLDetection)
-//	audit, _  := sys.Audit("customer")
-//	repair, _ := sys.Repair("customer")
+//	report, _ := sys.Detect(ctx, "customer", semandaq.WithEngine(semandaq.SQLDetection))
+//	audit, _  := sys.Audit(ctx, "customer")
+//	repair, _ := sys.Repair(ctx, "customer")
+//
+// DetectStream yields violations as the sharded columnar scan finds them,
+// without materializing the report:
+//
+//	for v, err := range sys.DetectStream(ctx, "customer") { ... }
 //
 // This package re-exports the library's public surface; implementation
 // lives under internal/.
@@ -140,6 +149,25 @@ type (
 	Tracker = detect.Tracker
 	// DetectorKind selects the detection implementation.
 	DetectorKind = core.DetectorKind
+	// Option configures one request (Detect, DetectStream, Audit, Repair,
+	// Monitor); build them with WithEngine, WithWorkers, WithCFDs,
+	// WithLimit and WithCleansed.
+	Option = core.Option
+)
+
+// Request options.
+var (
+	// WithEngine selects the detection engine for one request.
+	WithEngine = core.WithEngine
+	// WithWorkers overrides the sharded engines' worker count for one
+	// request (n <= 0 means GOMAXPROCS).
+	WithWorkers = core.WithWorkers
+	// WithCFDs scopes a request to the registered CFDs with these IDs.
+	WithCFDs = core.WithCFDs
+	// WithLimit caps the violation records returned or streamed.
+	WithLimit = core.WithLimit
+	// WithCleansed selects the monitor's incremental-repair mode.
+	WithCleansed = core.WithCleansed
 )
 
 // Detection engine choices.

@@ -1,6 +1,7 @@
 package semandaq_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,21 +30,21 @@ customer: [CC=44] -> [CNT=UK]
 	if len(cfds) != 2 {
 		t.Fatalf("cfds = %d", len(cfds))
 	}
-	rep, err := sys.Detect("customer", semandaq.SQLDetection)
+	rep, err := sys.Detect(context.Background(), "customer", semandaq.WithEngine(semandaq.SQLDetection))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Vio) != 3 {
 		t.Errorf("dirty = %v", rep.Vio)
 	}
-	audit, err := sys.Audit("customer")
+	audit, err := sys.Audit(context.Background(), "customer")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if audit.DirtyTuples == 0 {
 		t.Error("audit saw no dirt")
 	}
-	res, err := sys.Repair("customer")
+	res, err := sys.Repair(context.Background(), "customer")
 	if err != nil {
 		t.Fatal(err)
 	}
