@@ -177,7 +177,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			}
 			enc := json.NewEncoder(out)
 			n := 0
-			for v, err := range s.DetectStream(ctx, table, opts...) {
+			seq, version, err := s.DetectStreamVersion(ctx, table, opts...)
+			if err != nil {
+				return err
+			}
+			for v, err := range seq {
 				if err != nil {
 					return err
 				}
@@ -195,15 +199,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				}
 				n++
 			}
-			fmt.Fprintf(out, "# %d violations streamed\n", n)
+			fmt.Fprintf(out, "# %d violations streamed at version %d\n", n, version)
 			return nil
 		}
 		rep, err := s.Detect(ctx, table, opts...)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%d violations over %d tuples; %d dirty (max vio %d)\n",
-			rep.TotalViolations(), rep.TupleCount, len(rep.Vio), rep.MaxVio())
+		fmt.Fprintf(out, "%d violations over %d tuples at version %d; %d dirty (max vio %d)\n",
+			rep.TotalViolations(), rep.TupleCount, rep.Version, len(rep.Vio), rep.MaxVio())
 		for id, st := range rep.PerCFD {
 			fmt.Fprintf(out, "  %-12s single=%d multi=%d groups=%d\n",
 				id, st.SingleTuple, st.MultiTuple, st.Groups)

@@ -102,6 +102,10 @@ type CFDSlice struct {
 type Report struct {
 	Table      string
 	TupleCount int
+	// Version is the table version the audit reflects: the classification
+	// scan runs over the same pinned snapshot the detection report was
+	// computed from.
+	Version int64
 	// Tuples classifies every tuple (class of the cleanest bucket it
 	// reaches; the cumulative counts below follow the nesting).
 	Tuples map[relstore.TupleID]TupleClass
@@ -117,10 +121,12 @@ type Report struct {
 	Stats VioStats
 }
 
-// Audit computes the quality report from a detection report. tab must be
-// the table the detection ran on, and cfds the same constraint set.
-func Audit(tab *relstore.Table, cfds []*cfd.CFD, rep *detect.Report) (*Report, error) {
-	sc := tab.Schema()
+// Audit computes the quality report from a detection report. snap must be
+// the pinned snapshot the detection ran on (same version — the
+// classification scan re-reads the rows and must agree with the report's
+// violations), and cfds the same constraint set.
+func Audit(snap *relstore.Snapshot, cfds []*cfd.CFD, rep *detect.Report) (*Report, error) {
+	sc := snap.Schema()
 	// Normalize + merge the same way detection does so pattern bookkeeping
 	// lines up with violation records.
 	var normalized []*cfd.CFD
@@ -135,6 +141,7 @@ func Audit(tab *relstore.Table, cfds []*cfd.CFD, rep *detect.Report) (*Report, e
 	out := &Report{
 		Table:      rep.Table,
 		TupleCount: rep.TupleCount,
+		Version:    rep.Version,
 		Tuples:     make(map[relstore.TupleID]TupleClass, rep.TupleCount),
 	}
 
@@ -219,7 +226,7 @@ func Audit(tab *relstore.Table, cfds []*cfd.CFD, rep *detect.Report) (*Report, e
 		return true
 	}
 
-	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+	snap.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
 		hasViolation := rep.Vio[id] > 0
 		hasSingle := len(singleBy[id]) > 0
 
@@ -348,7 +355,7 @@ func Audit(tab *relstore.Table, cfds []*cfd.CFD, rep *detect.Report) (*Report, e
 // per-attribute bar chart, the pie chart, and the statistics block.
 func (r *Report) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Data quality report for %s (%d tuples)\n", r.Table, r.TupleCount)
+	fmt.Fprintf(&b, "Data quality report for %s (%d tuples, version %d)\n", r.Table, r.TupleCount, r.Version)
 	fmt.Fprintf(&b, "tuples: %d verified / %d probably / %d arguably clean, %d dirty\n",
 		r.VerifiedTuples, r.ProbablyTuples, r.ArguablyTuples, r.DirtyTuples)
 	b.WriteString("\nattribute-value quality (% verified / probably / arguably clean):\n")

@@ -55,7 +55,7 @@ phi4@ customer: [CC=44] -> [CNT=UK]
 
 func TestTupleClassification(t *testing.T) {
 	tab, cfds, rep := fixture(t)
-	a, err := Audit(tab, cfds, rep)
+	a, err := Audit(tab.Snapshot(), cfds, rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestTupleClassification(t *testing.T) {
 
 func TestCumulativeCounts(t *testing.T) {
 	tab, cfds, rep := fixture(t)
-	a, err := Audit(tab, cfds, rep)
+	a, err := Audit(tab.Snapshot(), cfds, rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestCumulativeCounts(t *testing.T) {
 
 func TestAttributeLevel(t *testing.T) {
 	tab, cfds, rep := fixture(t)
-	a, err := Audit(tab, cfds, rep)
+	a, err := Audit(tab.Snapshot(), cfds, rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestAttributeLevel(t *testing.T) {
 
 func TestPieChart(t *testing.T) {
 	tab, cfds, rep := fixture(t)
-	a, err := Audit(tab, cfds, rep)
+	a, err := Audit(tab.Snapshot(), cfds, rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestPieChart(t *testing.T) {
 
 func TestVioStats(t *testing.T) {
 	tab, cfds, rep := fixture(t)
-	a, err := Audit(tab, cfds, rep)
+	a, err := Audit(tab.Snapshot(), cfds, rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestCleanTableAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Audit(tab, []*cfd.CFD{fd}, rep)
+	a, err := Audit(tab.Snapshot(), []*cfd.CFD{fd}, rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestMajorityNotStrictIsDirty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Audit(tab, []*cfd.CFD{fd}, rep)
+	a, err := Audit(tab.Snapshot(), []*cfd.CFD{fd}, rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestMajorityNotStrictIsDirty(t *testing.T) {
 
 func TestRenderContainsKeySections(t *testing.T) {
 	tab, cfds, rep := fixture(t)
-	a, err := Audit(tab, cfds, rep)
+	a, err := Audit(tab.Snapshot(), cfds, rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestAuditValidatesCFDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Audit(tab, bad, rep); err == nil {
+	if _, err := Audit(tab.Snapshot(), bad, rep); err == nil {
 		t.Error("unknown attribute should fail")
 	}
 }

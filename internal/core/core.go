@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
@@ -24,7 +25,19 @@ import (
 	"semandaq/internal/relstore"
 	"semandaq/internal/repair"
 	"semandaq/internal/sqleng"
+	"semandaq/internal/types"
 )
+
+// ErrMonitorBusy is returned by the mutation API and ActiveMonitor while a
+// monitor for the table is being started or replaced: the new tracker is
+// seeding from a snapshot, and neither direct writes nor updates to the
+// outgoing monitor can be admitted without desynchronizing it. Callers
+// should retry shortly (the HTTP layer maps it to 409 Conflict).
+var ErrMonitorBusy = errors.New("semandaq: monitor is being (re)started; retry shortly")
+
+// ErrNoMonitor is returned by ApplyUpdates when the table has no active
+// monitor.
+var ErrNoMonitor = errors.New("semandaq: no active monitor for table")
 
 // Semandaq is one data-quality session over a store of tables.
 type Semandaq struct {
@@ -37,6 +50,20 @@ type Semandaq struct {
 	reports map[string]cachedReport
 	// workers is the ParallelDetection worker count; 0 means GOMAXPROCS.
 	workers int
+	// monitors holds the active data monitor per table (lowercased name):
+	// the session's mutation API routes writes through it so incremental
+	// detection stays in sync with the data.
+	monitors map[string]*monitor.Monitor
+	// monitorBusy marks tables whose monitor is currently being started or
+	// replaced; mutations are refused (ErrMonitorBusy) until seeding ends.
+	monitorBusy map[string]bool
+	// gates serializes the session's mutations per table: a write checks
+	// for an active monitor and lands (directly or through the monitor's
+	// tracker) while holding the table's gate, and starting a monitor
+	// flips monitorBusy under the same gate — so no write can slip
+	// between the snapshot a new tracker seeds from and the moment it
+	// takes over.
+	gates map[string]*sync.Mutex
 }
 
 type cachedReport struct {
@@ -50,11 +77,26 @@ func New() *Semandaq { return NewWithStore(relstore.NewStore()) }
 // NewWithStore creates a Semandaq instance over an existing store.
 func NewWithStore(store *relstore.Store) *Semandaq {
 	return &Semandaq{
-		store:   store,
-		engine:  sqleng.New(store),
-		cfds:    map[string][]*cfd.CFD{},
-		reports: map[string]cachedReport{},
+		store:       store,
+		engine:      sqleng.New(store),
+		cfds:        map[string][]*cfd.CFD{},
+		reports:     map[string]cachedReport{},
+		monitors:    map[string]*monitor.Monitor{},
+		monitorBusy: map[string]bool{},
+		gates:       map[string]*sync.Mutex{},
 	}
+}
+
+// gate returns the per-table mutation gate, creating it on first use.
+func (s *Semandaq) gate(key string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gates[key]
+	if !ok {
+		g = &sync.Mutex{}
+		s.gates[key] = g
+	}
+	return g
 }
 
 // Store exposes the underlying store.
@@ -84,6 +126,12 @@ func (s *Semandaq) Workers() int {
 // SQL executes an ad-hoc SQL statement against the store (the paper's data
 // explorer lets users navigate the data; this is the programmatic hatch).
 // A cancelled ctx aborts the engine's scan loops and returns ctx.Err().
+//
+// SQL DML writes the store directly — it does NOT route through a table's
+// active monitor or the session's mutation gate, so running UPDATE/DELETE/
+// INSERT against a monitored table desynchronizes its tracker. Use the
+// session's Insert/Delete/SetCell/ApplyUpdates for monitored tables; keep
+// SQL DML for unmonitored ones.
 func (s *Semandaq) SQL(ctx context.Context, query string) (*sqleng.Result, error) {
 	return s.engine.QueryContext(ctx, query)
 }
@@ -94,12 +142,28 @@ func (s *Semandaq) LoadCSV(name string, r io.Reader) (*relstore.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.store.Put(tab)
+	s.RegisterTable(tab)
 	return tab, nil
 }
 
-// RegisterTable adds an existing table to the session.
-func (s *Semandaq) RegisterTable(tab *relstore.Table) { s.store.Put(tab) }
+// RegisterTable adds an existing table to the session, replacing any table
+// of the same name. Per-table state bound to the replaced instance — its
+// active monitor and cached reports — is detached: a monitor left
+// registered would keep routing writes into the orphaned old table, and a
+// cached report could alias the new table's version counter.
+func (s *Semandaq) RegisterTable(tab *relstore.Table) {
+	key := strings.ToLower(tab.Schema().Name)
+	g := s.gate(key)
+	g.Lock()
+	defer g.Unlock()
+	s.store.Put(tab)
+	s.mu.Lock()
+	delete(s.monitors, key)
+	for _, kind := range detect.EngineKinds() {
+		delete(s.reports, key+"\x00"+kind.String())
+	}
+	s.mu.Unlock()
+}
 
 // Table returns a registered table.
 func (s *Semandaq) Table(name string) (*relstore.Table, error) {
@@ -286,19 +350,22 @@ func (s *Semandaq) Detect(ctx context.Context, table string, opts ...Option) (*d
 	if err != nil {
 		return nil, err
 	}
-	return s.detectPrepared(ctx, table, tab, cfds, o)
+	return s.detectPrepared(ctx, table, tab.Snapshot(), cfds, o)
 }
 
 // detectPrepared is Detect after option resolution and CFD scoping: cache
-// lookup, registry dispatch, cache fill, limit. Audit reuses it with its
-// already-resolved inputs so scoping runs once per request.
-func (s *Semandaq) detectPrepared(ctx context.Context, table string, tab *relstore.Table,
+// lookup, registry dispatch, cache fill, limit. The whole evaluation runs
+// over the given pinned snapshot, so the returned report reflects exactly
+// snap.Version() (and says so in Report.Version). Audit and Explore reuse
+// it with the snapshot they drive their own scans from, which makes the
+// report and those scans consistent by construction.
+func (s *Semandaq) detectPrepared(ctx context.Context, table string, snap *relstore.Snapshot,
 	cfds []*cfd.CFD, o requestOptions) (*detect.Report, error) {
 	cacheable := len(o.cfdIDs) == 0
 	key := strings.ToLower(table) + "\x00" + o.kind.String()
 	if cacheable {
 		s.mu.Lock()
-		if c, ok := s.reports[key]; ok && c.version == tab.Version() {
+		if c, ok := s.reports[key]; ok && c.version == snap.Version() {
 			s.mu.Unlock()
 			return limited(c.rep, o.limit), nil
 		}
@@ -308,14 +375,31 @@ func (s *Semandaq) detectPrepared(ctx context.Context, table string, tab *relsto
 	if err != nil {
 		return nil, err
 	}
-	version := tab.Version()
-	rep, err := det.Detect(ctx, tab, cfds)
+	var rep *detect.Report
+	if sd, ok := det.(detect.SnapshotDetector); ok {
+		rep, err = sd.DetectSnapshot(ctx, snap, cfds)
+	} else {
+		// Registry-extended engine without a snapshot entry point: fall
+		// back to the live table. Its report may describe a version newer
+		// than snap's (and callers pairing it with snap — Audit, Explore —
+		// lose the by-construction consistency), so custom engines should
+		// implement SnapshotDetector.
+		var tab *relstore.Table
+		tab, err = s.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		rep, err = det.Detect(ctx, tab, cfds)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if cacheable {
+	// Cache keyed by the version the report itself claims; a fallback
+	// engine that does not stamp Version (0 on a non-empty table) is
+	// simply not cached rather than cached under a bogus key.
+	if cacheable && (rep.Version == snap.Version() || rep.Version > 0) {
 		s.mu.Lock()
-		s.reports[key] = cachedReport{version: version, rep: rep}
+		s.reports[key] = cachedReport{version: rep.Version, rep: rep}
 		s.mu.Unlock()
 	}
 	return limited(rep, o.limit), nil
@@ -331,21 +415,40 @@ func (s *Semandaq) detectPrepared(ctx context.Context, table string, tab *relsto
 // blocking pass whose report is then replayed. Over a full iteration the
 // yielded set equals the blocking report's Violations, in engine order.
 func (s *Semandaq) DetectStream(ctx context.Context, table string, opts ...Option) iter.Seq2[detect.Violation, error] {
-	o := s.resolve(ParallelDetection, opts)
 	return func(yield func(detect.Violation, error) bool) {
-		tab, cfds, err := s.requestCFDs(table, o)
+		seq, _, err := s.DetectStreamVersion(ctx, table, opts...)
 		if err != nil {
 			yield(detect.Violation{}, err)
 			return
 		}
-		det, err := detect.NewDetector(o.kind, detect.Config{Workers: o.workers, Store: s.store})
-		if err != nil {
-			yield(detect.Violation{}, err)
-			return
+		for v, err := range seq {
+			if !yield(v, err) {
+				return
+			}
 		}
+	}
+}
+
+// DetectStreamVersion is DetectStream with the pinned table version
+// surfaced: the returned stream evaluates exactly that version, so callers
+// relaying violations (the NDJSON endpoint) can stamp their output with
+// it. Request-shape errors (unknown table, unknown CFD id, unknown
+// engine) are returned eagerly instead of through the stream.
+func (s *Semandaq) DetectStreamVersion(ctx context.Context, table string, opts ...Option) (iter.Seq2[detect.Violation, error], int64, error) {
+	o := s.resolve(ParallelDetection, opts)
+	tab, cfds, err := s.requestCFDs(table, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	det, err := detect.NewDetector(o.kind, detect.Config{Workers: o.workers, Store: s.store})
+	if err != nil {
+		return nil, 0, err
+	}
+	snap := tab.Snapshot()
+	seq := func(yield func(detect.Violation, error) bool) {
 		n := 0
-		if str, ok := det.(detect.Streamer); ok {
-			for v, err := range str.DetectStream(ctx, tab, cfds) {
+		if str, ok := det.(detect.SnapshotStreamer); ok {
+			for v, err := range str.DetectStreamSnapshot(ctx, snap, cfds) {
 				if err != nil {
 					yield(detect.Violation{}, err)
 					return
@@ -363,7 +466,7 @@ func (s *Semandaq) DetectStream(ctx context.Context, table string, opts ...Optio
 		// iterator. detectPrepared keeps the report cache in play, so a
 		// repeated sql/native stream on an unchanged table is served from
 		// cache (the limit is already applied by the truncation).
-		rep, err := s.detectPrepared(ctx, table, tab, cfds, o)
+		rep, err := s.detectPrepared(ctx, table, snap, cfds, o)
 		if err != nil {
 			yield(detect.Violation{}, err)
 			return
@@ -374,6 +477,7 @@ func (s *Semandaq) DetectStream(ctx context.Context, table string, opts ...Optio
 			}
 		}
 	}
+	return seq, snap.Version(), nil
 }
 
 // DetectKind runs Detect with the pre-options positional signature.
@@ -405,7 +509,9 @@ func (s *Semandaq) DetectionSQL(table string) ([]string, error) {
 	return detect.GenerateSQL(tab, cfds)
 }
 
-// Audit produces the data quality report (detecting first if needed).
+// Audit produces the data quality report (detecting first if needed). The
+// classification scan and the detection run over one pinned snapshot, so
+// the audit is single-version consistent even under concurrent writers.
 // WithEngine/WithWorkers/WithCFDs select how and over which constraints;
 // WithLimit is ignored — the audit needs the full violation set.
 func (s *Semandaq) Audit(ctx context.Context, table string, opts ...Option) (*audit.Report, error) {
@@ -415,24 +521,29 @@ func (s *Semandaq) Audit(ctx context.Context, table string, opts ...Option) (*au
 	if err != nil {
 		return nil, err
 	}
-	rep, err := s.detectPrepared(ctx, table, tab, cfds, o)
+	snap := tab.Snapshot()
+	rep, err := s.detectPrepared(ctx, table, snap, cfds, o)
 	if err != nil {
 		return nil, err
 	}
-	return audit.Audit(tab, cfds, rep)
+	return audit.Audit(snap, cfds, rep)
 }
 
 // Explore builds the drill-down explorer over the current detection state.
+// The explorer's scans and the report it drills into share one pinned
+// snapshot, so every level of the drill-down reflects the same version.
 func (s *Semandaq) Explore(ctx context.Context, table string) (*explore.Explorer, error) {
-	tab, err := s.Table(table)
+	o := s.resolve(DefaultEngine, nil)
+	tab, cfds, err := s.requestCFDs(table, o)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := s.Detect(ctx, table)
+	snap := tab.Snapshot()
+	rep, err := s.detectPrepared(ctx, table, snap, cfds, o)
 	if err != nil {
 		return nil, err
 	}
-	return explore.New(tab, s.CFDs(table), rep)
+	return explore.New(snap, cfds, rep)
 }
 
 // Repair computes a candidate repair (the original table is not modified;
@@ -447,19 +558,53 @@ func (s *Semandaq) Repair(ctx context.Context, table string, opts ...Option) (*r
 	return repair.NewRepairer().Repair(ctx, tab, cfds)
 }
 
-// ApplyRepair commits reviewed modifications to the live table.
+// ApplyRepair commits reviewed modifications to the live table, through
+// the session's write path: with a monitor active each cell edit routes
+// through its tracker (the violation index follows the repair), and the
+// whole apply runs under the table's mutation gate. A modification whose
+// Old value no longer matches the live cell is skipped and reported, as
+// in repair.Apply. Returns ErrMonitorBusy while a monitor is being
+// (re)started.
 func (s *Semandaq) ApplyRepair(table string, mods []repair.Modification) (int, []repair.Modification, error) {
-	tab, err := s.Table(table)
-	if err != nil {
-		return 0, nil, err
-	}
-	return repair.Apply(tab, mods)
+	applied := 0
+	var skipped []repair.Modification
+	err := s.withTableWrite(table, func(tab *relstore.Table, m *monitor.Monitor) error {
+		if m == nil {
+			var err error
+			applied, skipped, err = repair.Apply(tab, mods)
+			return err
+		}
+		sc := tab.Schema()
+		for _, mod := range mods {
+			pos, ok := sc.Pos(mod.Attr)
+			if !ok {
+				return fmt.Errorf("semandaq: apply repair: no attribute %q", mod.Attr)
+			}
+			row, ok := tab.Get(mod.TupleID)
+			if !ok || !row[pos].Equal(mod.Old) {
+				skipped = append(skipped, mod)
+				continue
+			}
+			if _, err := m.Apply([]monitor.Update{{Op: monitor.OpSet, ID: mod.TupleID, Attr: mod.Attr, Value: mod.New}}); err != nil {
+				return err
+			}
+			applied++
+		}
+		return nil
+	})
+	return applied, skipped, err
 }
 
-// Monitor starts a data monitor on the table. WithCleansed(true) selects
-// incremental repair over incremental detection; WithCFDs scopes the
-// monitored constraints. A done ctx prevents the monitor from starting;
-// the tracker's initial seeding pass itself is not yet cancellable.
+// Monitor starts a data monitor on the table and registers it as the
+// table's active monitor: from then on the session's mutation API (Insert,
+// Delete, SetCell, ApplyUpdates) routes writes through it, keeping
+// incremental detection in sync with the data. Starting a monitor where
+// one is already active replaces it; while the replacement's tracker is
+// seeding, mutations and ActiveMonitor return ErrMonitorBusy instead of
+// racing the handover. WithCleansed(true) selects incremental repair over
+// incremental detection; WithCFDs scopes the monitored constraints. A done
+// ctx prevents the monitor from starting; the tracker's initial seeding
+// pass itself is not yet cancellable.
 func (s *Semandaq) Monitor(ctx context.Context, table string, opts ...Option) (*monitor.Monitor, error) {
 	o := s.resolve(DefaultEngine, opts)
 	tab, cfds, err := s.requestCFDs(table, o)
@@ -469,7 +614,181 @@ func (s *Semandaq) Monitor(ctx context.Context, table string, opts ...Option) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return monitor.New(tab, cfds, o.cleansed)
+	key := strings.ToLower(table)
+	// Flip the busy flag under the table's mutation gate: in-flight writes
+	// finish first, later writes see the flag and back off, so the
+	// snapshot the new tracker seeds from cannot miss a concurrent write.
+	g := s.gate(key)
+	g.Lock()
+	s.mu.Lock()
+	if s.monitorBusy[key] {
+		s.mu.Unlock()
+		g.Unlock()
+		return nil, ErrMonitorBusy
+	}
+	s.monitorBusy[key] = true
+	s.mu.Unlock()
+	g.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.monitorBusy, key)
+		s.mu.Unlock()
+	}()
+	m, err := monitor.New(tab, cfds, o.cleansed)
+	if err != nil {
+		return nil, err
+	}
+	if cur, ok := s.store.Table(table); !ok || cur != tab {
+		return nil, fmt.Errorf("semandaq: table %q was replaced while its monitor was starting", table)
+	}
+	s.mu.Lock()
+	s.monitors[key] = m
+	s.mu.Unlock()
+	return m, nil
+}
+
+// withTableWrite resolves the table and runs fn under the table's mutation
+// gate with the active monitor (nil when none). It is the single write-path
+// preamble: serialized against the session's other writes and refused with
+// ErrMonitorBusy while a monitor is being (re)started.
+func (s *Semandaq) withTableWrite(table string, fn func(tab *relstore.Table, m *monitor.Monitor) error) error {
+	tab, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	g := s.gate(strings.ToLower(table))
+	g.Lock()
+	defer g.Unlock()
+	m, err := s.ActiveMonitor(table)
+	if err != nil {
+		return err
+	}
+	return fn(tab, m)
+}
+
+// ActiveMonitor returns the table's registered monitor, or nil when none
+// has been started. While a monitor is being started or replaced it
+// returns ErrMonitorBusy: the outgoing monitor is about to be detached and
+// updates routed to it would be lost to the replacement's tracker.
+func (s *Semandaq) ActiveMonitor(table string) (*monitor.Monitor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(table)
+	if s.monitorBusy[key] {
+		return nil, ErrMonitorBusy
+	}
+	return s.monitors[key], nil
+}
+
+// StopMonitor detaches the table's active monitor; it reports whether one
+// was registered. Subsequent mutations write the table directly.
+func (s *Semandaq) StopMonitor(table string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(table)
+	_, ok := s.monitors[key]
+	delete(s.monitors, key)
+	return ok
+}
+
+// ApplyUpdates runs one update batch through the table's active monitor.
+// It returns ErrNoMonitor when none is registered and ErrMonitorBusy while
+// a monitor is being (re)started. The batch runs under the table's
+// mutation gate, serialized against the session's other writes.
+func (s *Semandaq) ApplyUpdates(table string, batch []monitor.Update) (*monitor.BatchResult, error) {
+	var res *monitor.BatchResult
+	err := s.withTableWrite(table, func(_ *relstore.Table, m *monitor.Monitor) error {
+		if m == nil {
+			return ErrNoMonitor
+		}
+		var err error
+		res, err = m.Apply(batch)
+		return err
+	})
+	return res, err
+}
+
+// Insert appends a row to the table through the session's write path: via
+// the active monitor when one exists (incremental detection sees the row
+// immediately), directly into the store otherwise. It returns the new
+// tuple's ID and the table version after the write.
+func (s *Semandaq) Insert(table string, row relstore.Tuple) (relstore.TupleID, int64, error) {
+	var id relstore.TupleID
+	var version int64
+	err := s.withTableWrite(table, func(tab *relstore.Table, m *monitor.Monitor) error {
+		if m != nil {
+			res, err := m.Apply([]monitor.Update{{Op: monitor.OpInsert, Row: row}})
+			if err != nil {
+				return err
+			}
+			id, version = res.Inserted[0], res.Version
+			return nil
+		}
+		var err error
+		if id, err = tab.Insert(row); err != nil {
+			return err
+		}
+		version = tab.Version()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return id, version, nil
+}
+
+// Delete removes the tuple through the session's write path (see Insert).
+// It returns the table version after the write.
+func (s *Semandaq) Delete(table string, id relstore.TupleID) (int64, error) {
+	var version int64
+	err := s.withTableWrite(table, func(tab *relstore.Table, m *monitor.Monitor) error {
+		if m != nil {
+			res, err := m.Apply([]monitor.Update{{Op: monitor.OpDelete, ID: id}})
+			if err != nil {
+				return err
+			}
+			version = res.Version
+			return nil
+		}
+		if !tab.Delete(id) {
+			return fmt.Errorf("semandaq: no tuple %d in %s", id, table)
+		}
+		version = tab.Version()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return version, nil
+}
+
+// SetCell updates one attribute of a tuple through the session's write
+// path (see Insert). It returns the table version after the write.
+func (s *Semandaq) SetCell(table string, id relstore.TupleID, attr string, v types.Value) (int64, error) {
+	var version int64
+	err := s.withTableWrite(table, func(tab *relstore.Table, m *monitor.Monitor) error {
+		if m != nil {
+			res, err := m.Apply([]monitor.Update{{Op: monitor.OpSet, ID: id, Attr: attr, Value: v}})
+			if err != nil {
+				return err
+			}
+			version = res.Version
+			return nil
+		}
+		pos, ok := tab.Schema().Pos(attr)
+		if !ok {
+			return fmt.Errorf("semandaq: no attribute %q in %s", attr, table)
+		}
+		if _, err := tab.SetCell(id, pos, v); err != nil {
+			return err
+		}
+		version = tab.Version()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return version, nil
 }
 
 // DiscoverCFDs mines constraints from a reference table (does not register

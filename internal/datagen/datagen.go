@@ -155,7 +155,7 @@ func Generate(cfg Config) *Dataset {
 		clean.MustInsert(row)
 	}
 
-	dirty := clean.Snapshot()
+	dirty := clean.Clone()
 	ds := &Dataset{Clean: clean, Dirty: dirty}
 	sc := dirty.Schema()
 	posCNT := sc.MustPos("CNT")

@@ -199,14 +199,21 @@ func addToGroupColumnar(groups map[string]*groupAcc, keyBuf []byte,
 
 // Detect implements Detector.
 func (d ColumnarDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
-	preps, err := prepare(tab, cfds)
+	return d.DetectSnapshot(ctx, tab.Snapshot(), cfds)
+}
+
+// DetectSnapshot implements SnapshotDetector: the columnar evaluation over
+// one pinned table version (its lazily built columnar decomposition).
+func (d ColumnarDetector) DetectSnapshot(ctx context.Context, rsnap *relstore.Snapshot, cfds []*cfd.CFD) (*Report, error) {
+	preps, err := prepare(rsnap.Schema(), cfds)
 	if err != nil {
 		return nil, err
 	}
-	snap := tab.Columnar()
+	snap := rsnap.Columnar()
 	rep := &Report{
-		Table:      tab.Schema().Name,
+		Table:      snap.Schema().Name,
 		TupleCount: snap.Len(),
+		Version:    snap.Version(),
 		PerCFD:     make(map[string]*CFDStats),
 	}
 	cps := make([]colPrep, len(preps))

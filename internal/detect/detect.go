@@ -35,6 +35,7 @@ import (
 
 	"semandaq/internal/cfd"
 	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
 	"semandaq/internal/types"
 )
 
@@ -116,6 +117,11 @@ type CFDStats struct {
 type Report struct {
 	Table      string
 	TupleCount int
+	// Version is the table version the report reflects: every engine
+	// evaluates one pinned snapshot, so all violations, groups and counts
+	// in a report describe exactly this version even while concurrent
+	// writers keep mutating the live table.
+	Version    int64
 	Violations []Violation
 	// Vio is vio(t) for every tuple with vio(t) > 0.
 	Vio map[relstore.TupleID]int
@@ -152,8 +158,20 @@ func (r *Report) MaxVio() int {
 type Detector interface {
 	// Detect checks the table against the CFDs and returns the report.
 	// Detection is cancellable: when ctx is done mid-scan the engine
-	// returns ctx.Err() promptly instead of finishing the pass.
+	// returns ctx.Err() promptly instead of finishing the pass. The
+	// engine pins the table's current snapshot up front, so the report
+	// reflects a single version (stamped in Report.Version).
 	Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Report, error)
+}
+
+// SnapshotDetector is implemented by detectors that can evaluate an
+// explicitly pinned snapshot. Callers that need several reads to agree on
+// one table version (audit classifies rows against the report it just
+// detected; explore drills into it) snapshot once and drive everything off
+// it. All built-in engines implement it; Detect(tab) is shorthand for
+// DetectSnapshot(tab.Snapshot()).
+type SnapshotDetector interface {
+	DetectSnapshot(ctx context.Context, snap *relstore.Snapshot, cfds []*cfd.CFD) (*Report, error)
 }
 
 // prepared is a normalized CFD with resolved attribute positions.
@@ -164,9 +182,8 @@ type prepared struct {
 }
 
 // prepare validates, normalizes (single-attribute RHS) and merges the CFDs
-// by embedded FD, then resolves attribute positions against the table.
-func prepare(tab *relstore.Table, cfds []*cfd.CFD) ([]prepared, error) {
-	sc := tab.Schema()
+// by embedded FD, then resolves attribute positions against the schema.
+func prepare(sc *schema.Relation, cfds []*cfd.CFD) ([]prepared, error) {
 	var normalized []*cfd.CFD
 	for _, c := range cfds {
 		if err := c.Validate(sc); err != nil {
@@ -274,23 +291,30 @@ func majorityKey(counts map[string]int) string {
 type NativeDetector struct{}
 
 // Detect implements Detector.
-func (NativeDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
-	preps, err := prepare(tab, cfds)
+func (d NativeDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
+	return d.DetectSnapshot(ctx, tab.Snapshot(), cfds)
+}
+
+// DetectSnapshot implements SnapshotDetector: the row-scan evaluation over
+// one pinned table version.
+func (NativeDetector) DetectSnapshot(ctx context.Context, snap *relstore.Snapshot, cfds []*cfd.CFD) (*Report, error) {
+	preps, err := prepare(snap.Schema(), cfds)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
-		Table:  tab.Schema().Name,
-		PerCFD: make(map[string]*CFDStats),
+		Table:      snap.Schema().Name,
+		TupleCount: snap.Len(),
+		Version:    snap.Version(),
+		PerCFD:     make(map[string]*CFDStats),
 	}
-	rep.TupleCount = tab.Len()
 	for _, p := range preps {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		st := &CFDStats{}
 		rep.PerCFD[p.c.ID] = st
-		if err := detectOne(ctx, tab, p, rep, st); err != nil {
+		if err := detectOne(ctx, snap, p, rep, st); err != nil {
 			return nil, err
 		}
 	}
@@ -298,14 +322,14 @@ func (NativeDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*c
 	return rep, nil
 }
 
-// detectOne processes one prepared CFD over the whole table. The group
+// detectOne processes one prepared CFD over the whole snapshot. The group
 // bookkeeping (groupAcc, flushGroups) is shared with ColumnarDetector,
 // whose code-vector evaluation must stay byte-identical to this row scan.
-func detectOne(ctx context.Context, tab *relstore.Table, p prepared, rep *Report, st *CFDStats) error {
+func detectOne(ctx context.Context, snap *relstore.Snapshot, p prepared, rep *Report, st *CFDStats) error {
 	constPatterns, varPatterns := splitPatterns(p)
 	groups := map[string]*groupAcc{}
 	n := 0
-	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+	snap.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
 		if n++; n%cancelStride == 0 && ctx.Err() != nil {
 			return false
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"semandaq/internal/cfd"
 	"semandaq/internal/relstore"
@@ -25,7 +26,14 @@ import (
 //
 // The Tracker owns mutations: route inserts, deletes and cell updates
 // through it so the violation index stays in sync with the table.
+//
+// A Tracker is safe for concurrent use: mutations (Insert, Delete,
+// SetCell) serialize on an internal write lock, while the read surface
+// (Vio, VioMap, DirtyCount, Report) runs under a shared read lock, so any
+// number of readers proceed concurrently between updates and always
+// observe a fully applied update — never a half-indexed tuple.
 type Tracker struct {
+	mu    sync.RWMutex
 	tab   *relstore.Table
 	preps []prepared
 	state []*cfdState
@@ -72,7 +80,7 @@ func (g *groupState) contribution(id relstore.TupleID) int {
 // NewTracker builds a tracker over the table and CFD set, performing one
 // initial full pass to seed the violation index.
 func NewTracker(tab *relstore.Table, cfds []*cfd.CFD) (*Tracker, error) {
-	preps, err := prepare(tab, cfds)
+	preps, err := prepare(tab.Schema(), cfds)
 	if err != nil {
 		return nil, err
 	}
@@ -97,8 +105,10 @@ func NewTracker(tab *relstore.Table, cfds []*cfd.CFD) (*Tracker, error) {
 		}
 		t.state = append(t.state, cs)
 	}
-	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
-		t.addTuple(id, row.Clone(), nil)
+	// Seed from one pinned snapshot (rows are frozen, no clone needed);
+	// the tracker is not shared yet, so no locking either.
+	tab.Snapshot().Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		t.addTuple(id, row, nil)
 		return true
 	})
 	return t, nil
@@ -107,6 +117,13 @@ func NewTracker(tab *relstore.Table, cfds []*cfd.CFD) (*Tracker, error) {
 // Vio computes vio(t) for the given tuple on demand: one unit per CFD with
 // a single-tuple violation plus the partner count per violating group.
 func (t *Tracker) Vio(id relstore.TupleID) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.vioLocked(id)
+}
+
+// vioLocked is Vio under an already-held lock (any mode).
+func (t *Tracker) vioLocked(id relstore.TupleID) int {
 	if t.dirtyRef[id] == 0 {
 		return 0
 	}
@@ -124,9 +141,11 @@ func (t *Tracker) Vio(id relstore.TupleID) int {
 
 // VioMap returns the full vio(t) map (dirty tuples only).
 func (t *Tracker) VioMap() map[relstore.TupleID]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make(map[relstore.TupleID]int, len(t.dirtyRef))
 	for id := range t.dirtyRef {
-		if v := t.Vio(id); v > 0 {
+		if v := t.vioLocked(id); v > 0 {
 			out[id] = v
 		}
 	}
@@ -134,7 +153,17 @@ func (t *Tracker) VioMap() map[relstore.TupleID]int {
 }
 
 // DirtyCount returns the number of tuples with vio(t) > 0.
-func (t *Tracker) DirtyCount() int { return len(t.dirtyRef) }
+func (t *Tracker) DirtyCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.dirtyRef)
+}
+
+// Version returns the tracked table's current version. Between tracker
+// updates (which serialize on the tracker lock) it is the version every
+// tracker read reflects, provided mutations are routed through the
+// tracker as the contract requires.
+func (t *Tracker) Version() int64 { return t.tab.Version() }
 
 // Delta lists the tuples an operation touched or whose dirty status
 // flipped, with their new vio(t) (0 = now clean). Members of a large
@@ -146,10 +175,10 @@ type Delta struct {
 
 func newDelta() *Delta { return &Delta{Changed: map[relstore.TupleID]int{}} }
 
-// touch records id's current vio in the delta.
+// touch records id's current vio in the delta. Caller holds the lock.
 func (t *Tracker) touch(d *Delta, id relstore.TupleID) {
 	if d != nil {
-		d.Changed[id] = t.Vio(id)
+		d.Changed[id] = t.vioLocked(id)
 	}
 }
 
@@ -174,14 +203,15 @@ func (t *Tracker) ref(d *Delta, id relstore.TupleID, diff int) {
 	}
 }
 
-// finishDelta fills in the vio values for transition placeholders.
+// finishDelta fills in the vio values for transition placeholders. Caller
+// holds the lock.
 func (t *Tracker) finishDelta(d *Delta) *Delta {
 	if d == nil {
 		return nil
 	}
 	for id, v := range d.Changed {
 		if v < 0 {
-			d.Changed[id] = t.Vio(id)
+			d.Changed[id] = t.vioLocked(id)
 		}
 	}
 	return d
@@ -189,6 +219,8 @@ func (t *Tracker) finishDelta(d *Delta) *Delta {
 
 // Insert adds a tuple through the tracker.
 func (t *Tracker) Insert(row relstore.Tuple) (relstore.TupleID, *Delta, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	id, err := t.tab.Insert(row)
 	if err != nil {
 		return 0, nil, err
@@ -202,6 +234,8 @@ func (t *Tracker) Insert(row relstore.Tuple) (relstore.TupleID, *Delta, error) {
 
 // Delete removes a tuple through the tracker.
 func (t *Tracker) Delete(id relstore.TupleID) (*Delta, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	row, ok := t.tab.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("detect: tracker delete: no tuple %d", id)
@@ -220,6 +254,8 @@ func (t *Tracker) SetCell(id relstore.TupleID, attr string, v types.Value) (*Del
 	if !ok {
 		return nil, fmt.Errorf("detect: tracker set: no attribute %q", attr)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	old, ok := t.tab.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("detect: tracker set: no tuple %d", id)
@@ -227,6 +263,8 @@ func (t *Tracker) SetCell(id relstore.TupleID, attr string, v types.Value) (*Del
 	d := newDelta()
 	t.removeTuple(id, old, d)
 	if _, err := t.tab.SetCell(id, pos, v); err != nil {
+		// Re-index the unchanged row: the removal above must not leak.
+		t.addTuple(id, old, nil)
 		return nil, err
 	}
 	nrow, _ := t.tab.Get(id)
@@ -335,11 +373,18 @@ func (t *Tracker) removeTuple(id relstore.TupleID, row relstore.Tuple, d *Delta)
 }
 
 // Report materializes a full detection report from the tracked state; it
-// matches what a batch detector would produce on the current table.
+// matches what a batch detector would produce on the current table, and is
+// stamped with the table version it reflects. It runs under the tracker's
+// read lock, so it never observes a half-applied update; with mutations
+// routed through the tracker (the contract), the whole report describes
+// one table version.
 func (t *Tracker) Report() *Report {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	rep := &Report{
-		Table:  t.tab.Schema().Name,
-		PerCFD: make(map[string]*CFDStats),
+		Table:   t.tab.Schema().Name,
+		Version: t.tab.Version(),
+		PerCFD:  make(map[string]*CFDStats),
 	}
 	rep.TupleCount = t.tab.Len()
 	for _, cs := range t.state {
@@ -427,6 +472,8 @@ func (t *Tracker) Report() *Report {
 
 // String renders a short tracker summary.
 func (t *Tracker) String() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "tracker(%s): %d tuples, %d dirty", t.tab.Schema().Name, t.tab.Len(), len(t.dirtyRef))
 	return b.String()

@@ -1,0 +1,189 @@
+package detect
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+// assertByteIdentical cross-checks the tracker's materialized report
+// against a batch NativeDetector pass over the current table with
+// reflect.DeepEqual — not just vio(t) equivalence but identical violation
+// records, group members, RHS bookkeeping and the version stamp.
+func assertByteIdentical(t *testing.T, tab *relstore.Table, cfds []*cfd.CFD, tr *Tracker) {
+	t.Helper()
+	batch, err := NativeDetector{}.Detect(context.Background(), tab, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Report()
+	if got.Version != batch.Version {
+		t.Fatalf("versions differ: tracker %d, batch %d", got.Version, batch.Version)
+	}
+	if !reflect.DeepEqual(batch, got) {
+		if err := Equivalent(batch, got); err != nil {
+			t.Fatalf("tracker diverged from batch: %v", err)
+		}
+		t.Fatalf("reports equivalent but not byte-identical:\nbatch: %+v\ntracker: %+v", batch, got)
+	}
+}
+
+// TestTrackerMutationSequenceByteIdentical drives a randomized
+// insert/delete/set stream — tuned so multi-tuple groups repeatedly flip
+// dirty and heal clean — and asserts the tracker's report stays
+// byte-identical to batch detection throughout and on the final table.
+func TestTrackerMutationSequenceByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tab := relstore.NewTable(schema.New("m", "K", "V", "W"))
+	cfds, err := cfd.ParseSet(`
+m: [K=_] -> [V=_]
+m: [K=k0] -> [W=good]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny domains: 3 keys, 2 values — groups of ~7 tuples constantly gain
+	// and lose dissenters, exercising the flip (clean group turns
+	// violating: every member becomes dirty) and heal (violating group
+	// turns clean: every member loses the dirty source) transitions.
+	randRow := func() relstore.Tuple {
+		return relstore.Tuple{
+			types.NewString(fmt.Sprintf("k%d", rng.Intn(3))),
+			types.NewString(fmt.Sprintf("v%d", rng.Intn(2))),
+			types.NewString([]string{"good", "bad"}[rng.Intn(2)]),
+		}
+	}
+	for i := 0; i < 20; i++ {
+		tab.MustInsert(randRow())
+	}
+	tr, err := NewTracker(tab, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tab.IDs()
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0:
+			id, _, err := tr.Insert(randRow())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		case op == 1 && len(ids) > 4:
+			k := rng.Intn(len(ids))
+			if _, err := tr.Delete(ids[k]); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids[:k], ids[k+1:]...)
+		default:
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			attr := []string{"K", "V", "W"}[rng.Intn(3)]
+			var val types.Value
+			switch attr {
+			case "K":
+				val = types.NewString(fmt.Sprintf("k%d", rng.Intn(3)))
+			case "V":
+				val = types.NewString(fmt.Sprintf("v%d", rng.Intn(2)))
+			default:
+				val = types.NewString([]string{"good", "bad"}[rng.Intn(2)])
+			}
+			if _, err := tr.SetCell(id, attr, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step%25 == 0 {
+			assertByteIdentical(t, tab, cfds, tr)
+		}
+	}
+	assertByteIdentical(t, tab, cfds, tr)
+}
+
+// TestTrackerConcurrentUseRace hits the tracker from concurrent writers
+// and readers. Writes serialize on the tracker's lock; Vio, VioMap,
+// DirtyCount and Report run concurrently. Before the tracker was
+// goroutine-safe this was a guaranteed -race failure (and often a runtime
+// "concurrent map writes" crash).
+func TestTrackerConcurrentUseRace(t *testing.T) {
+	tab := relstore.NewTable(schema.New("m", "K", "V"))
+	cfds, err := cfd.ParseSet(`m: [K=_] -> [V=_]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tab.MustInsert(relstore.Tuple{
+			types.NewString(fmt.Sprintf("k%d", i%5)),
+			types.NewString(fmt.Sprintf("v%d", i%2)),
+		})
+	}
+	tr, err := NewTracker(tab, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []relstore.TupleID
+			for i := 0; i < 150; i++ {
+				switch {
+				case len(mine) > 0 && rng.Intn(3) == 0:
+					id := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if _, err := tr.Delete(id); err != nil {
+						t.Error(err)
+						return
+					}
+				case len(mine) > 0 && rng.Intn(3) == 0:
+					if _, err := tr.SetCell(mine[len(mine)-1], "V",
+						types.NewString(fmt.Sprintf("v%d", rng.Intn(2)))); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					id, _, err := tr.Insert(relstore.Tuple{
+						types.NewString(fmt.Sprintf("k%d", rng.Intn(5))),
+						types.NewString(fmt.Sprintf("v%d", rng.Intn(2))),
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mine = append(mine, id)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				_ = tr.DirtyCount()
+				_ = tr.VioMap()
+				rep := tr.Report()
+				// Internal sanity: every reported dirty tuple has vio > 0.
+				for id, n := range rep.Vio {
+					if n <= 0 {
+						t.Errorf("report lists vio(%d) = %d", id, n)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	assertByteIdentical(t, tab, cfds, tr)
+}

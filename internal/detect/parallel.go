@@ -35,19 +35,29 @@ type ParallelDetector struct {
 
 // Detect implements Detector.
 func (d ParallelDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
+	return d.DetectSnapshot(ctx, tab.Snapshot(), cfds)
+}
+
+// DetectSnapshot implements SnapshotDetector over one pinned table version.
+func (d ParallelDetector) DetectSnapshot(ctx context.Context, snap *relstore.Snapshot, cfds []*cfd.CFD) (*Report, error) {
 	workers := d.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return ColumnarDetector{Workers: workers}.Detect(ctx, tab, cfds)
+	return ColumnarDetector{Workers: workers}.DetectSnapshot(ctx, snap, cfds)
 }
 
 // DetectStream implements Streamer by delegating to the sharded columnar
 // streaming path with the configured worker count.
 func (d ParallelDetector) DetectStream(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) ViolationSeq {
+	return d.DetectStreamSnapshot(ctx, tab.Snapshot(), cfds)
+}
+
+// DetectStreamSnapshot implements SnapshotStreamer over one pinned version.
+func (d ParallelDetector) DetectStreamSnapshot(ctx context.Context, snap *relstore.Snapshot, cfds []*cfd.CFD) ViolationSeq {
 	workers := d.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return ColumnarDetector{Workers: workers}.DetectStream(ctx, tab, cfds)
+	return ColumnarDetector{Workers: workers}.DetectStreamSnapshot(ctx, snap, cfds)
 }

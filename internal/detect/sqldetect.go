@@ -40,26 +40,43 @@ func NewSQLDetector(store *relstore.Store) *SQLDetector {
 
 // Detect implements Detector.
 func (d *SQLDetector) Detect(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) (*Report, error) {
-	preps, err := prepare(tab, cfds)
-	if err != nil {
-		return nil, err
-	}
 	store := d.Engine.Store()
 	if got, ok := store.Table(tab.Schema().Name); !ok || got != tab {
 		return nil, fmt.Errorf("detect: table %q is not registered in the detector's store", tab.Schema().Name)
 	}
-	rep := &Report{
-		Table:  tab.Schema().Name,
-		PerCFD: make(map[string]*CFDStats),
+	return d.DetectSnapshot(ctx, tab.Snapshot(), cfds)
+}
+
+// DetectSnapshot implements SnapshotDetector. The snapshot is pinned in the
+// detector's SQL engine for the duration of the run, so the several
+// generated queries (Qc and the two Qv steps, per merged CFD) all read the
+// data table at one version even while writers mutate it; the report is
+// stamped with that version. The snapshot's table must be registered in
+// the engine's store under its schema name.
+func (d *SQLDetector) DetectSnapshot(ctx context.Context, snap *relstore.Snapshot, cfds []*cfd.CFD) (*Report, error) {
+	preps, err := prepare(snap.Schema(), cfds)
+	if err != nil {
+		return nil, err
 	}
-	rep.TupleCount = tab.Len()
+	dataName := snap.Schema().Name
+	if _, ok := d.Engine.Store().Table(dataName); !ok {
+		return nil, fmt.Errorf("detect: table %q is not registered in the detector's store", dataName)
+	}
+	d.Engine.Pin(snap)
+	defer d.Engine.Unpin(dataName)
+	rep := &Report{
+		Table:      dataName,
+		TupleCount: snap.Len(),
+		Version:    snap.Version(),
+		PerCFD:     make(map[string]*CFDStats),
+	}
 	for i, p := range preps {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		st := &CFDStats{}
 		rep.PerCFD[p.c.ID] = st
-		if err := d.detectOneSQL(ctx, tab, p, i, rep, st); err != nil {
+		if err := d.detectOneSQL(ctx, dataName, p, i, rep, st); err != nil {
 			return nil, err
 		}
 	}
@@ -91,7 +108,7 @@ func (d *SQLDetector) run(ctx context.Context, sql string) (*sqleng.Result, erro
 // detectOneSQL generates and runs Qc and Qv for one merged CFD. The
 // context reaches the SQL engine's scan loops, so a mid-query cancel
 // aborts inside the generated query rather than between queries.
-func (d *SQLDetector) detectOneSQL(ctx context.Context, tab *relstore.Table, p prepared, seq int, rep *Report, st *CFDStats) error {
+func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepared, seq int, rep *Report, st *CFDStats) error {
 	store := d.Engine.Store()
 	tpName := fmt.Sprintf("_tp_%d_%s", seq, sanitizeIdent(p.c.ID))
 	store.Drop(tpName)
@@ -102,7 +119,6 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, tab *relstore.Table, p p
 		defer store.Drop(tpName)
 	}
 
-	dataName := tab.Schema().Name
 	q := func(a string) string { return `"` + a + `"` }
 	rhs := p.c.RHS[0]
 
@@ -272,7 +288,7 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, tab *relstore.Table, p p
 // CFDs (after normalization and merging), without executing anything. The
 // CLI's -explain mode and the docs use it.
 func GenerateSQL(tab *relstore.Table, cfds []*cfd.CFD) ([]string, error) {
-	preps, err := prepare(tab, cfds)
+	preps, err := prepare(tab.Schema(), cfds)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,14 @@ type Streamer interface {
 	DetectStream(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) ViolationSeq
 }
 
+// SnapshotStreamer is the snapshot-pinned face of Streamer: the stream
+// evaluates exactly the given table version, so the caller can surface the
+// version alongside the violations (the HTTP streaming endpoint stamps its
+// terminal line with it).
+type SnapshotStreamer interface {
+	DetectStreamSnapshot(ctx context.Context, snap *relstore.Snapshot, cfds []*cfd.CFD) ViolationSeq
+}
+
 // streamBuffer is the bounded channel capacity between the scan workers
 // and the consumer: deep enough to decouple producer bursts from a slow
 // consumer, small enough that a cancelled consumer wastes little work.
@@ -34,13 +42,19 @@ const streamBuffer = 256
 // before the pass completes — and multi-tuple violations follow as each
 // grouping shard flushes. The stream never materializes a Report.
 func (d ColumnarDetector) DetectStream(ctx context.Context, tab *relstore.Table, cfds []*cfd.CFD) ViolationSeq {
+	return d.DetectStreamSnapshot(ctx, tab.Snapshot(), cfds)
+}
+
+// DetectStreamSnapshot implements SnapshotStreamer: the same sharded
+// streaming evaluation over one pinned table version.
+func (d ColumnarDetector) DetectStreamSnapshot(ctx context.Context, rsnap *relstore.Snapshot, cfds []*cfd.CFD) ViolationSeq {
 	return func(yield func(Violation, error) bool) {
-		preps, err := prepare(tab, cfds)
+		preps, err := prepare(rsnap.Schema(), cfds)
 		if err != nil {
 			yield(Violation{}, err)
 			return
 		}
-		snap := tab.Columnar()
+		snap := rsnap.Columnar()
 		cps := make([]colPrep, len(preps))
 		for i, p := range preps {
 			cps[i] = newColPrep(p, snap)

@@ -109,7 +109,7 @@ func runD5Point(w io.Writer, n int, noise float64, reps int, cfds []*cfd.CFD) er
 		return err
 	}
 	coldMS, _, err := measure(detect.ColumnarDetector{Workers: 1}, "columnar cold",
-		func() *relstore.Table { return ds.Dirty.Snapshot() })
+		func() *relstore.Table { return ds.Dirty.Clone() })
 	if err != nil {
 		return err
 	}

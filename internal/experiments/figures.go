@@ -61,7 +61,7 @@ func RunF2(w io.Writer, quick bool) error {
 	if err != nil {
 		return err
 	}
-	ex, err := explore.New(tab, cfds, rep)
+	ex, err := explore.New(tab.Snapshot(), cfds, rep)
 	if err != nil {
 		return err
 	}
@@ -157,7 +157,7 @@ func RunF3(w io.Writer, quick bool) error {
 		st := rep.PerCFD[id]
 		fmt.Fprintf(w, "  %-12s single=%-5d multi=%-5d groups=%d\n", id, st.SingleTuple, st.MultiTuple, st.Groups)
 	}
-	ex, err := explore.New(ds.Dirty, cfds, rep)
+	ex, err := explore.New(ds.Dirty.Snapshot(), cfds, rep)
 	if err != nil {
 		return err
 	}
@@ -201,7 +201,7 @@ func RunF4(w io.Writer, quick bool) error {
 	if err != nil {
 		return err
 	}
-	a, err := audit.Audit(ds.Dirty, cfds, rep)
+	a, err := audit.Audit(ds.Dirty.Snapshot(), cfds, rep)
 	if err != nil {
 		return err
 	}

@@ -99,7 +99,7 @@ func RunM1(w io.Writer, quick bool) error {
 	}
 	cfds := datagen.StandardCFDs()
 	base := datagen.Generate(datagen.Config{Tuples: n, Seed: 41})
-	tab := base.Clean.Snapshot()
+	tab := base.Clean.Clone()
 	m, err := monitor.New(tab, cfds, true)
 	if err != nil {
 		return err

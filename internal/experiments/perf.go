@@ -200,7 +200,7 @@ func RunD3(w io.Writer, quick bool) error {
 	fmt.Fprintf(w, "%10s %14s %12s %10s\n", "delta", "incremental_ms", "batch_ms", "speedup")
 	for _, d := range deltas {
 		// Fresh copies per measurement so state is comparable.
-		tab := base.Dirty.Snapshot()
+		tab := base.Dirty.Clone()
 		tr, err := detect.NewTracker(tab, cfds)
 		if err != nil {
 			return err
@@ -217,7 +217,7 @@ func RunD3(w io.Writer, quick bool) error {
 			return err
 		}
 
-		tab2 := base.Dirty.Snapshot()
+		tab2 := base.Dirty.Clone()
 		for i := 0; i < d; i++ {
 			tab2.MustInsert(freshRows[i])
 		}

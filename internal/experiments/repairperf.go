@@ -95,7 +95,7 @@ func RunR3(w io.Writer, quick bool) error {
 	fmt.Fprintf(w, "%10s %14s %12s %10s %12s\n", "delta", "inc_ms", "batch_ms", "speedup", "dirty_after")
 	for _, d := range deltas {
 		// Incremental: tracker + IncRepair over only the new tuples.
-		tab := base.Clean.Snapshot()
+		tab := base.Clean.Clone()
 		tr, err := detect.NewTracker(tab, cfds)
 		if err != nil {
 			return err
@@ -118,7 +118,7 @@ func RunR3(w io.Writer, quick bool) error {
 		dirtyAfter := tr.DirtyCount()
 
 		// Batch: rebuild base+delta and run full BatchRepair.
-		tab2 := base.Clean.Snapshot()
+		tab2 := base.Clean.Clone()
 		for i := 0; i < d; i++ {
 			tab2.MustInsert(freshRows[i])
 		}

@@ -17,10 +17,13 @@ import (
 	"semandaq/internal/types"
 )
 
-// Explorer answers drill-down queries over one table, one CFD set and one
-// detection report. Build a new Explorer after the data or report changes.
+// Explorer answers drill-down queries over one pinned table snapshot, one
+// CFD set and one detection report — every level of the drill-down reads
+// the exact version the report was detected on, so counts never drift
+// while the live table keeps mutating. Build a new Explorer to see fresher
+// data.
 type Explorer struct {
-	tab    *relstore.Table
+	tab    *relstore.Snapshot
 	merged []*cfd.CFD
 	rep    *detect.Report
 
@@ -32,10 +35,11 @@ type Explorer struct {
 	groupByLHSKey map[string]map[string]*detect.Group
 }
 
-// New builds an explorer. cfds must be the set the report was detected
-// with; they are normalized and merged identically.
-func New(tab *relstore.Table, cfds []*cfd.CFD, rep *detect.Report) (*Explorer, error) {
-	sc := tab.Schema()
+// New builds an explorer. snap must be the pinned snapshot the report was
+// detected on; cfds must be the set the report was detected with (they are
+// normalized and merged identically).
+func New(snap *relstore.Snapshot, cfds []*cfd.CFD, rep *detect.Report) (*Explorer, error) {
+	sc := snap.Schema()
 	var normalized []*cfd.CFD
 	for _, c := range cfds {
 		if err := c.Validate(sc); err != nil {
@@ -45,7 +49,7 @@ func New(tab *relstore.Table, cfds []*cfd.CFD, rep *detect.Report) (*Explorer, e
 	}
 	merged := cfd.MergeByFD(normalized)
 	e := &Explorer{
-		tab:           tab,
+		tab:           snap,
 		merged:        merged,
 		rep:           rep,
 		lhsPos:        map[string][]int{},
@@ -346,6 +350,9 @@ type Relevance struct {
 	Violated bool
 	Kind     detect.Kind // meaningful when Violated
 }
+
+// Version returns the table version the explorer's drill-down reflects.
+func (e *Explorer) Version() int64 { return e.tab.Version() }
 
 // ForTuple lists every CFD pattern whose LHS the tuple matches.
 func (e *Explorer) ForTuple(id relstore.TupleID) ([]Relevance, error) {

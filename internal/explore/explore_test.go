@@ -43,7 +43,7 @@ phi4@ customer: [CC=44] -> [CNT=UK]
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(tab, cfds, rep)
+	e, err := New(tab.Snapshot(), cfds, rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestExplorerValidates(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := &detect.Report{Vio: map[relstore.TupleID]int{}}
-	if _, err := New(tab, bad, rep); err == nil {
+	if _, err := New(tab.Snapshot(), bad, rep); err == nil {
 		t.Error("unknown attribute should fail")
 	}
 }

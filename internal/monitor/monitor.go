@@ -8,6 +8,7 @@ package monitor
 
 import (
 	"fmt"
+	"sync"
 
 	"semandaq/internal/cfd"
 	"semandaq/internal/detect"
@@ -49,10 +50,18 @@ type BatchResult struct {
 	Repairs []repair.Modification
 	// Dirty is the table's dirty-tuple count after the batch.
 	Dirty int
+	// Version is the table version after the batch (including any
+	// incremental repairs it triggered).
+	Version int64
 }
 
-// Monitor watches one table under one CFD set.
+// Monitor watches one table under one CFD set. A Monitor is safe for
+// concurrent use: Apply serializes update batches on an internal lock
+// (batches from concurrent clients never interleave), while the read
+// surface (Report, DirtyCount, Tracker reads) proceeds concurrently
+// through the tracker's read lock.
 type Monitor struct {
+	mu       sync.Mutex // serializes Apply batches and mode flips
 	tab      *relstore.Table
 	cfds     []*cfd.CFD
 	tracker  *detect.Tracker
@@ -78,11 +87,19 @@ func New(tab *relstore.Table, cfds []*cfd.CFD, cleansed bool) (*Monitor, error) 
 }
 
 // Cleansed reports the monitor's mode.
-func (m *Monitor) Cleansed() bool { return m.cleansed }
+func (m *Monitor) Cleansed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cleansed
+}
 
 // MarkCleansed switches the monitor into incremental-repair mode (call
 // after running the data cleanser on the table).
-func (m *Monitor) MarkCleansed() { m.cleansed = true }
+func (m *Monitor) MarkCleansed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cleansed = true
+}
 
 // Tracker exposes the underlying violation index (read-only use).
 func (m *Monitor) Tracker() *detect.Tracker { return m.tracker }
@@ -96,7 +113,11 @@ func (m *Monitor) Report() *detect.Report { return m.tracker.Report() }
 // Apply runs one update batch through the monitor. All updates are applied
 // through the violation tracker (incremental detection); in cleansed mode
 // the monitor then incrementally repairs the tuples the batch touched.
+// Concurrent Apply calls serialize: one batch fully lands (including its
+// repairs) before the next begins.
 func (m *Monitor) Apply(batch []Update) (*BatchResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	res := &BatchResult{Changed: map[relstore.TupleID]int{}}
 	var touched []relstore.TupleID
 	for i, u := range batch {
@@ -141,8 +162,12 @@ func (m *Monitor) Apply(batch []Update) (*BatchResult, error) {
 		}
 	}
 	res.Dirty = m.tracker.DirtyCount()
+	res.Version = m.tab.Version()
 	return res, nil
 }
+
+// Version returns the monitored table's current version.
+func (m *Monitor) Version() int64 { return m.tab.Version() }
 
 func mergeDelta(into map[relstore.TupleID]int, d *detect.Delta) {
 	if d == nil {

@@ -308,52 +308,6 @@ func (c *Columnar) Row(i int) Tuple {
 	return row
 }
 
-// Columnar returns the columnar snapshot of the table's current version,
-// building it on first use and reusing the cached snapshot until the table
-// mutates. The result is immutable and safe to share across goroutines.
-// Columns intern independently, so the build fans out one goroutine per
-// attribute (the interleaved single-pass alternative defeats the branch
-// predictor and the per-column map locality).
-func (t *Table) Columnar() *Columnar {
-	t.mu.RLock()
-	if snap := t.columnar; snap != nil && snap.version == t.version {
-		t.mu.RUnlock()
-		return snap
-	}
-	t.mu.RUnlock()
-
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if snap := t.columnar; snap != nil && snap.version == t.version {
-		return snap
-	}
-	n := len(t.rows)
-	snap := &Columnar{
-		schema:  t.schema,
-		version: t.version,
-		ids:     make([]TupleID, 0, n),
-		cols:    make([]*Column, t.schema.Arity()),
-	}
-	rows := make([]Tuple, 0, n)
-	for _, id := range t.order {
-		if row, ok := t.rows[id]; ok {
-			snap.ids = append(snap.ids, id)
-			rows = append(rows, row)
-		}
-	}
-	var wg sync.WaitGroup
-	for j := range snap.cols {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			col := newColumn(n)
-			for _, row := range rows {
-				col.intern(row[j])
-			}
-			snap.cols[j] = col
-		}(j)
-	}
-	wg.Wait()
-	t.columnar = snap
-	return snap
-}
+// Table.Columnar lives in snapshot.go: the columnar view is built lazily
+// from the table's pinned row Snapshot, so both views of one version share
+// ids, rows and the version stamp.

@@ -68,7 +68,9 @@ func (t Tuple) String() string {
 }
 
 // Table is a mutable relation instance. All methods are safe for concurrent
-// use by multiple goroutines.
+// use by multiple goroutines. Stored rows are copy-on-write: no mutation
+// ever changes a Tuple in place once it has been stored, so read snapshots
+// (Snapshot, Columnar) stay stable while writers proceed.
 type Table struct {
 	mu      sync.RWMutex
 	schema  *schema.Relation
@@ -78,9 +80,9 @@ type Table struct {
 	nextID  TupleID
 	indexes map[string]*Index
 	version int64 // bumped on every mutation; lets caches invalidate
-	// columnar caches the snapshot built by Columnar() for the current
+	// snap caches the pinned read view built by Snapshot() for the current
 	// version; mutations drop it so the memory is reclaimable immediately.
-	columnar *Columnar
+	snap *Snapshot
 }
 
 // NewTable creates an empty table with the given schema.
@@ -123,7 +125,7 @@ func (t *Table) Insert(row Tuple) (TupleID, error) {
 	t.rows[id] = r
 	t.order = append(t.order, id)
 	t.version++
-	t.columnar = nil
+	t.snap = nil
 	for _, ix := range t.indexes {
 		ix.add(id, r)
 	}
@@ -166,7 +168,7 @@ func (t *Table) Delete(id TupleID) bool {
 	delete(t.rows, id)
 	t.deleted++
 	t.version++
-	t.columnar = nil
+	t.snap = nil
 	if t.deleted > len(t.rows) && t.deleted > 64 {
 		t.compactLocked()
 	}
@@ -191,7 +193,7 @@ func (t *Table) Update(id TupleID, row Tuple) error {
 	r := row.Clone()
 	t.rows[id] = r
 	t.version++
-	t.columnar = nil
+	t.snap = nil
 	for _, ix := range t.indexes {
 		ix.add(id, r)
 	}
@@ -217,11 +219,17 @@ func (t *Table) SetCell(id TupleID, pos int, v types.Value) (types.Value, error)
 	for _, ix := range t.indexes {
 		ix.remove(id, row)
 	}
-	row[pos] = v
+	// Copy-on-write: the stored row may be shared by a pinned Snapshot (and
+	// by any Scan callback running off one), so the cell update goes into a
+	// fresh tuple and the map entry is swapped — the old row is never
+	// touched.
+	nrow := row.Clone()
+	nrow[pos] = v
+	t.rows[id] = nrow
 	t.version++
-	t.columnar = nil
+	t.snap = nil
 	for _, ix := range t.indexes {
-		ix.add(id, row)
+		ix.add(id, nrow)
 	}
 	return old, nil
 }
@@ -238,25 +246,13 @@ func (t *Table) compactLocked() {
 	t.deleted = 0
 }
 
-// Scan calls fn for every live tuple in insertion order. The callback
-// receives the stored row; it must not be mutated or retained. Returning
-// false stops the scan early.
+// Scan calls fn for every live tuple in insertion order. The whole scan
+// observes one table version: it walks the pinned read view (Snapshot), so
+// concurrent mutations neither tear the iteration nor change a row mid-
+// callback. The rows are frozen (copy-on-write protected); the callback
+// must not mutate them.
 func (t *Table) Scan(fn func(id TupleID, row Tuple) bool) {
-	t.mu.RLock()
-	order := make([]TupleID, len(t.order))
-	copy(order, t.order)
-	t.mu.RUnlock()
-	for _, id := range order {
-		t.mu.RLock()
-		row, ok := t.rows[id]
-		t.mu.RUnlock()
-		if !ok {
-			continue
-		}
-		if !fn(id, row) {
-			return
-		}
-	}
+	t.Snapshot().Scan(fn)
 }
 
 // IDs returns the live tuple IDs in insertion order.
@@ -287,9 +283,10 @@ func (t *Table) Rows() ([]TupleID, []Tuple) {
 	return ids, rows
 }
 
-// Snapshot returns an independent copy of the table (same schema object,
-// fresh rows, fresh IDs preserved). Indexes are not copied.
-func (t *Table) Snapshot() *Table {
+// Clone returns an independent mutable copy of the table (same schema
+// object, fresh rows, IDs preserved). Indexes are not copied. For a cheap
+// immutable read view, use Snapshot instead.
+func (t *Table) Clone() *Table {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	c := NewTable(t.schema)
@@ -341,9 +338,12 @@ func indexKey(attrs []string) string {
 	return strings.Join(low, "\x1f")
 }
 
-// Index is a hash index from projected attribute values to tuple IDs. It is
-// maintained by the owning table under the table lock; readers use Lookup.
+// Index is a hash index from projected attribute values to tuple IDs. The
+// owning table maintains it under the table's write lock; Lookup and
+// Buckets take the index's own read lock, so readers that hold only an
+// *Index (no table reference) are still safe against concurrent mutation.
 type Index struct {
+	mu      sync.RWMutex
 	attrs   []string
 	pos     []int
 	buckets map[string][]TupleID
@@ -354,11 +354,15 @@ func (ix *Index) Attrs() []string { return append([]string(nil), ix.attrs...) }
 
 func (ix *Index) add(id TupleID, row Tuple) {
 	k := row.KeyOn(ix.pos)
+	ix.mu.Lock()
 	ix.buckets[k] = append(ix.buckets[k], id)
+	ix.mu.Unlock()
 }
 
 func (ix *Index) remove(id TupleID, row Tuple) {
 	k := row.KeyOn(ix.pos)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	b := ix.buckets[k]
 	for i, v := range b {
 		if v == id {
@@ -381,6 +385,8 @@ func (ix *Index) Lookup(vals []types.Value) []TupleID {
 	for _, v := range vals {
 		v.WriteGroupKey(&b)
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	src := ix.buckets[b.String()]
 	out := make([]TupleID, len(src))
 	copy(out, src)
@@ -388,8 +394,14 @@ func (ix *Index) Lookup(vals []types.Value) []TupleID {
 }
 
 // Buckets calls fn for every (key, ids) bucket. Used by group-based
-// detection. The ids slice must not be mutated.
+// detection. The ids slice must not be mutated or retained, and fn must
+// not call into the owning table at all — not even read methods: the index
+// read lock is held for the whole iteration, and a table writer blocked on
+// this index while fn blocks on the table lock is a deadlock. Resolve rows
+// after Buckets returns (a Snapshot taken beforehand is the safe way).
 func (ix *Index) Buckets(fn func(key string, ids []TupleID) bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	for k, ids := range ix.buckets {
 		if !fn(k, ids) {
 			return

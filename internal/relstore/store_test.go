@@ -157,10 +157,14 @@ func TestSnapshotIsolation(t *testing.T) {
 	if snap.Len() != 1 {
 		t.Errorf("snapshot len = %d", snap.Len())
 	}
-	// New inserts into the snapshot get fresh IDs beyond the source's.
-	nid := snap.MustInsert(strs("snap-new"))
+	// A mutable Clone is independent and keeps allocating fresh IDs.
+	clone := tab.Clone()
+	nid := clone.MustInsert(strs("clone-new"))
 	if nid <= id {
-		t.Errorf("snapshot insert ID %d should exceed %d", nid, id)
+		t.Errorf("clone insert ID %d should exceed %d", nid, id)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("clone insert leaked into source: len = %d", tab.Len())
 	}
 }
 

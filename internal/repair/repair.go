@@ -133,7 +133,7 @@ func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.
 	if det == nil {
 		det = detect.NativeDetector{}
 	}
-	work := tab.Snapshot()
+	work := tab.Clone()
 	res := &Result{Repaired: work}
 	sc := work.Schema()
 

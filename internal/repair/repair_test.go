@@ -108,7 +108,7 @@ func TestRepairConstantPattern(t *testing.T) {
 
 func TestOriginalTableUntouched(t *testing.T) {
 	tab, cfds := customerTable(t)
-	before := tab.Snapshot()
+	before := tab.Clone()
 	if _, err := NewRepairer().Repair(context.Background(), tab, cfds); err != nil {
 		t.Fatal(err)
 	}

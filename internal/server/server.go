@@ -8,6 +8,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"iter"
 	"net/http"
@@ -23,15 +24,16 @@ import (
 	"semandaq/internal/monitor"
 	"semandaq/internal/relstore"
 	"semandaq/internal/repair"
+	"semandaq/internal/schema"
 	"semandaq/internal/types"
 )
 
-// Server is the HTTP facade over one Semandaq session.
+// Server is the HTTP facade over one Semandaq session. Monitors live in
+// the session's registry (core.Semandaq), so the HTTP mutation endpoints
+// and any embedded library callers share one write path.
 type Server struct {
 	s  *core.Semandaq
 	mu sync.Mutex
-	// monitors holds one live monitor per table once started.
-	monitors map[string]*monitor.Monitor
 	// pending holds the last computed candidate repair per table, for the
 	// review-then-apply flow.
 	pending map[string]*repair.Result
@@ -40,9 +42,8 @@ type Server struct {
 // New builds a server over the session.
 func New(s *core.Semandaq) *Server {
 	return &Server{
-		s:        s,
-		monitors: map[string]*monitor.Monitor{},
-		pending:  map[string]*repair.Result{},
+		s:       s,
+		pending: map[string]*repair.Result{},
 	}
 }
 
@@ -52,6 +53,13 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/tables", sv.handleTables)
 	mux.HandleFunc("POST /api/tables/{name}", sv.handleLoadCSV)
 	mux.HandleFunc("GET /api/tables/{name}", sv.handleTable)
+	// Row mutations. Writes route through the table's active monitor when
+	// one exists (incremental detection sees them immediately) and return
+	// the table version they produced; 409 while a monitor is being
+	// replaced.
+	mux.HandleFunc("POST /api/tables/{name}/rows", sv.handleInsertRow)
+	mux.HandleFunc("PATCH /api/tables/{name}/rows/{id}", sv.handleSetCell)
+	mux.HandleFunc("DELETE /api/tables/{name}/rows/{id}", sv.handleDeleteRow)
 	mux.HandleFunc("POST /api/cfds/{table}", sv.handleRegisterCFDs)
 	mux.HandleFunc("GET /api/cfds/{table}", sv.handleListCFDs)
 	mux.HandleFunc("GET /api/consistency/{table}", sv.handleConsistency)
@@ -154,9 +162,12 @@ func (sv *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		ID  int64 `json:"id"`
 		Row []any `json:"row"`
 	}
+	// One pinned snapshot: the page, the tuple count and the version all
+	// describe the same table state.
+	snap := tab.Snapshot()
 	var rows []rowOut
 	i := 0
-	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+	snap.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
 		if i >= offset && len(rows) < limit {
 			rows = append(rows, rowOut{ID: int64(id), Row: jsonRow(row)})
 		}
@@ -164,10 +175,11 @@ func (sv *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return len(rows) < limit || i <= offset
 	})
 	writeJSON(w, map[string]any{
-		"table":  tab.Schema().Name,
-		"attrs":  tab.Schema().AttrNames(),
-		"tuples": tab.Len(),
-		"rows":   rows,
+		"table":   snap.Schema().Name,
+		"attrs":   snap.Schema().AttrNames(),
+		"tuples":  snap.Len(),
+		"version": snap.Version(),
+		"rows":    rows,
 	})
 }
 
@@ -274,6 +286,7 @@ func reportJSON(rep *detect.Report) map[string]any {
 	return map[string]any{
 		"table":      rep.Table,
 		"tuples":     rep.TupleCount,
+		"version":    rep.Version,
 		"violations": rep.TotalViolations(),
 		"dirty":      len(rep.Vio),
 		"maxVio":     rep.MaxVio(),
@@ -329,11 +342,16 @@ func (sv *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 // streamDetect writes the detection stream as NDJSON: one violation object
 // per line as the sharded scan finds it, flushed eagerly so a `curl -N`
 // client sees the first violation long before the scan completes, and a
-// terminal {"done":true,...} line with the totals. A dropped client
-// cancels the scan via the request context. The full Report is never
-// materialized.
+// terminal {"done":true,...} line with the totals and the pinned table
+// version the whole stream evaluated. A dropped client cancels the scan
+// via the request context. The full Report is never materialized.
 func (sv *Server) streamDetect(w http.ResponseWriter, r *http.Request, table string, opts []core.Option, start time.Time) {
-	next, stop := iter.Pull2(sv.s.DetectStream(r.Context(), table, opts...))
+	seq, version, err := sv.s.DetectStreamVersion(r.Context(), table, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	next, stop := iter.Pull2(seq)
 	defer stop()
 	// Pull the first element before committing to a 200: a bad table,
 	// unknown CFD id or empty constraint set still gets a proper status.
@@ -370,6 +388,7 @@ func (sv *Server) streamDetect(w http.ResponseWriter, r *http.Request, table str
 	enc.Encode(map[string]any{
 		"done":       true,
 		"violations": count,
+		"version":    version,
 		"durationMs": float64(time.Since(start)) / float64(time.Millisecond),
 	})
 }
@@ -406,6 +425,7 @@ func (sv *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"table":         a.Table,
 		"tuples":        a.TupleCount,
+		"version":       a.Version,
 		"verifiedClean": a.VerifiedTuples,
 		"probablyClean": a.ProbablyTuples,
 		"arguablyClean": a.ArguablyTuples,
@@ -565,7 +585,6 @@ func (sv *Server) handleRepairApply(w http.ResponseWriter, r *http.Request) {
 	table := r.PathValue("table")
 	sv.mu.Lock()
 	res := sv.pending[table]
-	delete(sv.pending, table)
 	sv.mu.Unlock()
 	if res == nil {
 		writeError(w, http.StatusConflict, fmt.Errorf("no pending repair for %s; POST /api/repair/%s first", table, table))
@@ -573,9 +592,17 @@ func (sv *Server) handleRepairApply(w http.ResponseWriter, r *http.Request) {
 	}
 	applied, skipped, err := sv.s.ApplyRepair(table, res.Modifications)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// The pending repair stays available: a transient 409 (monitor
+		// being replaced) is retryable without recomputing the repair.
+		writeError(w, mutationStatus(err), err)
 		return
 	}
+	// Consumed only on success. A concurrent duplicate apply is harmless:
+	// the second pass skips every modification whose Old value no longer
+	// matches.
+	sv.mu.Lock()
+	delete(sv.pending, table)
+	sv.mu.Unlock()
 	sk := make([]map[string]any, 0, len(skipped))
 	for _, m := range skipped {
 		sk = append(sk, modJSON(m))
@@ -586,15 +613,24 @@ func (sv *Server) handleRepairApply(w http.ResponseWriter, r *http.Request) {
 func (sv *Server) handleMonitorStart(w http.ResponseWriter, r *http.Request) {
 	table := r.PathValue("table")
 	cleansed := r.URL.Query().Get("cleansed") == "true"
+	// Monitor registers itself in the session: mutations route through it
+	// from here on. A concurrent start of the same table's monitor gets
+	// 409 instead of racing the handover.
 	m, err := sv.s.Monitor(r.Context(), table, core.WithCleansed(cleansed))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrMonitorBusy) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
 		return
 	}
-	sv.mu.Lock()
-	sv.monitors[table] = m
-	sv.mu.Unlock()
-	writeJSON(w, map[string]any{"monitoring": table, "cleansed": cleansed, "dirty": m.DirtyCount()})
+	writeJSON(w, map[string]any{
+		"monitoring": table,
+		"cleansed":   cleansed,
+		"dirty":      m.DirtyCount(),
+		"version":    m.Version(),
+	})
 }
 
 // updateJSON is the wire form of one monitor update.
@@ -606,6 +642,10 @@ type updateJSON struct {
 	Value any    `json:"value,omitempty"`
 }
 
+// valueFromJSON maps a decoded JSON value to a types.Value without schema
+// context. JSON numbers arrive as float64; integral ones become Int (the
+// only reasonable guess for an untyped column — JSON cannot distinguish 5
+// from 5.0).
 func valueFromJSON(v any) types.Value {
 	switch x := v.(type) {
 	case nil:
@@ -624,15 +664,161 @@ func valueFromJSON(v any) types.Value {
 	}
 }
 
-func (sv *Server) handleMonitorUpdates(w http.ResponseWriter, r *http.Request) {
-	table := r.PathValue("table")
-	sv.mu.Lock()
-	m := sv.monitors[table]
-	sv.mu.Unlock()
-	if m == nil {
-		writeError(w, http.StatusConflict, fmt.Errorf("no monitor for %s; POST /api/monitor/%s first", table, table))
+// valueForAttr coerces a decoded JSON value using the attribute's declared
+// type, falling back to valueFromJSON's inference for untyped columns.
+// Without this, JSON 5.0 sent to a FLOAT column would silently become
+// Int(5) and flip the cell's kind, breaking Equal comparisons against the
+// column's other values.
+func valueForAttr(sc *schema.Relation, pos int, v any) types.Value {
+	if v == nil {
+		return types.Null
+	}
+	switch sc.Attrs[pos].Type {
+	case types.KindFloat:
+		switch x := v.(type) {
+		case float64:
+			return types.NewFloat(x)
+		case bool:
+			// fall through to inference below
+		case string:
+			if f, err := strconv.ParseFloat(x, 64); err == nil {
+				return types.NewFloat(f)
+			}
+		}
+	case types.KindInt:
+		switch x := v.(type) {
+		case float64:
+			if x == float64(int64(x)) {
+				return types.NewInt(int64(x))
+			}
+			return types.NewFloat(x) // non-integral: keep the value, not the type
+		case string:
+			if n, err := strconv.ParseInt(x, 10, 64); err == nil {
+				return types.NewInt(n)
+			}
+		}
+	case types.KindString:
+		if x, ok := v.(string); ok {
+			return types.NewString(x)
+		}
+	case types.KindBool:
+		if x, ok := v.(bool); ok {
+			return types.NewBool(x)
+		}
+	}
+	return valueFromJSON(v)
+}
+
+// rowForSchema coerces a JSON row against the table schema.
+func rowForSchema(sc *schema.Relation, in []any) (relstore.Tuple, error) {
+	if len(in) != sc.Arity() {
+		return nil, fmt.Errorf("row has %d values, table %s has %d columns", len(in), sc.Name, sc.Arity())
+	}
+	row := make(relstore.Tuple, len(in))
+	for i, v := range in {
+		row[i] = valueForAttr(sc, i, v)
+	}
+	return row, nil
+}
+
+// mutationStatus maps a session write-path error to an HTTP status.
+func mutationStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrMonitorBusy), errors.Is(err, core.ErrNoMonitor):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (sv *Server) handleInsertRow(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	tab, err := sv.s.Table(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	var body struct {
+		Row []any `json:"row"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	row, err := rowForSchema(tab.Schema(), body.Row)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, version, err := sv.s.Insert(name, row)
+	if err != nil {
+		writeError(w, mutationStatus(err), err)
+		return
+	}
+	writeJSON(w, map[string]any{"id": int64(id), "version": version})
+}
+
+func (sv *Server) handleSetCell(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	tab, err := sv.s.Table(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuple id: %w", err))
+		return
+	}
+	var body struct {
+		Attr  string `json:"attr"`
+		Value any    `json:"value"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sc := tab.Schema()
+	pos, ok := sc.Pos(body.Attr)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no attribute %q in %s", body.Attr, name))
+		return
+	}
+	version, err := sv.s.SetCell(name, relstore.TupleID(id), body.Attr, valueForAttr(sc, pos, body.Value))
+	if err != nil {
+		writeError(w, mutationStatus(err), err)
+		return
+	}
+	writeJSON(w, map[string]any{"id": id, "version": version})
+}
+
+func (sv *Server) handleDeleteRow(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, err := sv.s.Table(name); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuple id: %w", err))
+		return
+	}
+	version, err := sv.s.Delete(name, relstore.TupleID(id))
+	if err != nil {
+		writeError(w, mutationStatus(err), err)
+		return
+	}
+	writeJSON(w, map[string]any{"deleted": id, "version": version})
+}
+
+func (sv *Server) handleMonitorUpdates(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	tab, err := sv.s.Table(table)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	sc := tab.Schema()
 	var body struct {
 		Updates []updateJSON `json:"updates"`
 	}
@@ -644,25 +830,37 @@ func (sv *Server) handleMonitorUpdates(w http.ResponseWriter, r *http.Request) {
 	for _, u := range body.Updates {
 		switch u.Op {
 		case "insert":
-			row := make(relstore.Tuple, len(u.Row))
-			for i, v := range u.Row {
-				row[i] = valueFromJSON(v)
+			row, err := rowForSchema(sc, u.Row)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
 			}
 			batch = append(batch, monitor.Update{Op: monitor.OpInsert, Row: row})
 		case "delete":
 			batch = append(batch, monitor.Update{Op: monitor.OpDelete, ID: relstore.TupleID(u.ID)})
 		case "set":
+			val := valueFromJSON(u.Value)
+			if pos, ok := sc.Pos(u.Attr); ok {
+				val = valueForAttr(sc, pos, u.Value)
+			}
 			batch = append(batch, monitor.Update{
 				Op: monitor.OpSet, ID: relstore.TupleID(u.ID),
-				Attr: u.Attr, Value: valueFromJSON(u.Value)})
+				Attr: u.Attr, Value: val})
 		default:
 			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", u.Op))
 			return
 		}
 	}
-	res, err := m.Apply(batch)
+	res, err := sv.s.ApplyUpdates(table, batch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, core.ErrNoMonitor):
+			writeError(w, http.StatusConflict, fmt.Errorf("no monitor for %s; POST /api/monitor/%s first", table, table))
+		case errors.Is(err, core.ErrMonitorBusy):
+			writeError(w, http.StatusConflict, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	repairs := make([]map[string]any, 0, len(res.Repairs))
@@ -677,6 +875,7 @@ func (sv *Server) handleMonitorUpdates(w http.ResponseWriter, r *http.Request) {
 		"inserted": inserted,
 		"dirty":    res.Dirty,
 		"repairs":  repairs,
+		"version":  res.Version,
 	})
 }
 

@@ -226,7 +226,10 @@ func TestMonitorFlow(t *testing.T) {
 	if out["dirty"].(float64) != 0 {
 		t.Fatalf("monitor start = %v", out)
 	}
-	// Updates without a monitor on another table: conflict.
+	// Updates for a table that does not exist: not found.
+	do(t, ts, "POST", "/api/monitor/other/updates", `{"updates":[]}`, http.StatusNotFound)
+	// Updates for an existing table without a monitor: conflict.
+	do(t, ts, "POST", "/api/tables/other", "A,B\nx,y\n", http.StatusOK)
 	do(t, ts, "POST", "/api/monitor/other/updates", `{"updates":[]}`, http.StatusConflict)
 
 	updates := map[string]any{"updates": []any{

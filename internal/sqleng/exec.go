@@ -37,15 +37,25 @@ type Result struct {
 	Columns  []string
 	Rows     [][]types.Value
 	Affected int
+	// Versions records, per base table the statement touched (lowercased
+	// name), the table version the statement read — every base table is
+	// resolved to one pinned snapshot per query, so a table referenced
+	// twice (a self-join) contributes exactly one version. For DML it is
+	// the version after the mutation.
+	Versions map[string]int64
 }
 
 // Engine executes SQL statements against a relstore.Store.
 type Engine struct {
 	store *relstore.Store
 	// rowScan disables the columnar scan fast path, forcing base-table
-	// loads through Table.Scan; the cross-check tests use it to compare
-	// both read paths on identical queries.
+	// loads through the snapshot's row scan; the cross-check tests use it
+	// to compare both read paths on identical queries.
 	rowScan bool
+	// pins maps lowercased table names to externally pinned snapshots;
+	// queries read a pinned table at that exact version regardless of
+	// concurrent mutations. Set via Pin/Unpin.
+	pins map[string]*relstore.Snapshot
 }
 
 // New creates an engine over the given store.
@@ -56,8 +66,65 @@ func New(store *relstore.Store) *Engine { return &Engine{store: store} }
 // cross-check them and benchmarks can isolate the row path.
 func (e *Engine) SetColumnarScan(enabled bool) { e.rowScan = !enabled }
 
+// Pin makes every subsequent query read the snapshot's table at the
+// snapshot's version, regardless of concurrent mutations of the live table.
+// The SQL detector pins the data table once per detection so the multiple
+// generated queries of one run all see a single version. Like
+// SetColumnarScan, Pin configures the engine and must not race with
+// running queries: use it on a private engine, not a shared one.
+func (e *Engine) Pin(snap *relstore.Snapshot) {
+	if e.pins == nil {
+		e.pins = map[string]*relstore.Snapshot{}
+	}
+	e.pins[strings.ToLower(snap.Schema().Name)] = snap
+}
+
+// Unpin removes a Pin for the named table.
+func (e *Engine) Unpin(name string) { delete(e.pins, strings.ToLower(name)) }
+
 // Store returns the underlying store.
 func (e *Engine) Store() *relstore.Store { return e.store }
+
+// queryPins resolves base tables to read snapshots, at most once per table
+// per query: the first reference pins the table's current version (or the
+// engine-level Pin) and every later reference — a self-join, a second FROM
+// item — reuses it, so one statement never mixes two versions of a table.
+type queryPins struct {
+	e     *Engine
+	snaps map[string]*relstore.Snapshot
+}
+
+func (e *Engine) newQueryPins() *queryPins {
+	return &queryPins{e: e, snaps: map[string]*relstore.Snapshot{}}
+}
+
+// snapshot returns the query's pinned snapshot of the named table.
+func (q *queryPins) snapshot(name string) (*relstore.Snapshot, bool) {
+	key := strings.ToLower(name)
+	if s, ok := q.snaps[key]; ok {
+		return s, true
+	}
+	if s, ok := q.e.pins[key]; ok {
+		q.snaps[key] = s
+		return s, true
+	}
+	tab, ok := q.e.store.Table(name)
+	if !ok {
+		return nil, false
+	}
+	s := tab.Snapshot()
+	q.snaps[key] = s
+	return s, true
+}
+
+// versions reports the pinned version per table read by the query.
+func (q *queryPins) versions() map[string]int64 {
+	out := make(map[string]int64, len(q.snaps))
+	for name, s := range q.snaps {
+		out[name] = s.Version()
+	}
+	return out
+}
 
 // Query parses and executes a single statement without cancellation.
 func (e *Engine) Query(sql string) (*Result, error) {
@@ -129,19 +196,20 @@ type relation struct {
 
 func (r *relation) width() int { return len(r.cat) }
 
-// loadTable materializes a base table with its hidden _tid column first.
-// With the columnar path enabled it builds the rows from the table's
-// dictionary-encoded snapshot — one consistent, cached materialization
-// instead of a per-row map lookup under the table lock — and keeps the
-// snapshot attached for predicate pushdown in applyResolvable. Exact
-// dictionary codes round-trip the stored values, so both paths produce
-// identical rows in identical (insertion) order.
-func (e *Engine) loadTable(ctx context.Context, fi FromItem) (*relation, error) {
-	tab, ok := e.store.Table(fi.Table)
+// loadTable materializes a base table with its hidden _tid column first,
+// reading from the query's pinned snapshot (queryPins) so the whole
+// statement — including self-joins — observes exactly one version of each
+// base table. With the columnar path enabled it builds the rows from the
+// snapshot's dictionary-encoded decomposition — one consistent, cached
+// materialization — and keeps it attached for predicate pushdown in
+// applyResolvable. Exact dictionary codes round-trip the stored values, so
+// both paths produce identical rows in identical (insertion) order.
+func (e *Engine) loadTable(ctx context.Context, fi FromItem, qp *queryPins) (*relation, error) {
+	snap, ok := qp.snapshot(fi.Table)
 	if !ok {
 		return nil, fmt.Errorf("sql: no table %q", fi.Table)
 	}
-	sc := tab.Schema()
+	sc := snap.Schema()
 	rel := &relation{}
 	rel.cat = append(rel.cat, colInfo{qual: fi.Alias, name: TIDColumn})
 	rel.hidden = append(rel.hidden, true)
@@ -151,7 +219,7 @@ func (e *Engine) loadTable(ctx context.Context, fi FromItem) (*relation, error) 
 	}
 	if e.rowScan {
 		n := 0
-		tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		snap.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
 			if n++; n%cancelStride == 0 && ctx.Err() != nil {
 				return false
 			}
@@ -169,10 +237,10 @@ func (e *Engine) loadTable(ctx context.Context, fi FromItem) (*relation, error) 
 	// Row materialization is deferred (rel.deferred): applyResolvable's
 	// code filters narrow rowIdx first, so a selective WHERE only ever
 	// materializes the surviving tuples.
-	snap := tab.Columnar()
-	rel.cnr = snap
+	cnr := snap.Columnar()
+	rel.cnr = cnr
 	rel.deferred = true
-	rel.rowIdx = make([]int32, snap.Len())
+	rel.rowIdx = make([]int32, cnr.Len())
 	for i := range rel.rowIdx {
 		rel.rowIdx[i] = int32(i)
 	}
@@ -335,9 +403,14 @@ func (e *Engine) runSelect(ctx context.Context, st *SelectStmt) (*Result, error)
 	}
 	pending := splitConjuncts(st.Where)
 
+	// One pin set per statement: every base table resolves to a single
+	// snapshot for the whole query, so the result reflects exactly one
+	// version of each table it reads.
+	qp := e.newQueryPins()
+
 	// Build the join tree left to right: comma-list tables first, then the
 	// explicit JOIN clauses.
-	rel, err := e.loadTable(ctx, st.From[0])
+	rel, err := e.loadTable(ctx, st.From[0], qp)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +419,7 @@ func (e *Engine) runSelect(ctx context.Context, st *SelectStmt) (*Result, error)
 		return nil, err
 	}
 	for _, fi := range st.From[1:] {
-		right, err := e.loadTable(ctx, fi)
+		right, err := e.loadTable(ctx, fi, qp)
 		if err != nil {
 			return nil, err
 		}
@@ -356,7 +429,7 @@ func (e *Engine) runSelect(ctx context.Context, st *SelectStmt) (*Result, error)
 		}
 	}
 	for _, jc := range st.Joins {
-		right, err := e.loadTable(ctx, jc.Item)
+		right, err := e.loadTable(ctx, jc.Item, qp)
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +460,12 @@ func (e *Engine) runSelect(ctx context.Context, st *SelectStmt) (*Result, error)
 		}
 		rel.rows = kept
 	}
-	return e.projectAndFinish(ctx, st, rel)
+	res, err := e.projectAndFinish(ctx, st, rel)
+	if err != nil {
+		return nil, err
+	}
+	res.Versions = qp.versions()
+	return res, nil
 }
 
 // selectNoFrom handles SELECT <exprs> with no FROM clause (constants).
@@ -1291,7 +1369,10 @@ func (e *Engine) runInsert(st *InsertStmt) (*Result, error) {
 		}
 		n++
 	}
-	return &Result{Affected: n}, nil
+	return &Result{
+		Affected: n,
+		Versions: map[string]int64{strings.ToLower(sc.Name): tab.Version()},
+	}, nil
 }
 
 // tableEnv builds the catalog for single-table DML (alias = table name, no
@@ -1380,7 +1461,10 @@ func (e *Engine) runUpdate(ctx context.Context, st *UpdateStmt) (*Result, error)
 			return nil, err
 		}
 	}
-	return &Result{Affected: len(updates)}, nil
+	return &Result{
+		Affected: len(updates),
+		Versions: map[string]int64{strings.ToLower(sc.Name): tab.Version()},
+	}, nil
 }
 
 func (e *Engine) runDelete(ctx context.Context, st *DeleteStmt) (*Result, error) {
@@ -1426,7 +1510,10 @@ func (e *Engine) runDelete(ctx context.Context, st *DeleteStmt) (*Result, error)
 	for _, id := range ids {
 		tab.Delete(id)
 	}
-	return &Result{Affected: len(ids)}, nil
+	return &Result{
+		Affected: len(ids),
+		Versions: map[string]int64{strings.ToLower(tab.Schema().Name): tab.Version()},
+	}, nil
 }
 
 func (e *Engine) runCreate(st *CreateTableStmt) (*Result, error) {

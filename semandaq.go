@@ -38,6 +38,13 @@
 //
 //	for v, err := range sys.DetectStream(ctx, "customer") { ... }
 //
+// The store serves live traffic: System.Insert, Delete and SetCell mutate
+// tables (routed through the table's data monitor when one is active)
+// while detection, audit, exploration and SQL queries keep running. Every
+// read path evaluates an immutable, pinned Snapshot, so each report or
+// query result reflects exactly one table version and carries it in its
+// Version field.
+//
 // This package re-exports the library's public surface; implementation
 // lives under internal/.
 package semandaq
@@ -101,7 +108,14 @@ type (
 	// Store is a named collection of tables.
 	Store = relstore.Store
 	// Table is one mutable relation instance with stable tuple IDs.
+	// Stored rows are copy-on-write, so read snapshots stay stable while
+	// writers proceed.
 	Table = relstore.Table
+	// Snapshot is an immutable, versioned read view of a table: every
+	// read path (detection, streaming, audit, explore, SQL) evaluates one
+	// pinned Snapshot, so results reflect exactly one table version and
+	// carry it in their Version field.
+	Snapshot = relstore.Snapshot
 	// Tuple is one row.
 	Tuple = relstore.Tuple
 	// TupleID identifies a tuple for its whole life.
@@ -234,6 +248,17 @@ const (
 	OpInsert = monitor.OpInsert
 	OpDelete = monitor.OpDelete
 	OpSet    = monitor.OpSet
+)
+
+// Mutation-path sentinel errors. The session's write API
+// (System.Insert/Delete/SetCell/ApplyUpdates) routes writes through a
+// table's active monitor when one exists; while a monitor is being
+// (re)started the write path refuses with ErrMonitorBusy instead of racing
+// the tracker handover, and ApplyUpdates without a monitor returns
+// ErrNoMonitor.
+var (
+	ErrMonitorBusy = core.ErrMonitorBusy
+	ErrNoMonitor   = core.ErrNoMonitor
 )
 
 // GenerateCustomers builds the synthetic customer workload used by the
