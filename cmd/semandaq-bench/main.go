@@ -9,11 +9,14 @@
 //	semandaq-bench -json BENCH_detect.json   # machine-readable detection
 //	                                         # sweep (ns/op, rows/s per
 //	                                         # engine and size)
+//	semandaq-bench -discoverjson BENCH_discover.json  # machine-readable
+//	                                         # discovery sweep (legacy vs
+//	                                         # lattice miner per size/depth)
 //
 // The experiment index (workloads, parameters, expected shapes) is in
 // DESIGN.md; EXPERIMENTS.md records paper-vs-measured for each. The -json
-// sweep feeds the BENCH_detect.json performance trajectory the CI
-// bench-smoke job uploads.
+// and -discoverjson sweeps feed the BENCH_detect.json / BENCH_discover.json
+// performance trajectories the CI bench-smoke job uploads.
 package main
 
 import (
@@ -38,11 +41,19 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	jsonPath := flag.String("json", "", "run the detection bench sweep and write machine-readable results to this file")
+	discoverJSONPath := flag.String("discoverjson", "", "run the discovery bench sweep and write machine-readable results to this file")
 	flag.Var(&sel, "exp", "experiment ID to run (repeatable); default all")
 	flag.Parse()
 
 	if *jsonPath != "" {
 		if _, err := experiments.WriteDetectBenchJSON(*jsonPath, *quick, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "semandaq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *discoverJSONPath != "" {
+		if _, err := experiments.WriteDiscoverBenchJSON(*discoverJSONPath, *quick, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "semandaq-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -36,7 +36,6 @@ import (
 	"semandaq/internal/core"
 	"semandaq/internal/datagen"
 	"semandaq/internal/detect"
-	"semandaq/internal/discovery"
 	"semandaq/internal/relstore"
 )
 
@@ -60,8 +59,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "abort the command after this duration (0 = none)")
 	apply := fs.Bool("apply", false, "repair: apply the candidate repair and write the CSV back")
 	outPath := fs.String("o", "", "repair -apply: output CSV path (default: overwrite -data)")
-	minSupport := fs.Int("minsupport", 0, "discover: minimum pattern support")
-	maxLHS := fs.Int("maxlhs", 2, "discover: maximum LHS size")
+	minSupport := fs.Int("minsupport", 0, "discover: minimum pattern support (0 = max(2, N/100); explicit values, including 1, always win)")
+	maxLHS := fs.Int("maxlhs", 2, "discover: maximum LHS size (lattice depth)")
+	minConfidence := fs.Float64("minconfidence", 0, "discover: minimum FD confidence (0 = exact only; <1 admits approximate CFDs)")
+	verbose := fs.Bool("v", false, "discover: also print every candidate with support and confidence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -311,15 +312,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return nil
 
 	case "discover":
-		cfds, err := s.DiscoverCFDs(table, discovery.Options{
-			MinSupport: *minSupport, MaxLHS: *maxLHS,
-		})
+		rep, err := s.Discover(ctx, table,
+			core.WithMinSupport(*minSupport),
+			core.WithMaxLHS(*maxLHS),
+			core.WithMinConfidence(*minConfidence),
+			core.WithWorkers(*workers))
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "# %d CFDs discovered\n", len(cfds))
-		for _, c := range cfds {
+		fmt.Fprintf(out, "# %d CFDs discovered from %d tuples at version %d (%d candidate patterns)\n",
+			len(rep.CFDs), rep.Tuples, rep.Version, len(rep.Candidates))
+		for _, c := range rep.CFDs {
 			fmt.Fprintf(out, "%s@ %s\n", c.ID, strings.ReplaceAll(c.String(), "\n", "\n"+c.ID+"@ "))
+		}
+		if *verbose {
+			fmt.Fprintln(out, "# candidates (kind support confidence):")
+			for _, c := range rep.Candidates {
+				fmt.Fprintf(out, "# %-14s %8d %6.3f  %s\n", c.Kind, c.Support, c.Confidence,
+					strings.ReplaceAll(c.CFD.String(), "\n", " "))
+			}
 		}
 		return nil
 

@@ -188,6 +188,21 @@ func TestCLIDiscover(t *testing.T) {
 	if !strings.Contains(out, "CFDs discovered") {
 		t.Errorf("out:\n%s", out)
 	}
+	// The mined snapshot's version and tuple count are surfaced.
+	if !strings.Contains(out, "at version") || !strings.Contains(out, "tuples") {
+		t.Errorf("missing version stamp in:\n%s", out)
+	}
+}
+
+func TestCLIDiscoverVerboseCandidates(t *testing.T) {
+	csv, _ := writeFixture(t)
+	out, err := runCLI(t, "-data", csv, "-minsupport", "2", "-minconfidence", "0.8", "-v", "discover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "candidates (kind support confidence):") {
+		t.Errorf("missing candidate listing in:\n%s", out)
+	}
 }
 
 func TestCLIDemo(t *testing.T) {

@@ -24,14 +24,16 @@ func main() {
 	sys := semandaq.New()
 	sys.RegisterTable(ref.Clean)
 
-	// Mine CFDs from the reference data.
-	cfds, err := sys.DiscoverCFDs("customer", semandaq.DiscoveryOptions{
-		MinSupport: 100, MaxLHS: 2,
-	})
+	// Mine CFDs from the reference data: a snapshot-pinned lattice search,
+	// so the report says exactly which table version the rules reflect.
+	rep, err := sys.Discover(ctx, "customer",
+		semandaq.WithMinSupport(100), semandaq.WithMaxLHS(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("discovered %d CFDs from %d reference tuples; a sample:\n", len(cfds), ref.Clean.Len())
+	cfds := rep.CFDs
+	fmt.Printf("discovered %d CFDs (%d candidate patterns) from %d reference tuples at version %d; a sample:\n",
+		len(cfds), len(rep.Candidates), rep.Tuples, rep.Version)
 	for i, c := range cfds {
 		if i >= 6 {
 			fmt.Printf("  ... and %d more\n", len(cfds)-6)
@@ -47,11 +49,11 @@ func main() {
 	fmt.Println("\ndiscovered set registered: satisfiable")
 
 	// The reference data itself is clean under the mined rules.
-	rep, err := sys.Detect(ctx, "customer", semandaq.WithEngine(semandaq.NativeDetection))
+	det, err := sys.Detect(ctx, "customer", semandaq.WithEngine(semandaq.NativeDetection))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("reference data: %d violations (must be 0)\n\n", rep.TotalViolations())
+	fmt.Printf("reference data: %d violations (must be 0)\n\n", det.TotalViolations())
 
 	// Start the monitor in cleansed mode and feed it dirty updates: new
 	// records arriving from an unreliable upstream system.

@@ -791,12 +791,52 @@ func (s *Semandaq) SetCell(table string, id relstore.TupleID, attr string, v typ
 	return version, nil
 }
 
-// DiscoverCFDs mines constraints from a reference table (does not register
-// them; inspect and register explicitly).
-func (s *Semandaq) DiscoverCFDs(refTable string, opts discovery.Options) ([]*cfd.CFD, error) {
+// Discover mines constraints from a reference table with the PLI lattice
+// miner:
+//
+//	rep, err := s.Discover(ctx, "customer",
+//	    core.WithMinSupport(100), core.WithMaxLHS(3), core.WithWorkers(8))
+//
+// The search runs over one pinned snapshot of the table and the returned
+// discovery.Report carries that snapshot's version alongside every mined
+// candidate's support and confidence. Nothing is registered — inspect the
+// report and RegisterCFDs explicitly. WithMinConfidence below 1 admits
+// approximate CFDs; WithWorkers tunes the per-level parallel expansion
+// (defaulting to the session's worker count). A cancelled ctx aborts the
+// search mid-level and returns ctx.Err().
+func (s *Semandaq) Discover(ctx context.Context, refTable string, opts ...Option) (*discovery.Report, error) {
+	o := s.resolve(DefaultEngine, opts)
 	tab, err := s.Table(refTable)
 	if err != nil {
 		return nil, err
 	}
-	return discovery.Discover(tab, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return discovery.Mine(ctx, tab.Snapshot(), discovery.Options{
+		MinSupport:       o.minSupport,
+		MaxLHS:           o.maxLHS,
+		MaxPatternsPerFD: o.maxPatterns,
+		MinConfidence:    o.minConfidence,
+		Workers:          o.workers,
+	})
+}
+
+// DiscoverCFDs mines constraints from a reference table (does not register
+// them; inspect and register explicitly).
+//
+// Deprecated: use Discover(ctx, table, WithMinSupport(n), WithMaxLHS(k),
+// ...), which runs the snapshot-pinned lattice miner and returns the
+// versioned report with per-candidate support and confidence.
+func (s *Semandaq) DiscoverCFDs(refTable string, opts discovery.Options) ([]*cfd.CFD, error) {
+	rep, err := s.Discover(context.Background(), refTable,
+		WithMinSupport(opts.MinSupport),
+		WithMaxLHS(opts.MaxLHS),
+		WithMaxPatterns(opts.MaxPatternsPerFD),
+		WithMinConfidence(opts.MinConfidence),
+		WithWorkers(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	return rep.CFDs, nil
 }

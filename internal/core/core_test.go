@@ -291,15 +291,84 @@ func TestDiscoverIntegration(t *testing.T) {
 	ds := datagen.Generate(datagen.Config{Tuples: 400, Seed: 3})
 	s := New()
 	s.RegisterTable(ds.Clean)
+	rep, err := s.Discover(context.Background(), "customer",
+		WithMinSupport(20), WithMaxLHS(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CFDs) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	if rep.Version != ds.Clean.Version() {
+		t.Errorf("Report.Version = %d, want %d", rep.Version, ds.Clean.Version())
+	}
+	if rep.Options.MinSupport != 20 || rep.Options.MaxLHS != 2 {
+		t.Errorf("options not threaded: %+v", rep.Options)
+	}
+	if len(rep.Candidates) == 0 {
+		t.Fatal("no candidates in report")
+	}
+	if err := s.RegisterCFDs("customer", rep.CFDs); err != nil {
+		t.Fatalf("discovered CFDs should register cleanly: %v", err)
+	}
+}
+
+func TestDiscoverPreCancelled(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Tuples: 400, Seed: 3})
+	s := New()
+	s.RegisterTable(ds.Clean)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Discover(ctx, "customer"); err != context.Canceled {
+		t.Errorf("pre-cancelled Discover returned %v, want context.Canceled", err)
+	}
+}
+
+func TestDiscoverVersionTracksMutation(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Tuples: 400, Seed: 3})
+	s := New()
+	s.RegisterTable(ds.Clean)
+	rep1, err := s.Discover(context.Background(), "customer", WithMinSupport(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Insert("customer", rowOf("x", "UK", "Edi", "EH1", "May", 44, 131)); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s.Discover(context.Background(), "customer", WithMinSupport(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Version <= rep1.Version {
+		t.Errorf("version did not advance after a write: %d -> %d", rep1.Version, rep2.Version)
+	}
+	if rep2.Tuples != rep1.Tuples+1 {
+		t.Errorf("tuples = %d, want %d", rep2.Tuples, rep1.Tuples+1)
+	}
+}
+
+// TestDeprecatedDiscoverCFDs pins the wrapper's contract: same rule set as
+// the options path.
+func TestDeprecatedDiscoverCFDs(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Tuples: 400, Seed: 3})
+	s := New()
+	s.RegisterTable(ds.Clean)
 	cfds, err := s.DiscoverCFDs("customer", discovery.Options{MinSupport: 20, MaxLHS: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cfds) == 0 {
-		t.Fatal("nothing discovered")
+	rep, err := s.Discover(context.Background(), "customer",
+		WithMinSupport(20), WithMaxLHS(2))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := s.RegisterCFDs("customer", cfds); err != nil {
-		t.Fatalf("discovered CFDs should register cleanly: %v", err)
+	if len(cfds) == 0 || len(cfds) != len(rep.CFDs) {
+		t.Fatalf("wrapper returned %d CFDs, options path %d", len(cfds), len(rep.CFDs))
+	}
+	for i := range cfds {
+		if cfds[i].String() != rep.CFDs[i].String() {
+			t.Errorf("CFD %d differs:\n%s\nvs\n%s", i, cfds[i], rep.CFDs[i])
+		}
 	}
 }
 

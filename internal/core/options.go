@@ -22,6 +22,13 @@ type requestOptions struct {
 	limit int
 	// cleansed selects the monitor's incremental-repair mode.
 	cleansed bool
+	// Discovery knobs (Discover only; non-positive means the discovery
+	// package's default — explicit positive values always win, see
+	// discovery.Options).
+	minSupport    int
+	maxLHS        int
+	minConfidence float64
+	maxPatterns   int
 }
 
 // WithEngine selects the detection engine for this request. The default is
@@ -75,6 +82,36 @@ func WithLimit(k int) Option {
 // Only Monitor consumes it.
 func WithCleansed(on bool) Option {
 	return func(o *requestOptions) { o.cleansed = on }
+}
+
+// WithMinSupport sets the minimum number of tuples a discovered pattern's
+// condition must cover. Explicit positive values always win — including 1,
+// which makes every value frequent; n <= 0 selects the discovery default
+// max(2, N/100). Only Discover consumes it.
+func WithMinSupport(n int) Option {
+	return func(o *requestOptions) { o.minSupport = n }
+}
+
+// WithMaxLHS bounds the size of a discovered embedded FD's LHS (the
+// lattice depth); any positive depth is allowed. n <= 0 selects the
+// discovery default 2. Only Discover consumes it.
+func WithMaxLHS(n int) Option {
+	return func(o *requestOptions) { o.maxLHS = n }
+}
+
+// WithMinConfidence sets the minimum confidence for discovered embedded-FD
+// checks; values below 1 admit approximate CFDs (the g3 kept fraction).
+// c <= 0 selects the discovery default 1.0 (exact dependencies only).
+// Only Discover consumes it.
+func WithMinConfidence(c float64) Option {
+	return func(o *requestOptions) { o.minConfidence = c }
+}
+
+// WithMaxPatterns bounds how many condition patterns one discovered
+// embedded FD may accumulate. n <= 0 selects the discovery default 8.
+// Only Discover consumes it.
+func WithMaxPatterns(n int) Option {
+	return func(o *requestOptions) { o.maxPatterns = n }
 }
 
 // resolve folds the options over the session defaults.

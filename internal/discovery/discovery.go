@@ -2,40 +2,69 @@
 // engine accepts CFDs "either explicitly specified by users or
 // automatically discovered from reference data" (paper §2); this package
 // implements the discovery path in the style of the CFDMiner / CTANE
-// family: constant CFDs from association rules with 100% confidence, and
-// variable CFDs from (conditioned) functional-dependency checks over
-// attribute-set partitions.
+// family: constant CFDs from association rules, and variable CFDs from
+// (conditioned) functional-dependency checks over attribute-set
+// partitions.
+//
+// The engine is a level-wise lattice search over position list indexes
+// (stripped partitions, relstore.Partition) built from the snapshot's
+// columnar dictionary codes: an FD check is a partition purity test in
+// integer codes, attribute sets refine by partition intersection, and
+// candidate RHS sets propagate down the lattice so non-minimal rules are
+// pruned before they are ever checked (free-set/minimality pruning). Each
+// lattice level expands in parallel across Workers goroutines with
+// per-stride context checks, and the whole search runs over one pinned
+// relstore.Snapshot — the Report carries the snapshot version it mined,
+// joining the system-wide versioning contract.
+//
+// The original row-store miner is preserved in legacy.go (LegacyDiscover)
+// as the reference the lattice miner is cross-checked against.
 package discovery
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"strings"
+	"runtime"
 
 	"semandaq/internal/cfd"
 	"semandaq/internal/relstore"
-	"semandaq/internal/schema"
-	"semandaq/internal/types"
 )
 
-// Options tunes the search.
+// Options tunes the search. The zero value selects every default; the
+// defaulting rule is: only non-positive fields are replaced, so every
+// explicitly set positive value wins — in particular MinSupport: 1 means
+// "every value is frequent" and is honored, never clamped to the
+// max(2, N/100) default.
 type Options struct {
-	// MinSupport is the minimum number of tuples a pattern must cover.
-	// Default: max(2, N/100).
+	// MinSupport is the minimum number of tuples a pattern's condition
+	// must cover. Non-positive selects the default max(2, N/100); any
+	// explicit positive value — including 1 — is used as given.
 	MinSupport int
-	// MaxLHS bounds the size of the embedded FD's LHS. Default 2.
+	// MaxLHS bounds the size of the embedded FD's LHS (the lattice depth).
+	// Non-positive selects the default 2; any positive depth is allowed.
 	MaxLHS int
 	// MaxPatternsPerFD bounds how many condition patterns one embedded FD
-	// may accumulate. Default 8.
+	// may accumulate. Non-positive selects the default 8.
 	MaxPatternsPerFD int
+	// MinConfidence is the minimum confidence for the embedded-FD checks
+	// (global and conditional): confidence is the fraction of covered
+	// tuples kept when each LHS group retains only its plurality RHS
+	// value (the g3 measure). Non-positive selects the default 1.0 —
+	// exact dependencies only; values below 1 admit approximate CFDs.
+	// Constant CFDs are always mined exactly (confidence 1).
+	MinConfidence float64
+	// Workers is the goroutine count for per-level parallel lattice
+	// expansion. Non-positive selects runtime.GOMAXPROCS.
+	Workers int
 }
 
+// withDefaults resolves the defaulting rule against a table of n tuples:
+// only non-positive fields are replaced (see Options). The result is fully
+// resolved — Report.Options echoes it, so Workers names the actual
+// goroutine count the search ran with.
 func (o Options) withDefaults(n int) Options {
 	if o.MinSupport <= 0 {
-		o.MinSupport = n / 100
-		if o.MinSupport < 2 {
-			o.MinSupport = 2
-		}
+		o.MinSupport = max(2, n/100)
 	}
 	if o.MaxLHS <= 0 {
 		o.MaxLHS = 2
@@ -43,388 +72,85 @@ func (o Options) withDefaults(n int) Options {
 	if o.MaxPatternsPerFD <= 0 {
 		o.MaxPatternsPerFD = 8
 	}
+	if o.MinConfidence <= 0 {
+		o.MinConfidence = 1.0
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
-// Discover mines both constant and variable CFDs and returns them merged
-// (tableaux of one embedded FD combined), IDs assigned disc1, disc2, ...
-func Discover(tab *relstore.Table, opts Options) ([]*cfd.CFD, error) {
-	constant, err := MineConstantCFDs(tab, opts)
+// Candidate is one mined pattern with its evidence.
+type Candidate struct {
+	// CFD is the single-pattern form of the rule.
+	CFD *cfd.CFD
+	// Kind is "constant", "global-fd" or "conditional-fd".
+	Kind string
+	// Support is the number of tuples the pattern's condition covers: the
+	// LHS-constant cover for constant rules, the condition class for
+	// conditional FDs, the whole table for global FDs.
+	Support int
+	// Confidence is the kept fraction of the covered tuples under the g3
+	// measure; 1.0 means the rule holds exactly on the snapshot.
+	Confidence float64
+}
+
+// Report is the result of one mining run over one pinned snapshot.
+type Report struct {
+	// Version is the snapshot version the rules were mined from: the
+	// report describes exactly that state of the table, consistent with
+	// the version stamp every read path carries.
+	Version int64
+	// Tuples is the snapshot's row count.
+	Tuples int
+	// Options echoes the resolved options (after defaulting).
+	Options Options
+	// Candidates lists every mined pattern with support and confidence,
+	// in mining order (variable rules level by level, then constants).
+	Candidates []Candidate
+	// CFDs is the registrable rule set: candidates merged by embedded FD
+	// (tableaux of one FD combined), IDs assigned disc1, disc2, ...
+	CFDs []*cfd.CFD
+}
+
+// Mine runs the lattice search over one pinned snapshot and returns the
+// versioned report. A cancelled ctx aborts the search between strides and
+// returns ctx.Err().
+func Mine(ctx context.Context, snap *relstore.Snapshot, opts Options) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err // don't pay the columnar/PLI build for a dead request
+	}
+	opts = opts.withDefaults(snap.Len())
+	m := newMiner(ctx, snap, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err // the cold build stopped early; its outputs are partial
+	}
+	variable, err := m.mineVariable(ctx)
 	if err != nil {
 		return nil, err
 	}
-	variable, err := MineVariableCFDs(tab, opts)
+	constant, err := m.mineConstant(ctx)
 	if err != nil {
 		return nil, err
 	}
-	out := cfd.MergeByFD(append(variable, constant...))
-	for i, c := range out {
+	// Merge order matches the legacy miner: variable rules first, then
+	// constants, so tableaux of a shared embedded FD accumulate the same
+	// way and IDs stay stable across the two engines.
+	candidates := append(variable, constant...)
+	all := make([]*cfd.CFD, len(candidates))
+	for i, c := range candidates {
+		all[i] = c.CFD
+	}
+	merged := cfd.MergeByFD(all)
+	for i, c := range merged {
 		c.ID = fmt.Sprintf("disc%d", i+1)
 	}
-	return out, nil
-}
-
-// itemset is a set of (attribute position, value key) pairs, canonically
-// ordered by position.
-type item struct {
-	pos int
-	key string
-	val types.Value
-}
-
-// MineConstantCFDs finds minimal constant CFDs [A1=a1, ...] -> [B=b] with
-// confidence 1 and support >= MinSupport: every tuple matching the LHS
-// constants has B=b, and no proper subset of the LHS already implies it.
-func MineConstantCFDs(tab *relstore.Table, opts Options) ([]*cfd.CFD, error) {
-	opts = opts.withDefaults(tab.Len())
-	sc := tab.Schema()
-	_, rows := tab.Rows()
-	arity := sc.Arity()
-
-	// Frequent single items.
-	type itemStat struct {
-		item item
-		rows []int
-	}
-	singleByKey := map[string]*itemStat{}
-	for ri, row := range rows {
-		for p := 0; p < arity; p++ {
-			if row[p].IsNull() {
-				continue
-			}
-			k := fmt.Sprintf("%d=%s", p, row[p].Key())
-			st, ok := singleByKey[k]
-			if !ok {
-				st = &itemStat{item: item{pos: p, key: row[p].Key(), val: row[p]}}
-				singleByKey[k] = st
-			}
-			st.rows = append(st.rows, ri)
-		}
-	}
-	var frequent []*itemStat
-	for _, st := range singleByKey {
-		if len(st.rows) >= opts.MinSupport {
-			frequent = append(frequent, st)
-		}
-	}
-	sort.Slice(frequent, func(i, j int) bool {
-		if frequent[i].item.pos != frequent[j].item.pos {
-			return frequent[i].item.pos < frequent[j].item.pos
-		}
-		return frequent[i].item.key < frequent[j].item.key
-	})
-
-	// Levelwise itemset growth up to MaxLHS items; for each frequent LHS
-	// itemset, check which RHS attributes are constant over its cover.
-	type node struct {
-		items []item
-		rows  []int
-	}
-	var level []node
-	for _, st := range frequent {
-		level = append(level, node{items: []item{st.item}, rows: st.rows})
-	}
-	var out []*cfd.CFD
-	// implied records RHS (pos,key-of-b) already implied by a sub-LHS, for
-	// minimality: key = canonical LHS items + rhs pos.
-	implied := map[string]bool{}
-
-	emit := func(lhs []item, rhsPos int, rhsVal types.Value, support int) {
-		lhsAttrs := make([]string, len(lhs))
-		pats := make([]cfd.PatternValue, len(lhs))
-		for i, it := range lhs {
-			lhsAttrs[i] = sc.Attrs[it.pos].Name
-			pats[i] = cfd.Constant(it.val)
-		}
-		c := cfd.New(
-			fmt.Sprintf("const_%s_%d", strings.Join(lhsAttrs, "_"), rhsPos),
-			sc.Name, lhsAttrs, []string{sc.Attrs[rhsPos].Name},
-			cfd.PatternTuple{LHS: pats, RHS: []cfd.PatternValue{cfd.Constant(rhsVal)}})
-		out = append(out, c)
-	}
-
-	// subsetImplies reports whether some proper subset of lhs already
-	// implies rhsPos (minimality pruning).
-	subsetKey := func(lhs []item, rhsPos int) string {
-		parts := make([]string, len(lhs))
-		for i, it := range lhs {
-			parts[i] = fmt.Sprintf("%d=%s", it.pos, it.key)
-		}
-		return strings.Join(parts, "&") + ">" + fmt.Sprint(rhsPos)
-	}
-	subsetImplies := func(lhs []item, rhsPos int) bool {
-		if len(lhs) == 1 {
-			return implied[">"+fmt.Sprint(rhsPos)]
-		}
-		for skip := range lhs {
-			sub := make([]item, 0, len(lhs)-1)
-			for i, it := range lhs {
-				if i != skip {
-					sub = append(sub, it)
-				}
-			}
-			if implied[subsetKey(sub, rhsPos)] {
-				return true
-			}
-		}
-		return false
-	}
-
-	for depth := 1; depth <= opts.MaxLHS && len(level) > 0; depth++ {
-		for _, nd := range level {
-			inLHS := map[int]bool{}
-			for _, it := range nd.items {
-				inLHS[it.pos] = true
-			}
-			for p := 0; p < arity; p++ {
-				if inLHS[p] {
-					continue
-				}
-				// Constant over the cover?
-				var first types.Value
-				constant := true
-				for i, ri := range nd.rows {
-					v := rows[ri][p]
-					if v.IsNull() {
-						constant = false
-						break
-					}
-					if i == 0 {
-						first = v
-					} else if !v.Equal(first) {
-						constant = false
-						break
-					}
-				}
-				if !constant {
-					continue
-				}
-				if subsetImplies(nd.items, p) {
-					continue
-				}
-				implied[subsetKey(nd.items, p)] = true
-				emit(nd.items, p, first, len(nd.rows))
-			}
-		}
-		if depth == opts.MaxLHS {
-			break
-		}
-		// Grow: join each node with frequent single items on a later
-		// attribute position.
-		var next []node
-		for _, nd := range level {
-			last := nd.items[len(nd.items)-1].pos
-			for _, st := range frequent {
-				if st.item.pos <= last {
-					continue
-				}
-				inter := intersectSorted(nd.rows, st.rows)
-				if len(inter) < opts.MinSupport {
-					continue
-				}
-				items := append(append([]item{}, nd.items...), st.item)
-				next = append(next, node{items: items, rows: inter})
-			}
-		}
-		level = next
-	}
-	return out, nil
-}
-
-// intersectSorted intersects two ascending row-index slices.
-func intersectSorted(a, b []int) []int {
-	var out []int
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
-}
-
-// MineVariableCFDs finds embedded FDs X -> A (|X| <= MaxLHS) that hold
-// either globally (emitted as all-wildcard patterns, i.e. classical FDs) or
-// conditionally on a single LHS constant B=b with support >= MinSupport
-// (emitted as [B=b, rest=_] -> [A=_] patterns). Non-minimal FDs (a subset
-// of X already determines A globally) are pruned.
-func MineVariableCFDs(tab *relstore.Table, opts Options) ([]*cfd.CFD, error) {
-	opts = opts.withDefaults(tab.Len())
-	sc := tab.Schema()
-	_, rows := tab.Rows()
-	arity := sc.Arity()
-
-	// holdsOn reports whether X -> a holds on the given row subset, i.e.
-	// no two rows agree on X but differ on a.
-	holdsOn := func(xs []int, a int, subset []int) bool {
-		seen := map[string]string{}
-		var kb strings.Builder
-		for _, ri := range subset {
-			kb.Reset()
-			for _, x := range xs {
-				rows[ri][x].WriteGroupKey(&kb)
-			}
-			key := kb.String()
-			av := rows[ri][a].Key()
-			if prev, ok := seen[key]; ok {
-				if prev != av {
-					return false
-				}
-			} else {
-				seen[key] = av
-			}
-		}
-		return true
-	}
-
-	allRows := make([]int, len(rows))
-	for i := range rows {
-		allRows[i] = i
-	}
-
-	// globalFD[xsKey][a] marks FDs that hold globally, for minimality.
-	globalHolds := map[string]map[int]bool{}
-	xsKeyOf := func(xs []int) string {
-		parts := make([]string, len(xs))
-		for i, x := range xs {
-			parts[i] = fmt.Sprint(x)
-		}
-		return strings.Join(parts, ",")
-	}
-
-	var out []*cfd.CFD
-	var xsets [][]int
-	var gen func(start int, cur []int)
-	gen = func(start int, cur []int) {
-		if len(cur) > 0 && len(cur) <= opts.MaxLHS {
-			xsets = append(xsets, append([]int(nil), cur...))
-		}
-		if len(cur) == opts.MaxLHS {
-			return
-		}
-		for p := start; p < arity; p++ {
-			gen(p+1, append(cur, p))
-		}
-	}
-	gen(0, nil)
-	// Sort by size so minimality pruning sees subsets first.
-	sort.Slice(xsets, func(i, j int) bool {
-		if len(xsets[i]) != len(xsets[j]) {
-			return len(xsets[i]) < len(xsets[j])
-		}
-		return xsKeyOf(xsets[i]) < xsKeyOf(xsets[j])
-	})
-
-	subsetHoldsGlobally := func(xs []int, a int) bool {
-		if len(xs) <= 1 {
-			return false
-		}
-		for skip := range xs {
-			sub := make([]int, 0, len(xs)-1)
-			for i, x := range xs {
-				if i != skip {
-					sub = append(sub, x)
-				}
-			}
-			if globalHolds[xsKeyOf(sub)][a] {
-				return true
-			}
-		}
-		return false
-	}
-
-	for _, xs := range xsets {
-		inX := map[int]bool{}
-		for _, x := range xs {
-			inX[x] = true
-		}
-		for a := 0; a < arity; a++ {
-			if inX[a] {
-				continue
-			}
-			if subsetHoldsGlobally(xs, a) {
-				continue // implied by a smaller FD
-			}
-			if holdsOn(xs, a, allRows) {
-				m := globalHolds[xsKeyOf(xs)]
-				if m == nil {
-					m = map[int]bool{}
-					globalHolds[xsKeyOf(xs)] = m
-				}
-				m[a] = true
-				out = append(out, wildcardCFD(sc, xs, a, nil, types.Null))
-				continue
-			}
-			// Conditioned: try B=b for each B in X over frequent values.
-			patterns := 0
-			for _, b := range xs {
-				if patterns >= opts.MaxPatternsPerFD {
-					break
-				}
-				// Frequent values of attribute b.
-				cover := map[string][]int{}
-				repVal := map[string]types.Value{}
-				for ri := range rows {
-					v := rows[ri][b]
-					if v.IsNull() {
-						continue
-					}
-					cover[v.Key()] = append(cover[v.Key()], ri)
-					repVal[v.Key()] = v
-				}
-				keys := make([]string, 0, len(cover))
-				for k := range cover {
-					keys = append(keys, k)
-				}
-				sort.Strings(keys)
-				for _, k := range keys {
-					if patterns >= opts.MaxPatternsPerFD {
-						break
-					}
-					subset := cover[k]
-					if len(subset) < opts.MinSupport {
-						continue
-					}
-					if holdsOn(xs, a, subset) {
-						out = append(out, wildcardCFD(sc, xs, a, []int{b}, repVal[k]))
-						patterns++
-					}
-				}
-			}
-		}
-	}
-	return out, nil
-}
-
-// wildcardCFD builds a variable CFD on attrs xs -> a where condPos (if any)
-// carries the constant condVal and every other LHS cell is a wildcard.
-func wildcardCFD(sc *schema.Relation, xs []int, a int, condPos []int, condVal types.Value) *cfd.CFD {
-	names := sc.AttrNames()
-	lhsAttrs := make([]string, len(xs))
-	pats := make([]cfd.PatternValue, len(xs))
-	cond := map[int]bool{}
-	for _, c := range condPos {
-		cond[c] = true
-	}
-	for i, x := range xs {
-		lhsAttrs[i] = names[x]
-		if cond[x] {
-			pats[i] = cfd.Constant(condVal)
-		} else {
-			pats[i] = cfd.Wild
-		}
-	}
-	id := fmt.Sprintf("var_%s_%s", strings.Join(lhsAttrs, "_"), names[a])
-	if len(condPos) > 0 {
-		id += "_cond"
-	}
-	return cfd.New(id, sc.Name, lhsAttrs, []string{names[a]},
-		cfd.PatternTuple{LHS: pats, RHS: []cfd.PatternValue{cfd.Wild}})
+	return &Report{
+		Version:    snap.Version(),
+		Tuples:     snap.Len(),
+		Options:    opts,
+		Candidates: candidates,
+		CFDs:       merged,
+	}, nil
 }

@@ -176,12 +176,27 @@ func TestDiscoverOnGeneratedData(t *testing.T) {
 	// The miner must rediscover the ground-truth rules the generator bakes
 	// in: CC -> CNT constants and the zip/street/city dependencies.
 	ds := datagen.Generate(datagen.Config{Tuples: 600, Seed: 9})
-	cfds, err := Discover(ds.Clean, Options{MinSupport: 20, MaxLHS: 2})
+	rep, err := Mine(context.Background(), ds.Clean.Snapshot(), Options{MinSupport: 20, MaxLHS: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfds := rep.CFDs
 	if len(cfds) == 0 {
 		t.Fatal("nothing discovered")
+	}
+	if rep.Version != ds.Clean.Version() {
+		t.Errorf("Report.Version = %d, want table version %d", rep.Version, ds.Clean.Version())
+	}
+	if rep.Tuples != 600 {
+		t.Errorf("Report.Tuples = %d", rep.Tuples)
+	}
+	if len(rep.Candidates) == 0 {
+		t.Fatal("no candidates recorded")
+	}
+	for _, c := range rep.Candidates {
+		if c.Support <= 0 || c.Confidence != 1.0 || c.CFD == nil || c.Kind == "" {
+			t.Fatalf("bad candidate %+v", c)
+		}
 	}
 	all := render(cfds)
 	for _, want := range []string{
@@ -193,20 +208,20 @@ func TestDiscoverOnGeneratedData(t *testing.T) {
 		}
 	}
 	// Every discovered CFD must actually hold on the clean data.
-	rep, err := detect.NativeDetector{}.Detect(context.Background(), ds.Clean, cfds)
+	det, err := detect.NativeDetector{}.Detect(context.Background(), ds.Clean, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Violations) != 0 {
-		t.Errorf("discovered CFDs violated on their own reference data: %d", len(rep.Violations))
+	if len(det.Violations) != 0 {
+		t.Errorf("discovered CFDs violated on their own reference data: %d", len(det.Violations))
 	}
 	// Discovered CFDs catch injected errors on dirty data.
 	dirty := datagen.Generate(datagen.Config{Tuples: 600, Seed: 9, NoiseRate: 0.05})
-	rep, err = detect.NativeDetector{}.Detect(context.Background(), dirty.Dirty, cfds)
+	det, err = detect.NativeDetector{}.Detect(context.Background(), dirty.Dirty, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Vio) == 0 {
+	if len(det.Vio) == 0 {
 		t.Error("discovered CFDs catch nothing on dirty data")
 	}
 }
@@ -215,11 +230,11 @@ func TestDiscoverAssignsIDs(t *testing.T) {
 	tab := mkTable(t, []string{"A", "B"}, [][]string{
 		{"x", "1"}, {"x", "1"}, {"y", "2"}, {"y", "2"},
 	})
-	cfds, err := Discover(tab, Options{MinSupport: 2, MaxLHS: 1})
+	rep, err := Mine(context.Background(), tab.Snapshot(), Options{MinSupport: 2, MaxLHS: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, c := range cfds {
+	for i, c := range rep.CFDs {
 		if c.ID == "" {
 			t.Errorf("CFD %d has no ID", i)
 		}
@@ -228,12 +243,119 @@ func TestDiscoverAssignsIDs(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults(1000)
-	if o.MinSupport != 10 || o.MaxLHS != 2 || o.MaxPatternsPerFD != 8 {
+	if o.MinSupport != 10 || o.MaxLHS != 2 || o.MaxPatternsPerFD != 8 ||
+		o.MinConfidence != 1.0 || o.Workers < 1 {
 		t.Errorf("defaults = %+v", o)
 	}
 	o = Options{}.withDefaults(50)
 	if o.MinSupport != 2 {
 		t.Errorf("small-n support = %d", o.MinSupport)
+	}
+}
+
+func TestOptionsExplicitValuesWin(t *testing.T) {
+	// The defaulting rule replaces only non-positive fields: an explicit
+	// MinSupport of 1 must never be clamped to the max(2, N/100) default.
+	o := Options{MinSupport: 1, MaxLHS: 5, MaxPatternsPerFD: 3, MinConfidence: 0.9}.withDefaults(100000)
+	if o.MinSupport != 1 {
+		t.Errorf("explicit MinSupport=1 was clamped to %d", o.MinSupport)
+	}
+	if o.MaxLHS != 5 || o.MaxPatternsPerFD != 3 || o.MinConfidence != 0.9 {
+		t.Errorf("explicit values overridden: %+v", o)
+	}
+}
+
+func TestMineMinSupportOneIsHonored(t *testing.T) {
+	// With MinSupport 1 even a value covering a single tuple conditions a
+	// rule; with the default (max(2, N/100)) it cannot.
+	tab := mkTable(t, []string{"A", "B"}, [][]string{
+		{"solo", "1"},
+		{"x", "2"}, {"x", "2"}, {"x", "2"},
+		{"y", "3"}, {"y", "3"},
+	})
+	rep, err := Mine(context.Background(), tab.Snapshot(), Options{MinSupport: 1, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range rep.CFDs {
+		if strings.Contains(c.String(), "A=solo") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("MinSupport=1 did not admit the singleton cover; got:\n%s", render(rep.CFDs))
+	}
+	if rep.Options.MinSupport != 1 {
+		t.Errorf("resolved MinSupport = %d, want 1", rep.Options.MinSupport)
+	}
+}
+
+func TestMineDeterministicAcrossWorkers(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Tuples: 500, Seed: 3})
+	var base string
+	for _, workers := range []int{1, 2, 8} {
+		rep, err := Mine(context.Background(), ds.Clean.Snapshot(),
+			Options{MinSupport: 10, MaxLHS: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(rep.CFDs); base == "" {
+			base = got
+		} else if got != base {
+			t.Errorf("workers=%d changed the output:\n%s\nvs\n%s", workers, got, base)
+		}
+	}
+}
+
+func TestMinePreCancelled(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Tuples: 500, Seed: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Mine(ctx, ds.Clean.Snapshot(), Options{}); err != context.Canceled {
+		t.Errorf("pre-cancelled Mine returned %v, want context.Canceled", err)
+	}
+}
+
+func TestMineApproximateConfidence(t *testing.T) {
+	// A -> B holds on 9 of 10 tuples in the a1 class (plus a clean a2
+	// class): global confidence = 11/12. MinConfidence 0.9 admits it as an
+	// approximate FD; the default (exact) does not.
+	rows := [][]string{}
+	for i := 0; i < 9; i++ {
+		rows = append(rows, []string{"a1", "b1"})
+	}
+	rows = append(rows, []string{"a1", "OOPS"})
+	rows = append(rows, []string{"a2", "b2"}, []string{"a2", "b2"})
+	tab := mkTable(t, []string{"A", "B"}, rows)
+
+	exact, err := Mine(context.Background(), tab.Snapshot(), Options{MinSupport: 2, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range exact.Candidates {
+		if c.Kind == "global-fd" && c.CFD.LHS[0] == "A" && c.CFD.RHS[0] == "B" {
+			t.Errorf("exact mining admitted a broken FD: %s", c.CFD)
+		}
+	}
+
+	approx, err := Mine(context.Background(), tab.Snapshot(),
+		Options{MinSupport: 2, MaxLHS: 1, MinConfidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range approx.Candidates {
+		if c.Kind == "global-fd" && c.CFD.LHS[0] == "A" && c.CFD.RHS[0] == "B" {
+			found = true
+			want := 11.0 / 12.0
+			if c.Confidence < want-1e-9 || c.Confidence > want+1e-9 {
+				t.Errorf("confidence = %v, want %v", c.Confidence, want)
+			}
+		}
+	}
+	if !found {
+		t.Error("approximate FD A -> B not admitted at MinConfidence 0.9")
 	}
 }
 

@@ -1,0 +1,412 @@
+// The legacy row-store miner: the package's original reference
+// implementation, kept verbatim for the lattice miner's semantic
+// cross-checks and the D6 legacy-vs-lattice benchmark. It scans the live
+// row store with string-keyed group maps, knows no context cancellation,
+// no workers, no snapshot pinning — exactly the properties the PLI lattice
+// miner (lattice.go) was built to replace. At MaxLHS <= 2 its output is
+// semantically identical to the lattice miner's (pinned by
+// TestLatticeMatchesLegacy); at deeper levels its minimality pruning is
+// not transitive and it emits redundant rules the lattice miner correctly
+// suppresses.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+// LegacyDiscover mines both constant and variable CFDs with the legacy
+// row-store miner and returns them merged (tableaux of one embedded FD
+// combined), IDs assigned disc1, disc2, ... New callers should use Mine;
+// this entry point exists for cross-checks and benchmarks against the
+// lattice miner. MinConfidence and Workers in opts are ignored.
+func LegacyDiscover(tab *relstore.Table, opts Options) ([]*cfd.CFD, error) {
+	constant, err := MineConstantCFDs(tab, opts)
+	if err != nil {
+		return nil, err
+	}
+	variable, err := MineVariableCFDs(tab, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := cfd.MergeByFD(append(variable, constant...))
+	for i, c := range out {
+		c.ID = fmt.Sprintf("disc%d", i+1)
+	}
+	return out, nil
+}
+
+// itemset is a set of (attribute position, value key) pairs, canonically
+// ordered by position.
+type item struct {
+	pos int
+	key string
+	val types.Value
+}
+
+// MineConstantCFDs finds minimal constant CFDs [A1=a1, ...] -> [B=b] with
+// confidence 1 and support >= MinSupport: every tuple matching the LHS
+// constants has B=b, and no proper subset of the LHS already implies it.
+// It is the legacy row-store implementation (see the package comment at
+// the top of this file).
+func MineConstantCFDs(tab *relstore.Table, opts Options) ([]*cfd.CFD, error) {
+	opts = opts.withDefaults(tab.Len())
+	sc := tab.Schema()
+	_, rows := tab.Rows()
+	arity := sc.Arity()
+
+	// Frequent single items.
+	type itemStat struct {
+		item item
+		rows []int
+	}
+	singleByKey := map[string]*itemStat{}
+	for ri, row := range rows {
+		for p := 0; p < arity; p++ {
+			if row[p].IsNull() {
+				continue
+			}
+			k := fmt.Sprintf("%d=%s", p, row[p].Key())
+			st, ok := singleByKey[k]
+			if !ok {
+				st = &itemStat{item: item{pos: p, key: row[p].Key(), val: row[p]}}
+				singleByKey[k] = st
+			}
+			st.rows = append(st.rows, ri)
+		}
+	}
+	var frequent []*itemStat
+	for _, st := range singleByKey {
+		if len(st.rows) >= opts.MinSupport {
+			frequent = append(frequent, st)
+		}
+	}
+	sort.Slice(frequent, func(i, j int) bool {
+		if frequent[i].item.pos != frequent[j].item.pos {
+			return frequent[i].item.pos < frequent[j].item.pos
+		}
+		return frequent[i].item.key < frequent[j].item.key
+	})
+
+	// Levelwise itemset growth up to MaxLHS items; for each frequent LHS
+	// itemset, check which RHS attributes are constant over its cover.
+	type node struct {
+		items []item
+		rows  []int
+	}
+	var level []node
+	for _, st := range frequent {
+		level = append(level, node{items: []item{st.item}, rows: st.rows})
+	}
+	var out []*cfd.CFD
+	// implied records RHS (pos,key-of-b) already implied by a sub-LHS, for
+	// minimality: key = canonical LHS items + rhs pos.
+	implied := map[string]bool{}
+
+	emit := func(lhs []item, rhsPos int, rhsVal types.Value, support int) {
+		lhsAttrs := make([]string, len(lhs))
+		pats := make([]cfd.PatternValue, len(lhs))
+		for i, it := range lhs {
+			lhsAttrs[i] = sc.Attrs[it.pos].Name
+			pats[i] = cfd.Constant(it.val)
+		}
+		c := cfd.New(
+			fmt.Sprintf("const_%s_%d", strings.Join(lhsAttrs, "_"), rhsPos),
+			sc.Name, lhsAttrs, []string{sc.Attrs[rhsPos].Name},
+			cfd.PatternTuple{LHS: pats, RHS: []cfd.PatternValue{cfd.Constant(rhsVal)}})
+		out = append(out, c)
+	}
+
+	// subsetImplies reports whether some proper subset of lhs already
+	// implies rhsPos (minimality pruning).
+	subsetKey := func(lhs []item, rhsPos int) string {
+		parts := make([]string, len(lhs))
+		for i, it := range lhs {
+			parts[i] = fmt.Sprintf("%d=%s", it.pos, it.key)
+		}
+		return strings.Join(parts, "&") + ">" + fmt.Sprint(rhsPos)
+	}
+	subsetImplies := func(lhs []item, rhsPos int) bool {
+		if len(lhs) == 1 {
+			return implied[">"+fmt.Sprint(rhsPos)]
+		}
+		for skip := range lhs {
+			sub := make([]item, 0, len(lhs)-1)
+			for i, it := range lhs {
+				if i != skip {
+					sub = append(sub, it)
+				}
+			}
+			if implied[subsetKey(sub, rhsPos)] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for depth := 1; depth <= opts.MaxLHS && len(level) > 0; depth++ {
+		for _, nd := range level {
+			inLHS := map[int]bool{}
+			for _, it := range nd.items {
+				inLHS[it.pos] = true
+			}
+			for p := 0; p < arity; p++ {
+				if inLHS[p] {
+					continue
+				}
+				// Constant over the cover?
+				var first types.Value
+				constant := true
+				for i, ri := range nd.rows {
+					v := rows[ri][p]
+					if v.IsNull() {
+						constant = false
+						break
+					}
+					if i == 0 {
+						first = v
+					} else if !v.Equal(first) {
+						constant = false
+						break
+					}
+				}
+				if !constant {
+					continue
+				}
+				if subsetImplies(nd.items, p) {
+					continue
+				}
+				implied[subsetKey(nd.items, p)] = true
+				emit(nd.items, p, first, len(nd.rows))
+			}
+		}
+		if depth == opts.MaxLHS {
+			break
+		}
+		// Grow: join each node with frequent single items on a later
+		// attribute position.
+		var next []node
+		for _, nd := range level {
+			last := nd.items[len(nd.items)-1].pos
+			for _, st := range frequent {
+				if st.item.pos <= last {
+					continue
+				}
+				inter := intersectSorted(nd.rows, st.rows)
+				if len(inter) < opts.MinSupport {
+					continue
+				}
+				items := append(append([]item{}, nd.items...), st.item)
+				next = append(next, node{items: items, rows: inter})
+			}
+		}
+		level = next
+	}
+	return out, nil
+}
+
+// intersectSorted intersects two ascending row-index slices.
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// MineVariableCFDs finds embedded FDs X -> A (|X| <= MaxLHS) that hold
+// either globally (emitted as all-wildcard patterns, i.e. classical FDs) or
+// conditionally on a single LHS constant B=b with support >= MinSupport
+// (emitted as [B=b, rest=_] -> [A=_] patterns). Non-minimal FDs (a subset
+// of X already determines A globally) are pruned. It is the legacy
+// row-store implementation (see the package comment at the top of this
+// file).
+func MineVariableCFDs(tab *relstore.Table, opts Options) ([]*cfd.CFD, error) {
+	opts = opts.withDefaults(tab.Len())
+	sc := tab.Schema()
+	_, rows := tab.Rows()
+	arity := sc.Arity()
+
+	// holdsOn reports whether X -> a holds on the given row subset, i.e.
+	// no two rows agree on X but differ on a.
+	holdsOn := func(xs []int, a int, subset []int) bool {
+		seen := map[string]string{}
+		var kb strings.Builder
+		for _, ri := range subset {
+			kb.Reset()
+			for _, x := range xs {
+				rows[ri][x].WriteGroupKey(&kb)
+			}
+			key := kb.String()
+			av := rows[ri][a].Key()
+			if prev, ok := seen[key]; ok {
+				if prev != av {
+					return false
+				}
+			} else {
+				seen[key] = av
+			}
+		}
+		return true
+	}
+
+	allRows := make([]int, len(rows))
+	for i := range rows {
+		allRows[i] = i
+	}
+
+	// globalFD[xsKey][a] marks FDs that hold globally, for minimality.
+	globalHolds := map[string]map[int]bool{}
+	xsKeyOf := func(xs []int) string {
+		parts := make([]string, len(xs))
+		for i, x := range xs {
+			parts[i] = fmt.Sprint(x)
+		}
+		return strings.Join(parts, ",")
+	}
+
+	var out []*cfd.CFD
+	var xsets [][]int
+	var gen func(start int, cur []int)
+	gen = func(start int, cur []int) {
+		if len(cur) > 0 && len(cur) <= opts.MaxLHS {
+			xsets = append(xsets, append([]int(nil), cur...))
+		}
+		if len(cur) == opts.MaxLHS {
+			return
+		}
+		for p := start; p < arity; p++ {
+			gen(p+1, append(cur, p))
+		}
+	}
+	gen(0, nil)
+	// Sort by size so minimality pruning sees subsets first.
+	sort.Slice(xsets, func(i, j int) bool {
+		if len(xsets[i]) != len(xsets[j]) {
+			return len(xsets[i]) < len(xsets[j])
+		}
+		return xsKeyOf(xsets[i]) < xsKeyOf(xsets[j])
+	})
+
+	subsetHoldsGlobally := func(xs []int, a int) bool {
+		if len(xs) <= 1 {
+			return false
+		}
+		for skip := range xs {
+			sub := make([]int, 0, len(xs)-1)
+			for i, x := range xs {
+				if i != skip {
+					sub = append(sub, x)
+				}
+			}
+			if globalHolds[xsKeyOf(sub)][a] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, xs := range xsets {
+		inX := map[int]bool{}
+		for _, x := range xs {
+			inX[x] = true
+		}
+		for a := 0; a < arity; a++ {
+			if inX[a] {
+				continue
+			}
+			if subsetHoldsGlobally(xs, a) {
+				continue // implied by a smaller FD
+			}
+			if holdsOn(xs, a, allRows) {
+				m := globalHolds[xsKeyOf(xs)]
+				if m == nil {
+					m = map[int]bool{}
+					globalHolds[xsKeyOf(xs)] = m
+				}
+				m[a] = true
+				out = append(out, wildcardCFD(sc, xs, a, nil, types.Null))
+				continue
+			}
+			// Conditioned: try B=b for each B in X over frequent values.
+			patterns := 0
+			for _, b := range xs {
+				if patterns >= opts.MaxPatternsPerFD {
+					break
+				}
+				// Frequent values of attribute b.
+				cover := map[string][]int{}
+				repVal := map[string]types.Value{}
+				for ri := range rows {
+					v := rows[ri][b]
+					if v.IsNull() {
+						continue
+					}
+					cover[v.Key()] = append(cover[v.Key()], ri)
+					repVal[v.Key()] = v
+				}
+				keys := make([]string, 0, len(cover))
+				for k := range cover {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					if patterns >= opts.MaxPatternsPerFD {
+						break
+					}
+					subset := cover[k]
+					if len(subset) < opts.MinSupport {
+						continue
+					}
+					if holdsOn(xs, a, subset) {
+						out = append(out, wildcardCFD(sc, xs, a, []int{b}, repVal[k]))
+						patterns++
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// wildcardCFD builds a variable CFD on attrs xs -> a where condPos (if any)
+// carries the constant condVal and every other LHS cell is a wildcard.
+func wildcardCFD(sc *schema.Relation, xs []int, a int, condPos []int, condVal types.Value) *cfd.CFD {
+	names := sc.AttrNames()
+	lhsAttrs := make([]string, len(xs))
+	pats := make([]cfd.PatternValue, len(xs))
+	cond := map[int]bool{}
+	for _, c := range condPos {
+		cond[c] = true
+	}
+	for i, x := range xs {
+		lhsAttrs[i] = names[x]
+		if cond[x] {
+			pats[i] = cfd.Constant(condVal)
+		} else {
+			pats[i] = cfd.Wild
+		}
+	}
+	id := fmt.Sprintf("var_%s_%s", strings.Join(lhsAttrs, "_"), names[a])
+	if len(condPos) > 0 {
+		id += "_cond"
+	}
+	return cfd.New(id, sc.Name, lhsAttrs, []string{names[a]},
+		cfd.PatternTuple{LHS: pats, RHS: []cfd.PatternValue{cfd.Wild}})
+}

@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -27,7 +27,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Error("ByID(nope) should fail")
 	}
-	if got := len(IDs()); got != 16 {
+	if got := len(IDs()); got != 17 {
 		t.Errorf("IDs = %d", got)
 	}
 }

@@ -44,6 +44,17 @@ type Column struct {
 	// high-cardinality columns.
 	keysOnce sync.Once
 	keys     []string
+	// pli and probe are the column's position list index and per-row
+	// Equal-class probe vector (pli.go), built lazily for the CFD miner and
+	// shared by every discovery pass over this snapshot. pliClassCode maps a
+	// PLI class index to its canonical dictionary code.
+	pliOnce      sync.Once
+	pli          *Partition
+	pliClassCode []uint32
+	orderOnce    sync.Once
+	classOrder   []int
+	probeOnce    sync.Once
+	probe        []uint32
 	// Interner state, retained so EqCodeOf stays O(1) after the build.
 	// Strings, bools, NULL and NaN are their own Equal-classes; only the
 	// numeric kinds collapse across each other, via byNumClass (keyed by

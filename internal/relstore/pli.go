@@ -1,0 +1,239 @@
+// Position list indexes (PLIs, a.k.a. stripped partitions): the equivalence
+// classes a column's Equal-classes induce over a snapshot's rows, in the
+// representation the TANE/CTANE family of dependency miners searches over.
+// Two rows are in one class iff their values are Equal under the
+// types.Value model — exactly the classes detection groups by — so a
+// functional dependency X → A holds on the snapshot iff every class of the
+// partition π_X is pure in A, and a CFD miner can refine partitions by
+// intersection instead of rebuilding string-keyed group maps per attribute
+// set.
+//
+// Like the dictionaries and key tables, single-attribute PLIs and the
+// per-row Equal-class probe vectors are built lazily and cached on the
+// snapshot's columns: every miner pass over one table version shares one
+// build, and the cache dies with the snapshot when the table mutates.
+// Derived (intersected) partitions belong to the miner's lattice walk and
+// are not cached here.
+package relstore
+
+import (
+	"sort"
+
+	"semandaq/internal/types"
+)
+
+// Partition is the partition of a snapshot's rows into value-equality
+// classes, stored flat: class c spans elems[offsets[c]:offsets[c+1]], each
+// class holding ascending row indices. Single-attribute partitions keep
+// every class (constant-CFD mining needs low-support and singleton covers);
+// Intersect strips singleton classes from its result, which is lossless for
+// dependency checking — a lone row can neither violate an FD nor lower its
+// confidence.
+//
+// A Partition is immutable after construction and safe for concurrent use.
+type Partition struct {
+	n       int // rows in the underlying snapshot
+	elems   []int32
+	offsets []int32 // len = NumClasses()+1
+}
+
+// NumRows returns the number of rows in the snapshot the partition covers.
+func (p *Partition) NumRows() int { return p.n }
+
+// NumClasses returns the number of equivalence classes stored.
+func (p *Partition) NumClasses() int { return len(p.offsets) - 1 }
+
+// Size returns the number of rows held in stored classes (for stripped
+// partitions this is less than NumRows).
+func (p *Partition) Size() int { return len(p.elems) }
+
+// Class returns class c's ascending row indices. The slice is backing
+// storage: callers must not mutate it.
+func (p *Partition) Class(c int) []int32 {
+	return p.elems[p.offsets[c]:p.offsets[c+1]]
+}
+
+// Refines reports whether every stored class is pure under probe: all rows
+// of a class share one probe code. This is the partition form of the FD
+// check — with probe = EqProbe(a), Refines is exactly "X → a holds",
+// because rows outside stored classes are alone in their X-class and
+// cannot disagree with anyone. every reports how often to poll stop; a
+// true stop() aborts the scan and returns false, true.
+func (p *Partition) Refines(probe []uint32, every int, stop func() bool) (pure, aborted bool) {
+	seen := 0
+	for c := 0; c < p.NumClasses(); c++ {
+		cls := p.Class(c)
+		if len(cls) < 2 {
+			continue
+		}
+		want := probe[cls[0]]
+		for _, r := range cls[1:] {
+			if probe[r] != want {
+				return false, false
+			}
+		}
+		if seen += len(cls); seen >= every {
+			seen = 0
+			if stop != nil && stop() {
+				return false, true
+			}
+		}
+	}
+	return true, false
+}
+
+// Keep returns how many of the snapshot's rows survive if, within every
+// class, only the plurality probe-code group is kept — the g3 measure of
+// an approximate FD: confidence(X → a) = Keep(EqProbe(a)) / NumRows.
+// Rows outside stored classes are trivially kept.
+func (p *Partition) Keep(probe []uint32) int {
+	kept := p.n - len(p.elems) // rows in stripped-away singleton classes
+	counts := make(map[uint32]int32, 16)
+	for c := 0; c < p.NumClasses(); c++ {
+		cls := p.Class(c)
+		if len(cls) == 1 {
+			kept++
+			continue
+		}
+		clear(counts)
+		best := int32(0)
+		for _, r := range cls {
+			v := counts[probe[r]] + 1
+			counts[probe[r]] = v
+			if v > best {
+				best = v
+			}
+		}
+		kept += int(best)
+	}
+	return kept
+}
+
+// Intersect refines the partition by a probe vector: rows of one class that
+// disagree on their probe code land in separate classes of the result.
+// Singleton result classes are stripped. With probe = EqProbe(b) the result
+// is the stripped partition π_{X ∪ {b}} given p = π_X — the refinement
+// step a level-wise lattice search descends by.
+func (p *Partition) Intersect(probe []uint32) *Partition {
+	out := &Partition{
+		n:       p.n,
+		elems:   make([]int32, 0, len(p.elems)),
+		offsets: make([]int32, 0, p.NumClasses()+1),
+	}
+	out.offsets = append(out.offsets, 0)
+	// Per-class grouping by probe code. Classes are usually split into few
+	// subgroups, so a small reused map beats a snapshot-wide scratch table.
+	groups := make(map[uint32][]int32)
+	for c := 0; c < p.NumClasses(); c++ {
+		cls := p.Class(c)
+		if len(cls) < 2 {
+			continue
+		}
+		clear(groups)
+		order := make([]uint32, 0, 4)
+		for _, r := range cls {
+			pv := probe[r]
+			g, ok := groups[pv]
+			if !ok {
+				order = append(order, pv)
+			}
+			groups[pv] = append(g, r)
+		}
+		for _, pv := range order {
+			g := groups[pv]
+			if len(g) < 2 {
+				continue
+			}
+			out.elems = append(out.elems, g...)
+			out.offsets = append(out.offsets, int32(len(out.elems)))
+		}
+	}
+	return out
+}
+
+// PLI returns the column's position list index over the snapshot: one class
+// per Equal-class that occurs, in first-occurrence order, singletons
+// included. Built on first use and cached for the snapshot's lifetime.
+func (c *Column) PLI() *Partition {
+	c.pliOnce.Do(func() {
+		probe := c.EqProbe()
+		counts := make([]int32, len(c.dict))
+		for _, pv := range probe {
+			counts[pv]++
+		}
+		// Class slots in first-occurrence order of the Equal-class code.
+		classOf := make([]int32, len(c.dict))
+		for i := range classOf {
+			classOf[i] = -1
+		}
+		p := &Partition{n: len(probe)}
+		var nc int32
+		starts := make([]int32, 0, len(c.dict))
+		for _, pv := range probe {
+			if classOf[pv] < 0 {
+				classOf[pv] = nc
+				nc++
+				starts = append(starts, counts[pv])
+			}
+		}
+		p.offsets = make([]int32, nc+1)
+		for i, sz := range starts {
+			p.offsets[i+1] = p.offsets[i] + sz
+		}
+		fill := append([]int32(nil), p.offsets[:nc]...)
+		p.elems = make([]int32, len(probe))
+		for r, pv := range probe {
+			cl := classOf[pv]
+			p.elems[fill[cl]] = int32(r)
+			fill[cl]++
+		}
+		c.pli = p
+		c.pliClassCode = make([]uint32, nc)
+		for code, cl := range classOf {
+			if cl >= 0 {
+				c.pliClassCode[cl] = uint32(code)
+			}
+		}
+	})
+	return c.pli
+}
+
+// PLIClassValue returns the representative value of PLI class cl (the
+// Equal-class canonical dictionary entry).
+func (c *Column) PLIClassValue(cl int) types.Value { return c.dict[c.pliClassCode[cl]] }
+
+// PLIClassesByKey returns the PLI's class indices ordered by the
+// representative value's Key() — the canonical enumeration order miners use
+// so their output is deterministic. Sorted on first use and cached for the
+// snapshot's lifetime (the sort compares key strings, which is worth
+// paying once, not per mining pass); callers must not mutate the slice.
+func (c *Column) PLIClassesByKey() []int {
+	c.orderOnce.Do(func() {
+		p := c.PLI()
+		c.EnsureKeys()
+		order := make([]int, p.NumClasses())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return c.keys[c.pliClassCode[order[i]]] < c.keys[c.pliClassCode[order[j]]]
+		})
+		c.classOrder = order
+	})
+	return c.classOrder
+}
+
+// EqProbe returns the per-row Equal-class code vector (probe[i] =
+// EqCode(i), materialized): the lookup side of partition intersection and
+// purity checks. Built on first use and cached for the snapshot's lifetime.
+// The slice is backing storage: callers must not mutate it.
+func (c *Column) EqProbe() []uint32 {
+	c.probeOnce.Do(func() {
+		probe := make([]uint32, len(c.codes))
+		for i, code := range c.codes {
+			probe[i] = c.eq[code]
+		}
+		c.probe = probe
+	})
+	return c.probe
+}

@@ -1,0 +1,133 @@
+package relstore
+
+import (
+	"fmt"
+	"testing"
+
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+func pliTable(t *testing.T, attrs []string, rows [][]string) *Table {
+	t.Helper()
+	tab := NewTable(schema.New("r", attrs...))
+	for _, r := range rows {
+		row := make(Tuple, len(r))
+		for i, f := range r {
+			row[i] = types.Parse(f)
+		}
+		tab.MustInsert(row)
+	}
+	return tab
+}
+
+// classSets renders a partition as a set of row-index lists for comparison.
+func classSets(p *Partition) map[string]bool {
+	out := map[string]bool{}
+	for c := 0; c < p.NumClasses(); c++ {
+		out[fmt.Sprint(p.Class(c))] = true
+	}
+	return out
+}
+
+func TestPLISingleAttribute(t *testing.T) {
+	tab := pliTable(t, []string{"A", "B"}, [][]string{
+		{"x", "1"}, {"y", "2"}, {"x", "3"}, {"z", "4"}, {"y", "5"},
+	})
+	col := tab.Columnar().Col(0)
+	p := col.PLI()
+	if p.NumRows() != 5 || p.NumClasses() != 3 {
+		t.Fatalf("rows=%d classes=%d", p.NumRows(), p.NumClasses())
+	}
+	want := map[string]bool{"[0 2]": true, "[1 4]": true, "[3]": true}
+	if got := classSets(p); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("classes = %v, want %v", got, want)
+	}
+	// The cache returns the same partition per snapshot.
+	if tab.Columnar().Col(0).PLI() != p {
+		t.Error("PLI not cached on the snapshot")
+	}
+}
+
+func TestPLIEqualClassesCollapseNumericKinds(t *testing.T) {
+	// INT 1 and FLOAT 1.0 are Equal and must land in one class; NULLs form
+	// their own class.
+	tab := pliTable(t, []string{"A"}, [][]string{
+		{"1"}, {"1.0"}, {""}, {""}, {"2"},
+	})
+	p := tab.Columnar().Col(0).PLI()
+	if p.NumClasses() != 3 {
+		t.Fatalf("classes = %d, want 3 (1/1.0 merged, NULLs merged, 2)", p.NumClasses())
+	}
+	want := map[string]bool{"[0 1]": true, "[2 3]": true, "[4]": true}
+	if got := classSets(p); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("classes = %v, want %v", got, want)
+	}
+}
+
+func TestPartitionRefinesIsFDCheck(t *testing.T) {
+	// ZIP -> CITY holds; CITY -> ZIP does not.
+	tab := pliTable(t, []string{"ZIP", "CITY"}, [][]string{
+		{"z1", "Edi"}, {"z1", "Edi"}, {"z2", "Edi"}, {"z2", "Edi"}, {"z3", "Lon"},
+	})
+	col := tab.Columnar()
+	zip, city := col.Col(0), col.Col(1)
+	if pure, _ := zip.PLI().Refines(city.EqProbe(), 1<<20, nil); !pure {
+		t.Error("ZIP -> CITY should hold")
+	}
+	if pure, _ := city.PLI().Refines(zip.EqProbe(), 1<<20, nil); pure {
+		t.Error("CITY -> ZIP should not hold")
+	}
+	// Refines aborts when stop fires.
+	if _, aborted := zip.PLI().Refines(city.EqProbe(), 1, func() bool { return true }); !aborted {
+		t.Error("Refines ignored stop")
+	}
+}
+
+func TestPartitionIntersectStripsSingletons(t *testing.T) {
+	// π_A has classes {0,1,2,3} and {4}; refining by B splits the big class
+	// into {0,1} and {2,3}; the singleton class is stripped.
+	tab := pliTable(t, []string{"A", "B"}, [][]string{
+		{"x", "p"}, {"x", "p"}, {"x", "q"}, {"x", "q"}, {"y", "r"},
+	})
+	col := tab.Columnar()
+	p := col.Col(0).PLI().Intersect(col.Col(1).EqProbe())
+	if p.NumClasses() != 2 || p.Size() != 4 {
+		t.Fatalf("classes=%d size=%d", p.NumClasses(), p.Size())
+	}
+	want := map[string]bool{"[0 1]": true, "[2 3]": true}
+	if got := classSets(p); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("classes = %v, want %v", got, want)
+	}
+	if p.NumRows() != 5 {
+		t.Errorf("NumRows = %d, want 5 (snapshot size survives stripping)", p.NumRows())
+	}
+}
+
+func TestPartitionKeepConfidence(t *testing.T) {
+	// A -> B almost holds: in the x-class (4 rows) the plurality B value
+	// covers 3 rows; the y-row is a kept singleton. Keep = 4.
+	tab := pliTable(t, []string{"A", "B"}, [][]string{
+		{"x", "p"}, {"x", "p"}, {"x", "p"}, {"x", "q"}, {"y", "r"},
+	})
+	col := tab.Columnar()
+	keep := col.Col(0).PLI().Keep(col.Col(1).EqProbe())
+	if keep != 4 {
+		t.Errorf("Keep = %d, want 4", keep)
+	}
+}
+
+func TestPLIClassesByKeyDeterministicOrder(t *testing.T) {
+	tab := pliTable(t, []string{"A"}, [][]string{
+		{"zz"}, {"aa"}, {"mm"}, {"aa"},
+	})
+	col := tab.Columnar().Col(0)
+	order := col.PLIClassesByKey()
+	var got []string
+	for _, cl := range order {
+		got = append(got, col.PLIClassValue(cl).String())
+	}
+	if fmt.Sprint(got) != "[aa mm zz]" {
+		t.Errorf("order = %v", got)
+	}
+}

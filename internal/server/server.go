@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,7 +20,6 @@ import (
 
 	"semandaq/internal/core"
 	"semandaq/internal/detect"
-	"semandaq/internal/discovery"
 	"semandaq/internal/explore"
 	"semandaq/internal/monitor"
 	"semandaq/internal/relstore"
@@ -82,6 +82,10 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/discover/{table}", sv.handleDiscover)
 	return mux
 }
+
+// statusClientClosedRequest is the nginx 499 convention: the client went
+// away and the request's work was cancelled server-side.
+const statusClientClosedRequest = 499
 
 // writeJSON writes a 200 JSON response.
 func writeJSON(w http.ResponseWriter, v any) {
@@ -879,26 +883,61 @@ func (sv *Server) handleMonitorUpdates(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleDiscover runs the lattice miner over the table. The request
+// context is threaded into the search, so a client that disconnects
+// mid-mine cancels the lattice workers instead of leaving them running.
+// Body (all fields optional; non-positive selects the discovery default):
+//
+//	{"minSupport": 100, "maxLHS": 3, "minConfidence": 0.95,
+//	 "maxPatterns": 8, "workers": 4}
+//
+// The response carries the snapshot version the rules were mined from,
+// per-candidate support and confidence, and the merged registrable set.
 func (sv *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	table := r.PathValue("table")
 	var body struct {
-		MinSupport int `json:"minSupport"`
-		MaxLHS     int `json:"maxLHS"`
+		MinSupport    int     `json:"minSupport"`
+		MaxLHS        int     `json:"maxLHS"`
+		MinConfidence float64 `json:"minConfidence"`
+		MaxPatterns   int     `json:"maxPatterns"`
+		Workers       int     `json:"workers"`
 	}
 	if r.Body != nil {
 		_ = json.NewDecoder(r.Body).Decode(&body) // defaults on empty body
 	}
-	cfds, err := sv.s.DiscoverCFDs(table, discovery.Options{
-		MinSupport: body.MinSupport,
-		MaxLHS:     body.MaxLHS,
-	})
+	start := time.Now()
+	rep, err := sv.s.Discover(r.Context(), table,
+		core.WithMinSupport(body.MinSupport),
+		core.WithMaxLHS(body.MaxLHS),
+		core.WithMinConfidence(body.MinConfidence),
+		core.WithMaxPatterns(body.MaxPatterns),
+		core.WithWorkers(body.Workers))
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, statusClientClosedRequest, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out := make([]map[string]any, 0, len(cfds))
-	for _, c := range cfds {
+	out := make([]map[string]any, 0, len(rep.CFDs))
+	for _, c := range rep.CFDs {
 		out = append(out, map[string]any{"id": c.ID, "text": c.String()})
 	}
-	writeJSON(w, map[string]any{"discovered": out})
+	cands := make([]map[string]any, 0, len(rep.Candidates))
+	for _, c := range rep.Candidates {
+		cands = append(cands, map[string]any{
+			"text":       c.CFD.String(),
+			"kind":       c.Kind,
+			"support":    c.Support,
+			"confidence": c.Confidence,
+		})
+	}
+	writeJSON(w, map[string]any{
+		"discovered": out,
+		"candidates": cands,
+		"version":    rep.Version,
+		"tuples":     rep.Tuples,
+		"durationMs": time.Since(start).Milliseconds(),
+	})
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -284,7 +285,49 @@ func TestDiscoverEndpoint(t *testing.T) {
 	if foundBad {
 		t.Error("mined a rule the dirty data violates")
 	}
+	// The payload carries the snapshot version, the tuple count and the
+	// per-candidate evidence.
+	if v, ok := out["version"].(float64); !ok || v < 1 {
+		t.Errorf("version = %v", out["version"])
+	}
+	if n := out["tuples"].(float64); n != 5 {
+		t.Errorf("tuples = %v", n)
+	}
+	cands := out["candidates"].([]any)
+	if len(cands) == 0 {
+		t.Fatal("no candidates in payload")
+	}
+	for _, c := range cands {
+		m := c.(map[string]any)
+		if m["support"].(float64) <= 0 || m["confidence"].(float64) != 1.0 ||
+			m["kind"].(string) == "" || m["text"].(string) == "" {
+			t.Errorf("bad candidate %v", m)
+		}
+	}
 	do(t, ts, "POST", "/api/discover/none", "{}", http.StatusBadRequest)
+}
+
+// TestDiscoverEndpointCancellation pins the context propagation fix: a
+// request whose context is already dead must not run the miner, and the
+// handler maps the cancellation to 499 instead of 400.
+func TestDiscoverEndpointCancellation(t *testing.T) {
+	s := core.New()
+	if _, err := s.LoadCSV("customer", strings.NewReader(customersCSV)); err != nil {
+		t.Fatal(err)
+	}
+	sv := New(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/api/discover/customer", strings.NewReader("{}")).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	sv.Handler().ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Errorf("pre-cancelled discover returned %d (%s), want 499", rec.Code, rec.Body)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil || out["error"] == "" {
+		t.Errorf("cancellation error payload = %v (%v)", out, err)
+	}
 }
 
 func TestJSONValueRoundTrip(t *testing.T) {

@@ -38,6 +38,13 @@
 //
 //	for v, err := range sys.DetectStream(ctx, "customer") { ... }
 //
+// Discover mines CFDs from trusted reference data — a level-wise lattice
+// search over the snapshot's partition indexes, parallel across workers
+// and pinned to one table version:
+//
+//	rep, _ := sys.Discover(ctx, "customer", semandaq.WithMinSupport(100))
+//	_ = sys.RegisterCFDs("customer", rep.CFDs) // rep.Version says what was mined
+//
 // The store serves live traffic: System.Insert, Delete and SetCell mutate
 // tables (routed through the table's data monitor when one is active)
 // while detection, audit, exploration and SQL queries keep running. Every
@@ -182,6 +189,15 @@ var (
 	WithLimit = core.WithLimit
 	// WithCleansed selects the monitor's incremental-repair mode.
 	WithCleansed = core.WithCleansed
+	// WithMinSupport sets discovery's minimum pattern cover; explicit
+	// positive values — including 1 — always win over the default.
+	WithMinSupport = core.WithMinSupport
+	// WithMaxLHS bounds discovery's embedded-FD LHS size (lattice depth).
+	WithMaxLHS = core.WithMaxLHS
+	// WithMinConfidence admits approximate CFDs below confidence 1.
+	WithMinConfidence = core.WithMinConfidence
+	// WithMaxPatterns bounds condition patterns per discovered FD.
+	WithMaxPatterns = core.WithMaxPatterns
 )
 
 // Detection engine choices.
@@ -235,8 +251,17 @@ type (
 	Monitor = monitor.Monitor
 	// MonitorUpdate is one element of a monitored update batch.
 	MonitorUpdate = monitor.Update
-	// DiscoveryOptions tunes CFD mining from reference data.
+	// DiscoveryOptions tunes CFD mining from reference data (the options
+	// struct behind the deprecated System.DiscoverCFDs; new callers pass
+	// WithMinSupport / WithMaxLHS / WithMinConfidence / WithMaxPatterns to
+	// System.Discover).
 	DiscoveryOptions = discovery.Options
+	// DiscoveryReport is the result of System.Discover: the mined CFD set
+	// plus every candidate's support and confidence, stamped with the
+	// snapshot version the rules were mined from.
+	DiscoveryReport = discovery.Report
+	// DiscoveryCandidate is one mined pattern with its evidence.
+	DiscoveryCandidate = discovery.Candidate
 	// GeneratorConfig configures the synthetic customer-data generator.
 	GeneratorConfig = datagen.Config
 	// Dataset is a generated clean/dirty pair with ground truth.
