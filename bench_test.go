@@ -25,7 +25,7 @@ func benchExp(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, true); err != nil {
+		if err := e.Run(b.Context(), io.Discard, true); err != nil {
 			b.Fatal(err)
 		}
 	}

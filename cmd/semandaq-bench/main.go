@@ -20,9 +20,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"semandaq/internal/experiments"
 )
@@ -45,15 +47,20 @@ func main() {
 	flag.Var(&sel, "exp", "experiment ID to run (repeatable); default all")
 	flag.Parse()
 
+	// Interrupt cancels the context, so a Ctrl-C lands between detection
+	// strides instead of waiting out a million-tuple sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *jsonPath != "" {
-		if _, err := experiments.WriteDetectBenchJSON(*jsonPath, *quick, os.Stdout); err != nil {
+		if _, err := experiments.WriteDetectBenchJSON(ctx, *jsonPath, *quick, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "semandaq-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *discoverJSONPath != "" {
-		if _, err := experiments.WriteDiscoverBenchJSON(*discoverJSONPath, *quick, os.Stdout); err != nil {
+		if _, err := experiments.WriteDiscoverBenchJSON(ctx, *discoverJSONPath, *quick, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "semandaq-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -83,7 +90,7 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := e.Run(os.Stdout, *quick); err != nil {
+		if err := e.Run(ctx, os.Stdout, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "semandaq-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,114 @@
+// Command semandaq-vet is the repo's contract checker: a multichecker
+// over the custom analyzers in internal/lint that machine-check the
+// snapshot/version/context invariants (see docs/INVARIANTS.md).
+//
+//	semandaq-vet ./...            # check the whole module (CI does this)
+//	semandaq-vet -list            # list analyzers
+//	semandaq-vet -run snapshotpin ./internal/detect/...
+//
+// Exit status is 1 if any analyzer reports a diagnostic, 2 on load
+// errors. Non-test files only: tests exercise deprecated and
+// context-free surfaces on purpose. A finding can be suppressed at the
+// line with `//semandaq:vet-ignore <analyzer> <reason>`; the reason is
+// mandatory by convention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"semandaq/internal/lint"
+	"semandaq/internal/lint/analysis"
+	"semandaq/internal/lint/ctxloop"
+	"semandaq/internal/lint/loader"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	allowBackground := flag.String("allow-background", "",
+		"comma-separated import paths exempt from ctxloop's context.Background/TODO rule")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *runNames != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*runNames, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "semandaq-vet: unknown analyzer %q (use -list)\n", n)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+	for _, p := range strings.Split(*allowBackground, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			ctxloop.AllowBackground[p] = true
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset, pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semandaq-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	loadFailed := false
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Err != nil {
+			fmt.Fprintf(os.Stderr, "semandaq-vet: %s: %v\n", pkg.ImportPath, pkg.Err)
+			loadFailed = true
+			continue
+		}
+		for _, a := range analyzers {
+			ds, err := analysis.Run(a, fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "semandaq-vet: %v\n", err)
+				os.Exit(2)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	switch {
+	case loadFailed:
+		os.Exit(2)
+	case len(diags) > 0:
+		fmt.Fprintf(os.Stderr, "semandaq-vet: %d contract violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -64,7 +64,7 @@ func main() {
 	incoming := semandaq.GenerateCustomers(semandaq.GeneratorConfig{
 		Tuples: 200, Seed: 99, NoiseRate: 0.3,
 	})
-	_, rows := incoming.Dirty.Rows()
+	rows := incoming.Dirty.Snapshot().Rows()
 
 	totalRepairs := 0
 	for start := 0; start < len(rows); start += 50 {

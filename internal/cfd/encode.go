@@ -74,7 +74,7 @@ func DecodeTableau(tab *relstore.Table, id, dataTable string, lhs, rhs []string)
 		LHS: append([]string(nil), lhs...),
 		RHS: append([]string(nil), rhs...)}
 	var err error
-	tab.Scan(func(_ relstore.TupleID, row relstore.Tuple) bool {
+	tab.Snapshot().Scan(func(_ relstore.TupleID, row relstore.Tuple) bool {
 		pt := PatternTuple{}
 		for i := range lhs {
 			pt.LHS = append(pt.LHS, decodeCell(row[i]))

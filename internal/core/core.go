@@ -472,6 +472,10 @@ func (s *Semandaq) DetectStreamVersion(ctx context.Context, table string, opts .
 			return
 		}
 		for _, v := range rep.Violations {
+			if err := ctx.Err(); err != nil {
+				yield(detect.Violation{}, err)
+				return
+			}
 			if !yield(v, nil) {
 				return
 			}
@@ -484,6 +488,7 @@ func (s *Semandaq) DetectStreamVersion(ctx context.Context, table string, opts .
 //
 // Deprecated: use Detect(ctx, table, WithEngine(kind)).
 func (s *Semandaq) DetectKind(table string, kind DetectorKind) (*detect.Report, error) {
+	//semandaq:vet-ignore ctxloop deprecated context-free wrapper by design
 	return s.Detect(context.Background(), table, WithEngine(kind))
 }
 
@@ -492,6 +497,7 @@ func (s *Semandaq) DetectKind(table string, kind DetectorKind) (*detect.Report, 
 //
 // Deprecated: use Detect(ctx, table, WithEngine(kind), WithWorkers(n)).
 func (s *Semandaq) DetectWorkers(table string, kind DetectorKind, workers int) (*detect.Report, error) {
+	//semandaq:vet-ignore ctxloop deprecated context-free wrapper by design
 	return s.Detect(context.Background(), table, WithEngine(kind), WithWorkers(workers))
 }
 
@@ -829,6 +835,7 @@ func (s *Semandaq) Discover(ctx context.Context, refTable string, opts ...Option
 // ...), which runs the snapshot-pinned lattice miner and returns the
 // versioned report with per-candidate support and confidence.
 func (s *Semandaq) DiscoverCFDs(refTable string, opts discovery.Options) ([]*cfd.CFD, error) {
+	//semandaq:vet-ignore ctxloop deprecated context-free wrapper by design
 	rep, err := s.Discover(context.Background(), refTable,
 		WithMinSupport(opts.MinSupport),
 		WithMaxLHS(opts.MaxLHS),

@@ -167,7 +167,7 @@ func Generate(cfg Config) *Dataset {
 		return ds
 	}
 	n := int(float64(cfg.Tuples) * cfg.NoiseRate)
-	ids := dirty.IDs()
+	ids := dirty.Snapshot().IDs()
 	perm := rng.Perm(len(ids))
 	for k := 0; k < n && k < len(ids); k++ {
 		id := ids[perm[k]]

@@ -255,6 +255,7 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepa
 			g.rhsOf[id] = rk
 			g.rhsCounts[rk]++
 		}
+		n := 0
 		for _, g := range groups {
 			st.Groups++
 			rep.Groups = append(rep.Groups, &Group{
@@ -268,6 +269,11 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepa
 				MajorityKey: majorityKey(g.rhsCounts),
 			})
 			for _, id := range g.members {
+				if n++; n%cancelStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 				partners := len(g.members) - g.rhsCounts[g.rhsOf[id]]
 				rep.Violations = append(rep.Violations, Violation{
 					CFDID:    p.c.ID,

@@ -73,6 +73,11 @@ func (d ColumnarDetector) DetectStreamSnapshot(ctx context.Context, rsnap *relst
 			streamSharded(sctx, snap, cps, workers, ch)
 		}()
 		for v := range ch {
+			// The producers stop and close ch on cancellation; checking
+			// here as well stops the replay without draining the buffer.
+			if sctx.Err() != nil {
+				break
+			}
 			if !yield(v, nil) {
 				return
 			}

@@ -58,7 +58,9 @@ type item struct {
 func MineConstantCFDs(tab *relstore.Table, opts Options) ([]*cfd.CFD, error) {
 	opts = opts.withDefaults(tab.Len())
 	sc := tab.Schema()
-	_, rows := tab.Rows()
+	// One pinned snapshot for the whole mining pass; the rows are frozen
+	// and read-only here.
+	rows := tab.Snapshot().Rows()
 	arity := sc.Arity()
 
 	// Frequent single items.
@@ -240,7 +242,9 @@ func intersectSorted(a, b []int) []int {
 func MineVariableCFDs(tab *relstore.Table, opts Options) ([]*cfd.CFD, error) {
 	opts = opts.withDefaults(tab.Len())
 	sc := tab.Schema()
-	_, rows := tab.Rows()
+	// One pinned snapshot for the whole mining pass; the rows are frozen
+	// and read-only here.
+	rows := tab.Snapshot().Rows()
 	arity := sc.Arity()
 
 	// holdsOn reports whether X -> a holds on the given row subset, i.e.

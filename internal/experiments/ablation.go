@@ -18,7 +18,7 @@ import (
 // merged k-pattern CFD (2 queries total) versus k single-pattern CFDs
 // detected one by one (2 queries each). Merging is the reason the paper's
 // query count is independent of the tableau size.
-func RunA1(w io.Writer, quick bool) error {
+func RunA1(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "A1", "ablation: tableau merging in SQL detection")
 	n := 20000
 	if quick {
@@ -33,7 +33,7 @@ func RunA1(w io.Writer, quick bool) error {
 	zipPos, cntPos := sc.MustPos("ZIP"), sc.MustPos("CNT")
 	seen := map[string]bool{}
 	var zips []string
-	ds.Dirty.Scan(func(_ relstore.TupleID, row relstore.Tuple) bool {
+	ds.Dirty.Snapshot().Scan(func(_ relstore.TupleID, row relstore.Tuple) bool {
 		if row[cntPos].String() == "UK" && !seen[row[zipPos].String()] {
 			seen[row[zipPos].String()] = true
 			zips = append(zips, row[zipPos].String())
@@ -67,7 +67,7 @@ func RunA1(w io.Writer, quick bool) error {
 		mq := 0
 		mergedDet.Trace = func(string) { mq++ }
 		mergedTime, err := timed(func() error {
-			_, err := mergedDet.Detect(context.Background(), ds.Dirty, []*cfd.CFD{merged})
+			_, err := mergedDet.Detect(ctx, ds.Dirty, []*cfd.CFD{merged})
 			return err
 		})
 		if err != nil {
@@ -78,7 +78,7 @@ func RunA1(w io.Writer, quick bool) error {
 			for _, s := range singles {
 				det := detect.NewSQLDetector(store)
 				det.Trace = func(string) { uq++ }
-				if _, err := det.Detect(context.Background(), ds.Dirty, []*cfd.CFD{s}); err != nil {
+				if _, err := det.Detect(ctx, ds.Dirty, []*cfd.CFD{s}); err != nil {
 					return err
 				}
 			}
@@ -96,7 +96,7 @@ func RunA1(w io.Writer, quick bool) error {
 // without the cost-from-original arbitration + LHS membership breaking, on
 // a workload where two FDs share the RHS attribute CITY. The naive variant
 // thrashes until the per-cell change cap and fails to converge.
-func RunA2(w io.Writer, quick bool) error {
+func RunA2(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "A2", "ablation: repair oscillation arbitration")
 	// The two-FD tug workload, scaled: per city pair, one victim tuple
 	// with a corrupted AC sits between a zip group and an AC group.
@@ -137,7 +137,7 @@ accity@  customer: [CNT=_, AC=_] -> [CITY=_]
 	}{{"full", false}, {"naive", true}} {
 		r := repair.NewRepairer()
 		r.NaiveMerges = variant.naive
-		res, err := r.Repair(context.Background(), tab, cfds)
+		res, err := r.Repair(ctx, tab, cfds)
 		if err != nil {
 			return err
 		}

@@ -48,7 +48,7 @@ type DetectBenchReport struct {
 // report. The interpreted SQL engine is capped (it is orders of magnitude
 // slower and would dominate the sweep's runtime). Engines are cross-checked
 // per size; a mismatch fails the sweep.
-func DetectBench(quick bool) (*DetectBenchReport, error) {
+func DetectBench(ctx context.Context, quick bool) (*DetectBenchReport, error) {
 	sizes := []int{10000, 100000, 1000000}
 	sqlCap := 100000
 	if quick {
@@ -88,7 +88,7 @@ func DetectBench(quick bool) (*DetectBenchReport, error) {
 			var r *detect.Report
 			dur, err := timed(func() error {
 				var err error
-				r, err = eng.det.Detect(context.Background(), ds.Dirty, cfds)
+				r, err = eng.det.Detect(ctx, ds.Dirty, cfds)
 				return err
 			})
 			if err != nil {
@@ -114,8 +114,8 @@ func DetectBench(quick bool) (*DetectBenchReport, error) {
 
 // WriteDetectBenchJSON runs the sweep, writes the JSON report to path and
 // prints a human-readable summary table to w.
-func WriteDetectBenchJSON(path string, quick bool, w io.Writer) (*DetectBenchReport, error) {
-	rep, err := DetectBench(quick)
+func WriteDetectBenchJSON(ctx context.Context, path string, quick bool, w io.Writer) (*DetectBenchReport, error) {
+	rep, err := DetectBench(ctx, quick)
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,7 @@ import (
 // heap ceiling happens to be. Each figure is the minimum of `reps` runs,
 // with a forced GC before each and the collector's target ratio relaxed
 // for the duration of the experiment.
-func RunD5(w io.Writer, quick bool) error {
+func RunD5(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "D5", "columnar detection: row vs columnar vs parallel-columnar")
 	sizes := []int{10000, 100000, 1000000}
 	noises := []float64{0.05, 0}
@@ -60,7 +60,7 @@ func RunD5(w io.Writer, quick bool) error {
 		"cold_x", "warm_x", "par_x", "dirty")
 	for _, size := range sizes {
 		for _, noise := range noises {
-			if err := runD5Point(w, size, noise, reps, cfds); err != nil {
+			if err := runD5Point(ctx, w, size, noise, reps, cfds); err != nil {
 				return err
 			}
 		}
@@ -69,7 +69,7 @@ func RunD5(w io.Writer, quick bool) error {
 }
 
 // runD5Point measures all engines at one (size, noise) workload point.
-func runD5Point(w io.Writer, n int, noise float64, reps int, cfds []*cfd.CFD) error {
+func runD5Point(ctx context.Context, w io.Writer, n int, noise float64, reps int, cfds []*cfd.CFD) error {
 	ds := datagen.Generate(datagen.Config{Tuples: n, Seed: 7, NoiseRate: noise})
 
 	// measure times det over reps runs (minimum wins), cross-checking
@@ -88,7 +88,7 @@ func runD5Point(w io.Writer, n int, noise float64, reps int, cfds []*cfd.CFD) er
 			var r *detect.Report
 			dur, err := timed(func() error {
 				var err error
-				r, err = det.Detect(context.Background(), tab, cfds)
+				r, err = det.Detect(ctx, tab, cfds)
 				return err
 			})
 			if err != nil {
@@ -113,7 +113,7 @@ func runD5Point(w io.Writer, n int, noise float64, reps int, cfds []*cfd.CFD) er
 	if err != nil {
 		return err
 	}
-	ds.Dirty.Columnar() // ensure the warm path really is warm
+	ds.Dirty.Snapshot().Columnar() // ensure the warm path really is warm
 	warmMS, _, err := measure(detect.ColumnarDetector{Workers: 1}, "columnar warm", nil)
 	if err != nil {
 		return err

@@ -41,7 +41,7 @@ import (
 // redundant rules there). The legacy miner is capped at legacyCap tuples
 // for MaxLHS 3 — its cubic-ish growth would dominate the experiment's
 // runtime without adding information.
-func RunD6(w io.Writer, quick bool) error {
+func RunD6(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "D6", "CFD discovery: legacy row-store miner vs PLI lattice miner")
 	type point struct {
 		tuples int
@@ -66,7 +66,7 @@ func RunD6(w io.Writer, quick bool) error {
 		"cold_x", "warm_x", "cfds")
 	for _, pt := range points {
 		skipLegacy := pt.maxLHS >= 3 && pt.tuples > legacyCap3
-		if err := runD6Point(w, pt.tuples, pt.maxLHS, reps, skipLegacy); err != nil {
+		if err := runD6Point(ctx, w, pt.tuples, pt.maxLHS, reps, skipLegacy); err != nil {
 			return err
 		}
 	}
@@ -104,7 +104,7 @@ func crossCheckMiners(legacy, lattice []*cfd.CFD, maxLHS, n int) error {
 }
 
 // runD6Point measures both miners at one (size, maxLHS) workload point.
-func runD6Point(w io.Writer, n, maxLHS, reps int, skipLegacy bool) error {
+func runD6Point(ctx context.Context, w io.Writer, n, maxLHS, reps int, skipLegacy bool) error {
 	ds := datagen.Generate(datagen.Config{Tuples: n, Seed: 7})
 	opts := discovery.Options{MaxLHS: maxLHS}
 
@@ -137,7 +137,7 @@ func runD6Point(w io.Writer, n, maxLHS, reps int, skipLegacy bool) error {
 	}
 
 	mine := func(tab *relstore.Table) ([]*cfd.CFD, error) {
-		rep, err := discovery.Mine(context.Background(), tab.Snapshot(), opts)
+		rep, err := discovery.Mine(ctx, tab.Snapshot(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +219,7 @@ type DiscoverBenchReport struct {
 // returns the report. The legacy miner is capped at MaxLHS 3 sizes above
 // 100k (it is orders of magnitude slower and would dominate the sweep);
 // per-point outputs are cross-checked, a mismatch fails the sweep.
-func DiscoverBench(quick bool) (*DiscoverBenchReport, error) {
+func DiscoverBench(ctx context.Context, quick bool) (*DiscoverBenchReport, error) {
 	type point struct {
 		tuples int
 		maxLHS int
@@ -282,7 +282,7 @@ func DiscoverBench(quick bool) (*DiscoverBenchReport, error) {
 		cold = ds.Clean.Clone()
 		dur, err := timed(func() error {
 			var err error
-			coldRep, err = discovery.Mine(context.Background(), cold.Snapshot(), opts)
+			coldRep, err = discovery.Mine(ctx, cold.Snapshot(), opts)
 			return err
 		})
 		if err != nil {
@@ -290,13 +290,13 @@ func DiscoverBench(quick bool) (*DiscoverBenchReport, error) {
 		}
 		add("lattice-cold", workers, dur, coldRep.CFDs)
 		snap := ds.Clean.Snapshot()
-		if _, err := discovery.Mine(context.Background(), snap, opts); err != nil {
+		if _, err := discovery.Mine(ctx, snap, opts); err != nil {
 			return nil, err
 		}
 		var warmRep *discovery.Report
 		dur, err = timed(func() error {
 			var err error
-			warmRep, err = discovery.Mine(context.Background(), snap, opts)
+			warmRep, err = discovery.Mine(ctx, snap, opts)
 			return err
 		})
 		if err != nil {
@@ -314,8 +314,8 @@ func DiscoverBench(quick bool) (*DiscoverBenchReport, error) {
 
 // WriteDiscoverBenchJSON runs the sweep, writes the JSON report to path
 // and prints a human-readable summary table to w.
-func WriteDiscoverBenchJSON(path string, quick bool, w io.Writer) (*DiscoverBenchReport, error) {
-	rep, err := DiscoverBench(quick)
+func WriteDiscoverBenchJSON(ctx context.Context, path string, quick bool, w io.Writer) (*DiscoverBenchReport, error) {
+	rep, err := DiscoverBench(ctx, quick)
 	if err != nil {
 		return nil, err
 	}

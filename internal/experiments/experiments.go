@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -22,9 +23,11 @@ type Exp struct {
 	ID string
 	// Title says which paper artifact it regenerates.
 	Title string
-	// Run executes the experiment, printing its table to w. quick shrinks
-	// the workload for smoke tests and testing.B iterations.
-	Run func(w io.Writer, quick bool) error
+	// Run executes the experiment, printing its table to w. The caller's
+	// ctx cancels long sweeps mid-flight (semandaq-bench wires it to
+	// SIGINT; tests use the test context). quick shrinks the workload for
+	// smoke tests and testing.B iterations.
+	Run func(ctx context.Context, w io.Writer, quick bool) error
 }
 
 // All returns every experiment in presentation order.

@@ -61,7 +61,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(&buf, true); err != nil {
+			if err := e.Run(t.Context(), &buf, true); err != nil {
 				t.Fatalf("%s failed: %v\noutput so far:\n%s", e.ID, err, buf.String())
 			}
 			out := buf.String()

@@ -53,11 +53,11 @@ phi4@ customer: [CC=44] -> [CNT=UK]
 // RunF2 regenerates the Fig. 2 drill-down: select the FD, its pattern
 // tuples, the matching LHS values, and the distinct RHS values for one
 // group — each level annotated with violation counts, as in the demo.
-func RunF2(w io.Writer, quick bool) error {
+func RunF2(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "F2", "data exploration drill-down (paper Fig. 2)")
 	tab := fig2Table()
 	cfds := fig2CFDs()
-	rep, err := detect.NativeDetector{}.Detect(context.Background(), tab, cfds)
+	rep, err := detect.NativeDetector{}.Detect(ctx, tab, cfds)
 	if err != nil {
 		return err
 	}
@@ -141,12 +141,12 @@ func f3Workload(quick bool) (*datagen.Dataset, []*cfd.CFD) {
 
 // RunF3 regenerates Fig. 3: SQL-based detection plus the tuple-level data
 // quality map (vio(t) bucketed into color intensities).
-func RunF3(w io.Writer, quick bool) error {
+func RunF3(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "F3", "error detection and data quality map (paper Fig. 3)")
 	ds, cfds := f3Workload(quick)
 	store := relstore.NewStore()
 	store.Put(ds.Dirty)
-	rep, err := detect.NewSQLDetector(store).Detect(context.Background(), ds.Dirty, cfds)
+	rep, err := detect.NewSQLDetector(store).Detect(ctx, ds.Dirty, cfds)
 	if err != nil {
 		return err
 	}
@@ -194,10 +194,10 @@ func sortedCFDIDs(rep *detect.Report) []string {
 
 // RunF4 regenerates Fig. 4: the data quality report with the
 // verified/probably/arguably clean bar chart and the violation pie chart.
-func RunF4(w io.Writer, quick bool) error {
+func RunF4(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "F4", "data quality report (paper Fig. 4)")
 	ds, cfds := f3Workload(quick)
-	rep, err := detect.NativeDetector{}.Detect(context.Background(), ds.Dirty, cfds)
+	rep, err := detect.NativeDetector{}.Detect(ctx, ds.Dirty, cfds)
 	if err != nil {
 		return err
 	}
@@ -212,10 +212,10 @@ func RunF4(w io.Writer, quick bool) error {
 // RunF5 regenerates Fig. 5: the data cleansing review — the candidate
 // repair with highlighted modifications and ranked alternatives, plus the
 // incremental re-detection triggered by a user edit.
-func RunF5(w io.Writer, quick bool) error {
+func RunF5(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "F5", "data cleansing review (paper Fig. 5)")
 	ds, cfds := f3Workload(quick)
-	res, err := repair.NewRepairer().Repair(context.Background(), ds.Dirty, cfds)
+	res, err := repair.NewRepairer().Repair(ctx, ds.Dirty, cfds)
 	if err != nil {
 		return err
 	}

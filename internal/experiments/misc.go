@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -9,13 +10,14 @@ import (
 	"semandaq/internal/consistency"
 	"semandaq/internal/datagen"
 	"semandaq/internal/monitor"
+	"semandaq/internal/relstore"
 	"semandaq/internal/types"
 )
 
 // RunS1 measures the constraint engine's satisfiability check over growing
 // CFD sets, mixing chained constant rules with variable patterns, plus an
 // adversarial family whose chase must detect a clash.
-func RunS1(w io.Writer, quick bool) error {
+func RunS1(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "S1", "consistency (satisfiability) checking cost")
 	sizes := []int{4, 16, 64, 256}
 	if quick {
@@ -91,7 +93,7 @@ func RunS1(w io.Writer, quick bool) error {
 // RunM1 drives the data monitor with a sustained mixed update stream over a
 // cleansed table and reports the quality trajectory: in cleansed mode the
 // monitor must keep the table at zero violations throughout.
-func RunM1(w io.Writer, quick bool) error {
+func RunM1(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "M1", "data monitor under a sustained update stream")
 	n, updates := 20000, 2000
 	if quick {
@@ -105,7 +107,7 @@ func RunM1(w io.Writer, quick bool) error {
 		return err
 	}
 	dirtySrc := datagen.Generate(datagen.Config{Tuples: updates, Seed: 43, NoiseRate: 0.30})
-	_, dirtyRows := dirtySrc.Dirty.Rows()
+	dirtyRows := dirtySrc.Dirty.Snapshot().Rows()
 
 	rng := rand.New(rand.NewSource(5))
 	attrs := []string{"STR", "CNT", "CITY", "AC"}
@@ -113,8 +115,9 @@ func RunM1(w io.Writer, quick bool) error {
 	checkpoints := updates / 5
 
 	// live tracks the IDs still present so the stream never targets a
-	// tuple deleted earlier in the same batch.
-	live := tab.IDs()
+	// tuple deleted earlier in the same batch. The stream mutates the
+	// slice, so it copies out of the snapshot's frozen backing storage.
+	live := append([]relstore.TupleID(nil), tab.Snapshot().IDs()...)
 
 	fmt.Fprintf(w, "%10s %10s %10s %12s\n", "updates", "dirty", "repairs", "tuples")
 	start := 0
@@ -147,7 +150,7 @@ func RunM1(w io.Writer, quick bool) error {
 			return err
 		}
 		totalRepairs += len(res.Repairs)
-		live = tab.IDs()
+		live = append(live[:0], tab.Snapshot().IDs()...)
 		fmt.Fprintf(w, "%10d %10d %10d %12d\n", end, res.Dirty, totalRepairs, tab.Len())
 		if res.Dirty != 0 {
 			return fmt.Errorf("M1: monitor let quality degrade: %d dirty after %d updates", res.Dirty, end)

@@ -15,7 +15,7 @@ import (
 // RunD1 measures batch detection scalability: the SQL technique of the
 // TODS paper versus the native hash-grouping baseline, over growing data.
 // Expected shape: both near-linear; SQL within a small constant factor.
-func RunD1(w io.Writer, quick bool) error {
+func RunD1(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "D1", "detection scalability: SQL technique vs native baseline")
 	sizes := []int{10000, 25000, 50000, 100000, 200000}
 	if quick {
@@ -31,7 +31,7 @@ func RunD1(w io.Writer, quick bool) error {
 		var sqlRep, natRep *detect.Report
 		sqlTime, err := timed(func() error {
 			var err error
-			sqlRep, err = detect.NewSQLDetector(store).Detect(context.Background(), ds.Dirty, cfds)
+			sqlRep, err = detect.NewSQLDetector(store).Detect(ctx, ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -39,7 +39,7 @@ func RunD1(w io.Writer, quick bool) error {
 		}
 		natTime, err := timed(func() error {
 			var err error
-			natRep, err = detect.NativeDetector{}.Detect(context.Background(), ds.Dirty, cfds)
+			natRep, err = detect.NativeDetector{}.Detect(ctx, ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -60,7 +60,7 @@ func RunD1(w io.Writer, quick bool) error {
 // growth divided by the effective core count; the SQL engine (interpreted,
 // single-threaded) trails both and is skipped at the largest size to keep
 // the full run tractable.
-func RunD4(w io.Writer, quick bool) error {
+func RunD4(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "D4", "parallel detection: sharded vs native vs SQL")
 	sizes := []int{10000, 100000, 1000000}
 	sqlCap := 100000 // the interpreted SQL engine is too slow beyond this
@@ -81,7 +81,7 @@ func RunD4(w io.Writer, quick bool) error {
 		var natRep, parRep *detect.Report
 		natTime, err := timed(func() error {
 			var err error
-			natRep, err = detect.NativeDetector{}.Detect(context.Background(), ds.Dirty, cfds)
+			natRep, err = detect.NativeDetector{}.Detect(ctx, ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -89,7 +89,7 @@ func RunD4(w io.Writer, quick bool) error {
 		}
 		parTime, err := timed(func() error {
 			var err error
-			parRep, err = detect.ParallelDetector{}.Detect(context.Background(), ds.Dirty, cfds)
+			parRep, err = detect.ParallelDetector{}.Detect(ctx, ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -103,7 +103,7 @@ func RunD4(w io.Writer, quick bool) error {
 			var sqlRep *detect.Report
 			sqlTime, err := timed(func() error {
 				var err error
-				sqlRep, err = detect.NewSQLDetector(store).Detect(context.Background(), ds.Dirty, cfds)
+				sqlRep, err = detect.NewSQLDetector(store).Detect(ctx, ds.Dirty, cfds)
 				return err
 			})
 			if err != nil {
@@ -124,7 +124,7 @@ func RunD4(w io.Writer, quick bool) error {
 // RunD2 measures detection cost against tableau size: the SQL technique
 // issues the same two queries regardless of the number of pattern tuples,
 // so time should grow sub-linearly in the pattern count.
-func RunD2(w io.Writer, quick bool) error {
+func RunD2(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "D2", "detection vs number of pattern tuples (tableau-merged SQL)")
 	n := 50000
 	if quick {
@@ -140,7 +140,7 @@ func RunD2(w io.Writer, quick bool) error {
 	cntPos := sc.MustPos("CNT")
 	seen := map[string]bool{}
 	var zips []string
-	ds.Dirty.Scan(func(_ relstore.TupleID, row relstore.Tuple) bool {
+	ds.Dirty.Snapshot().Scan(func(_ relstore.TupleID, row relstore.Tuple) bool {
 		if row[cntPos].String() == "UK" && !seen[row[zipPos].String()] {
 			seen[row[zipPos].String()] = true
 			zips = append(zips, row[zipPos].String())
@@ -170,7 +170,7 @@ func RunD2(w io.Writer, quick bool) error {
 		var rep *detect.Report
 		dur, err := timed(func() error {
 			var err error
-			rep, err = det.Detect(context.Background(), ds.Dirty, []*cfd.CFD{c})
+			rep, err = det.Detect(ctx, ds.Dirty, []*cfd.CFD{c})
 			return err
 		})
 		if err != nil {
@@ -184,7 +184,7 @@ func RunD2(w io.Writer, quick bool) error {
 // RunD3 compares incremental detection (the tracker) against re-running
 // batch detection, for growing update batches over a fixed base. Expected
 // shape: incremental wins by a wide factor while |Δ| << |I|.
-func RunD3(w io.Writer, quick bool) error {
+func RunD3(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "D3", "incremental vs batch detection")
 	n := 50000
 	deltas := []int{10, 100, 1000, 5000}
@@ -195,7 +195,7 @@ func RunD3(w io.Writer, quick bool) error {
 	cfds := datagen.StandardCFDs()
 	base := datagen.Generate(datagen.Config{Tuples: n, Seed: 13, NoiseRate: 0.02})
 	fresh := datagen.Generate(datagen.Config{Tuples: deltas[len(deltas)-1], Seed: 99, NoiseRate: 0.10})
-	_, freshRows := fresh.Dirty.Rows()
+	freshRows := fresh.Dirty.Snapshot().Rows()
 
 	fmt.Fprintf(w, "%10s %14s %12s %10s\n", "delta", "incremental_ms", "batch_ms", "speedup")
 	for _, d := range deltas {
@@ -224,7 +224,7 @@ func RunD3(w io.Writer, quick bool) error {
 		var batchRep *detect.Report
 		batchTime, err := timed(func() error {
 			var err error
-			batchRep, err = detect.NativeDetector{}.Detect(context.Background(), tab2, cfds)
+			batchRep, err = detect.NativeDetector{}.Detect(ctx, tab2, cfds)
 			return err
 		})
 		if err != nil {

@@ -15,7 +15,7 @@ import (
 // the noise rate grows — the shape of the VLDB 2007 paper's accuracy
 // experiments. Expected: precision/recall well above chance, graceful
 // degradation, and zero violations in every repaired instance.
-func RunR1(w io.Writer, quick bool) error {
+func RunR1(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "R1", "repair quality vs noise rate")
 	n := 10000
 	if quick {
@@ -30,14 +30,14 @@ func RunR1(w io.Writer, quick bool) error {
 		var res *repair.Result
 		dur, err := timed(func() error {
 			var err error
-			res, err = repair.NewRepairer().Repair(context.Background(), ds.Dirty, cfds)
+			res, err = repair.NewRepairer().Repair(ctx, ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
 			return err
 		}
 		score := ds.ScoreRepairCells(res.Repaired, res.ModifiedCells())
-		rep, err := detect.NativeDetector{}.Detect(context.Background(), res.Repaired, cfds)
+		rep, err := detect.NativeDetector{}.Detect(ctx, res.Repaired, cfds)
 		if err != nil {
 			return err
 		}
@@ -50,7 +50,7 @@ func RunR1(w io.Writer, quick bool) error {
 }
 
 // RunR2 measures repair scalability over growing data at fixed 5% noise.
-func RunR2(w io.Writer, quick bool) error {
+func RunR2(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "R2", "repair scalability (5% noise)")
 	sizes := []int{5000, 10000, 20000, 40000, 80000}
 	if quick {
@@ -63,7 +63,7 @@ func RunR2(w io.Writer, quick bool) error {
 		var res *repair.Result
 		dur, err := timed(func() error {
 			var err error
-			res, err = repair.NewRepairer().Repair(context.Background(), ds.Dirty, cfds)
+			res, err = repair.NewRepairer().Repair(ctx, ds.Dirty, cfds)
 			return err
 		})
 		if err != nil {
@@ -79,7 +79,7 @@ func RunR2(w io.Writer, quick bool) error {
 // RunR3 compares IncRepair (repairing only the delta against a clean base)
 // with re-running BatchRepair on base+delta — the VLDB 2007 incremental
 // claim. Expected: incremental wins by a widening factor for small deltas.
-func RunR3(w io.Writer, quick bool) error {
+func RunR3(ctx context.Context, w io.Writer, quick bool) error {
 	header(w, "R3", "incremental vs batch repair")
 	n := 20000
 	deltas := []int{10, 100, 500, 2000}
@@ -90,7 +90,7 @@ func RunR3(w io.Writer, quick bool) error {
 	cfds := datagen.StandardCFDs()
 	base := datagen.Generate(datagen.Config{Tuples: n, Seed: 31}) // clean base
 	freshDirty := datagen.Generate(datagen.Config{Tuples: deltas[len(deltas)-1], Seed: 77, NoiseRate: 0.20})
-	_, freshRows := freshDirty.Dirty.Rows()
+	freshRows := freshDirty.Dirty.Snapshot().Rows()
 
 	fmt.Fprintf(w, "%10s %14s %12s %10s %12s\n", "delta", "inc_ms", "batch_ms", "speedup", "dirty_after")
 	for _, d := range deltas {
@@ -123,7 +123,7 @@ func RunR3(w io.Writer, quick bool) error {
 			tab2.MustInsert(freshRows[i])
 		}
 		batchTime, err := timed(func() error {
-			_, err := repair.NewRepairer().Repair(context.Background(), tab2, cfds)
+			_, err := repair.NewRepairer().Repair(ctx, tab2, cfds)
 			return err
 		})
 		if err != nil {

@@ -1,0 +1,137 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: just enough Analyzer / Pass /
+// Diagnostic surface for semandaq-vet's custom checkers, built only on the
+// standard library (go/ast, go/types).
+//
+// Why not the real thing: the repo builds offline with no module
+// dependencies, and the x/tools framework is not vendored. The API shape
+// is kept deliberately close to x/tools so the analyzers read idiomatically
+// and could be ported to the real framework by swapping the import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //semandaq:vet-ignore directives. By convention it is a single
+	// lowercase word.
+	Name string
+	// Doc is the one-paragraph description printed by semandaq-vet -list.
+	Doc string
+	// Run applies the check to a single type-checked package, reporting
+	// findings through pass.Report / pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// ignores maps "filename:line" to the set of analyzer names suppressed
+	// at that line by a //semandaq:vet-ignore directive.
+	ignores map[string]map[string]bool
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// IgnoreDirective is the comment prefix that suppresses a diagnostic on
+// the same line or on the line immediately below the comment:
+//
+//	//semandaq:vet-ignore ctxloop deprecated context-free wrapper
+//
+// The first word after the prefix names the analyzer (or "all"); the rest
+// of the line is a free-form reason, which is mandatory by convention so
+// every suppression is self-documenting.
+const IgnoreDirective = "//semandaq:vet-ignore"
+
+// NewPass builds a Pass over a type-checked package, pre-indexing ignore
+// directives from the files' comments.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		ignores:   map[string]map[string]bool{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnoreDirective))
+				name, _, _ := strings.Cut(rest, " ")
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if p.ignores[key] == nil {
+					p.ignores[key] = map[string]bool{}
+				}
+				p.ignores[key][name] = true
+			}
+		}
+	}
+	return p
+}
+
+// ignored reports whether a diagnostic at pos is suppressed by a directive
+// on the same line or the line directly above.
+func (p *Pass) ignored(pos token.Pos) bool {
+	pp := p.Fset.Position(pos)
+	for _, line := range []int{pp.Line, pp.Line - 1} {
+		key := fmt.Sprintf("%s:%d", pp.Filename, line)
+		if m := p.ignores[key]; m != nil && (m[p.Analyzer.Name] || m["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Report records a finding unless an ignore directive covers it.
+func (p *Pass) Report(d Diagnostic) {
+	if p.ignored(d.Pos) {
+		return
+	}
+	d.Analyzer = p.Analyzer.Name
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings recorded so far, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
+
+// Run applies the analyzer to one package and returns its findings.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := NewPass(a, fset, files, pkg, info)
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+	}
+	return pass.Diagnostics(), nil
+}

@@ -1,0 +1,234 @@
+// Package analysistest runs a lint analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixtures
+// themselves — a dependency-free miniature of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. A line that should
+// trigger a diagnostic carries a trailing comment of the form
+//
+//	code() // want `regexp`
+//
+// with one backquoted regexp per expected diagnostic on that line. Lines
+// without a want comment must stay clean; both missed expectations and
+// unexpected diagnostics fail the test.
+//
+// Fixture packages may import each other (by their path under src/), so a
+// fixture can ship a fake semandaq/internal/relstore whose import path —
+// which is what the type-driven analyzers key on — matches the real one.
+// Standard-library imports are resolved from compiled export data via one
+// `go list -export` call, exactly like the production loader.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"semandaq/internal/lint/analysis"
+	"semandaq/internal/lint/loader"
+)
+
+// expectation is one `// want` entry: a regexp expected to match a
+// diagnostic at file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the backquoted patterns of a want comment.
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+// Run applies the analyzer to each fixture package and reports every
+// mismatch between its diagnostics and the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld, err := newFixtureLoader(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgPaths {
+		pe, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", path, err)
+		}
+		diags, err := analysis.Run(a, ld.fset, pe.files, pe.pkg, pe.info)
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, ld.fset, pe.files, diags)
+	}
+}
+
+// checkExpectations matches diagnostics against the files' want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[i:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixtureLoader type-checks fixture packages from a src root, resolving
+// fixture-local imports from source and everything else from stdlib
+// export data.
+type fixtureLoader struct {
+	fset *token.FileSet
+	src  string
+	std  types.Importer
+	pkgs map[string]*pkgEntry
+}
+
+type pkgEntry struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func newFixtureLoader(src string) (*fixtureLoader, error) {
+	ld := &fixtureLoader{
+		fset: token.NewFileSet(),
+		src:  src,
+		pkgs: map[string]*pkgEntry{},
+	}
+	stdPaths, err := ld.stdlibImports()
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(stdPaths) > 0 {
+		// One go list call resolves every stdlib import (and its transitive
+		// dependencies) to compiled export data, as in the production loader.
+		_, exports, err = loader.GoList(".", stdPaths...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ld.std = loader.ExportImporter(ld.fset, exports)
+	return ld, nil
+}
+
+// stdlibImports walks every fixture file and collects the imports that are
+// not fixture packages themselves.
+func (ld *fixtureLoader) stdlibImports() ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(ld.src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "unsafe" || ld.isLocal(p) {
+				continue
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// isLocal reports whether the import path is a fixture package under src.
+func (ld *fixtureLoader) isLocal(path string) bool {
+	st, err := os.Stat(filepath.Join(ld.src, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// Import implements types.Importer over the two-level resolution scheme.
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if ld.isLocal(path) {
+		pe, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pe.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks one fixture package, memoized by path.
+func (ld *fixtureLoader) load(path string) (*pkgEntry, error) {
+	if pe, ok := ld.pkgs[path]; ok {
+		return pe, nil
+	}
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	files, pkg, info, err := loader.Check(ld.fset, ld, path, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	pe := &pkgEntry{files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = pe
+	return pe, nil
+}

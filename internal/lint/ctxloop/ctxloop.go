@@ -1,0 +1,222 @@
+// Package ctxloop enforces the cancellation contract from PR 3: a
+// function that accepts a context.Context and iterates row-scale state
+// (tuples, tuple IDs, partitions, violations) must consult the context
+// somewhere inside the loop — a per-stride ctx.Err() check, a select on
+// ctx.Done(), or passing ctx to the per-item work, which moves the
+// obligation into the callee. A ctx-taking function whose hot loop never
+// mentions any context cannot be cancelled and silently breaks every
+// timeout and shutdown path above it.
+//
+// It also forbids minting fresh root contexts with context.Background() /
+// context.TODO() outside package main and the allowlist: library code must
+// thread the caller's context, not invent its own. Deliberately
+// context-free compatibility wrappers carry a //semandaq:vet-ignore
+// ctxloop directive with a reason.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"semandaq/internal/lint/analysis"
+)
+
+// AllowBackground lists import paths exempt from the Background/TODO rule
+// (beyond package main, which is always exempt). It is empty by default;
+// semandaq-vet's -allow-background flag populates it. Prefer a per-site
+// //semandaq:vet-ignore ctxloop directive with a reason: it is visible at
+// the offending line and reviewed with it.
+var AllowBackground = map[string]bool{}
+
+// rowyElems are the named types whose collections count as row-scale:
+// iterating one of these tracks the size of the data, not of the schema.
+var rowyElems = map[[2]string]bool{
+	{"semandaq/internal/relstore", "Tuple"}:     true,
+	{"semandaq/internal/relstore", "TupleID"}:   true,
+	{"semandaq/internal/relstore", "Partition"}: true,
+	{"semandaq/internal/detect", "Violation"}:   true,
+	{"semandaq/internal/detect", "Group"}:       true,
+}
+
+// Analyzer is the ctxloop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "require a cancellation check in tuple/partition-scale loops of " +
+		"ctx-taking functions, and forbid context.Background()/TODO() " +
+		"outside package main",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkBackground(pass)
+	checkLoops(pass)
+	return nil
+}
+
+// checkBackground flags context.Background() / context.TODO() calls in
+// library packages.
+func checkBackground(pass *analysis.Pass) {
+	if pass.Pkg.Name() == "main" || AllowBackground[pass.Pkg.Path()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s() in library code: thread the caller's ctx instead of minting a root context",
+					name)
+			}
+			return true
+		})
+	}
+}
+
+// checkLoops applies the per-stride rule to every function that takes a
+// context.Context parameter.
+func checkLoops(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftyp *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftyp, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftyp, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasCtxParam(pass, ftyp) {
+				return true
+			}
+			checkBody(pass, body)
+			// Nested func lits with their own ctx param are visited by the
+			// enclosing Inspect as independent functions; loops inside them
+			// are also checked as part of this body, which is fine — a
+			// context mention satisfies both.
+			return true
+		})
+	}
+}
+
+// hasCtxParam reports whether the function type has a context.Context
+// parameter.
+func hasCtxParam(pass *analysis.Pass, ftyp *ast.FuncType) bool {
+	if ftyp.Params == nil {
+		return false
+	}
+	for _, field := range ftyp.Params.List {
+		if t := pass.TypesInfo.Types[field.Type].Type; t != nil && isContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	return analysis.IsNamed(t, "context", "Context")
+}
+
+// checkBody flags row-scale loops in body that never mention a context.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		var pos ast.Node
+		switch loop := n.(type) {
+		case *ast.RangeStmt:
+			if !isRowy(pass.TypesInfo.TypeOf(loop.X)) {
+				return true
+			}
+			loopBody, pos = loop.Body, loop
+		case *ast.ForStmt:
+			if !condMentionsRowy(pass, loop.Cond) {
+				return true
+			}
+			loopBody, pos = loop.Body, loop
+		default:
+			return true
+		}
+		if !mentionsContext(pass, loopBody) {
+			pass.Reportf(pos.Pos(),
+				"row-scale loop in a ctx-taking function has no cancellation check: consult ctx per stride (ctx.Err()/ctx.Done()) or pass ctx to the per-item work")
+		}
+		return true
+	})
+}
+
+// isRowy reports whether t is a collection (slice, array, map or channel)
+// of row-scale elements.
+func isRowy(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := analysis.Deref(t).Underlying().(type) {
+	case *types.Slice:
+		return rowyElem(u.Elem())
+	case *types.Array:
+		return rowyElem(u.Elem())
+	case *types.Map:
+		return rowyElem(u.Key()) || rowyElem(u.Elem())
+	case *types.Chan:
+		return rowyElem(u.Elem())
+	}
+	return false
+}
+
+// rowyElem reports whether t (after pointer unwrapping) is one of the
+// row-scale named types.
+func rowyElem(t types.Type) bool {
+	n, ok := analysis.Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return rowyElems[[2]string{obj.Pkg().Path(), obj.Name()}]
+}
+
+// condMentionsRowy reports whether a 3-clause for condition ranges a
+// row-scale collection, e.g. `for i := 0; i < len(rows); i++`.
+func condMentionsRowy(pass *analysis.Pass, cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isRowy(pass.TypesInfo.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsContext reports whether body lexically references any value of
+// type context.Context — an Err/Done call, a select case, or passing ctx
+// onward all qualify.
+func mentionsContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && isContext(obj.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"semandaq/internal/lint/analysistest"
+	"semandaq/internal/lint/ctxloop"
+)
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxloop.Analyzer, "loops", "mainpkg")
+}

@@ -1,0 +1,16 @@
+package loops
+
+import "context"
+
+func mintBackground() context.Context {
+	return context.Background() // want `context.Background\(\) in library code`
+}
+
+func mintTODO() context.Context {
+	return context.TODO() // want `context.TODO\(\) in library code`
+}
+
+func allowedWrapper() context.Context {
+	//semandaq:vet-ignore ctxloop deliberate context-free wrapper
+	return context.Background()
+}

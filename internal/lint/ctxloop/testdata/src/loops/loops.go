@@ -1,0 +1,84 @@
+// Package loops exercises the per-stride cancellation rule: row-scale
+// loops inside ctx-taking functions must mention the context.
+package loops
+
+import (
+	"context"
+
+	"semandaq/internal/detect"
+	"semandaq/internal/relstore"
+)
+
+func unchecked(ctx context.Context, rows []relstore.Tuple) int {
+	n := 0
+	for range rows { // want `row-scale loop in a ctx-taking function has no cancellation check`
+		n++
+	}
+	return n
+}
+
+func uncheckedIndexed(ctx context.Context, ids []relstore.TupleID) {
+	for i := 0; i < len(ids); i++ { // want `row-scale loop in a ctx-taking function has no cancellation check`
+		_ = ids[i]
+	}
+}
+
+func uncheckedChan(ctx context.Context, ch chan detect.Violation) {
+	for v := range ch { // want `row-scale loop in a ctx-taking function has no cancellation check`
+		_ = v
+	}
+}
+
+func uncheckedMap(ctx context.Context, parts map[relstore.TupleID]relstore.Partition) {
+	for id := range parts { // want `row-scale loop in a ctx-taking function has no cancellation check`
+		_ = id
+	}
+}
+
+func stride(ctx context.Context, rows []relstore.Tuple) error {
+	for i := range rows {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func selectDone(ctx context.Context, ch chan detect.Violation) {
+	for v := range ch {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		_ = v
+	}
+}
+
+func passesCtx(ctx context.Context, groups []detect.Group) {
+	for _, g := range groups {
+		perGroup(ctx, g)
+	}
+}
+
+func perGroup(ctx context.Context, g detect.Group) {}
+
+// noCtx has no context parameter; its loops are out of the rule's scope.
+func noCtx(rows []relstore.Tuple) {
+	for range rows {
+	}
+}
+
+// schemaScale loops track schema size, not data size.
+func schemaScale(ctx context.Context, attrs []string) {
+	for range attrs {
+	}
+}
+
+func suppressed(ctx context.Context, rows []relstore.Tuple) {
+	//semandaq:vet-ignore ctxloop fixture exercises the directive
+	for range rows {
+	}
+}

@@ -1,0 +1,9 @@
+// Command mainpkg shows the package-main exemption: an entry point is
+// exactly where a root context belongs.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

@@ -1,0 +1,6 @@
+// Package detect is a fixture stand-in for the row-scale detect types.
+package detect
+
+type Violation struct{ Tuples []int64 }
+
+type Group struct{ Members []int64 }

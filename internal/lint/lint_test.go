@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"semandaq/internal/lint"
+	"semandaq/internal/lint/analysis"
+	"semandaq/internal/lint/loader"
+)
+
+// TestEveryAnalyzerHasFailingFixture is the suite's meta-test: an analyzer
+// whose fixtures contain no `// want` expectation proves nothing — it
+// would pass vacuously even if its Run func reported nothing at all. Every
+// registered analyzer must ship at least one fixture line it flags.
+func TestEveryAnalyzerHasFailingFixture(t *testing.T) {
+	for _, a := range lint.All() {
+		src := filepath.Join(a.Name, "testdata", "src")
+		wants := 0
+		err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			wants += strings.Count(string(data), "// want `")
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%s: no fixture tree at %s: %v", a.Name, src, err)
+			continue
+		}
+		if wants == 0 {
+			t.Errorf("%s: fixtures contain no `// want` expectation; the analyzer is untested against a violation", a.Name)
+		}
+	}
+}
+
+// TestAnalyzerNamesAndDocs pins the registration contract the driver and
+// the ignore directive depend on: stable single-word names, non-empty
+// docs, no duplicates.
+func TestAnalyzerNamesAndDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.All() {
+		if a.Name == "" || strings.ContainsAny(a.Name, " \t") || strings.ToLower(a.Name) != a.Name {
+			t.Errorf("analyzer name %q must be a single lowercase word", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("%s: missing Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("%s: missing Run", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestRepoClean runs the full suite over the real module — the same sweep
+// `semandaq-vet ./...` performs in CI — and requires zero diagnostics, so
+// a contract regression fails go test even where CI is not wired up.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped with -short")
+	}
+	fset, pkgs, err := loader.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if pkg.Err != nil {
+			t.Errorf("%s: %v", pkg.ImportPath, pkg.Err)
+			continue
+		}
+		for _, a := range lint.All() {
+			diags, err := analysis.Run(a, fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s [%s]", fset.Position(d.Pos), d.Message, a.Name)
+			}
+		}
+	}
+}

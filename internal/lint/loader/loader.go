@@ -1,0 +1,162 @@
+// Package loader type-checks Go packages from source using only the
+// standard library. It shells out to `go list -export` for the build
+// graph and for compiled export data (the same artifacts `go vet` uses),
+// parses each target package's non-test sources with go/parser, and
+// type-checks them with go/types against an export-data importer.
+//
+// This is the piece x/tools' go/packages would normally provide; it is
+// reimplemented here because the repo builds fully offline with zero
+// module dependencies. Test files are deliberately out of scope: the
+// semandaq-vet contract covers production read/write paths, and tests
+// exercise deprecated and context-free surfaces on purpose.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Err records a parse or type error; such packages have no Types/Info
+	// and must be skipped (go build will report the error better).
+	Err error
+}
+
+// ListPackage mirrors the subset of `go list -json` output the loader reads.
+type ListPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// GoList runs `go list -e -export -deps -json` in dir over patterns and
+// returns the decoded package graph plus the path -> export-data map for
+// every buildable package in it (targets and dependencies alike).
+func GoList(dir string, patterns ...string) ([]ListPackage, map[string]string, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []ListPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, exports, nil
+}
+
+// ExportImporter builds a types.Importer that resolves every import from
+// the given path -> export-data-file map.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Load type-checks the packages matched by patterns (their dependencies
+// are consumed as export data only). dir is the working directory for the
+// underlying go list call, typically the module root.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, exports, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || lp.Dir == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		p := &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			GoFiles:    lp.GoFiles,
+		}
+		if lp.Error != nil {
+			p.Err = fmt.Errorf("%s", lp.Error.Err)
+			out = append(out, p)
+			continue
+		}
+		p.Files, p.Types, p.Info, p.Err = Check(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return fset, out, nil
+}
+
+// Check parses the named files in dir and type-checks them as the package
+// at importPath, resolving imports through imp.
+func Check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) ([]*ast.File, *types.Package, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return files, nil, nil, err
+	}
+	return files, pkg, info, nil
+}

@@ -1,0 +1,272 @@
+// Package lockdiscipline complements go vet's copylocks with the blocking
+// rule the concurrent write path (PR 4) depends on: while a sync.Mutex or
+// sync.RWMutex is held, code must not perform a blocking channel
+// operation (send, receive, or a select with no default) or a known
+// long-blocking call (time.Sleep, sync.WaitGroup.Wait). A reader blocked
+// on a channel while holding the table or tracker lock stalls every
+// writer behind it — and with a second lock in the picture, deadlocks.
+//
+// The check is lexical and intra-procedural: it walks each function body
+// in statement order, tracking Lock/RLock...Unlock/RUnlock windows
+// (`defer mu.Unlock()` holds to function end), and flags blocking
+// operations inside a window. Function literals are skipped — a goroutine
+// or deferred closure does not run under the caller's lock.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"semandaq/internal/lint/analysis"
+)
+
+// Analyzer is the lockdiscipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "forbid blocking channel operations and long-blocking calls " +
+		"while holding a sync.Mutex/RWMutex",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				w := &walker{pass: pass}
+				w.block(body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walker tracks which mutexes are held at the current statement. The
+// held set is keyed by the rendered receiver expression (e.g. "t.mu"),
+// which is exact enough for the straight-line lock windows the repo uses.
+type walker struct {
+	pass *analysis.Pass
+	held []string // in acquisition order
+}
+
+func (w *walker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if recv, locks, ok := w.lockOp(st.X); ok {
+			if locks {
+				w.acquire(recv)
+			} else {
+				w.release(recv)
+			}
+			return
+		}
+		w.checkExpr(st.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the remaining
+		// statements; any other deferred call runs after this frame's
+		// blocking behaviour matters, so it is not inspected.
+	case *ast.GoStmt:
+		// A spawned goroutine does not hold the caller's locks.
+	case *ast.BlockStmt:
+		w.block(st)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.checkExpr(st.Cond)
+		w.block(st.Body)
+		if st.Else != nil {
+			w.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.checkExpr(st.Cond)
+		}
+		w.block(st.Body)
+	case *ast.RangeStmt:
+		w.checkExpr(st.X)
+		w.block(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		for _, c := range st.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.SelectStmt:
+		if len(w.held) > 0 && !selectHasDefault(st) {
+			w.pass.Reportf(st.Pos(),
+				"blocking select while holding %s: release the lock first or add a default case", w.heldName())
+		}
+		for _, c := range st.Body.List {
+			for _, cs := range c.(*ast.CommClause).Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.SendStmt:
+		if len(w.held) > 0 {
+			w.pass.Reportf(st.Arrow,
+				"channel send while holding %s: release the lock before communicating", w.heldName())
+		}
+		w.checkExpr(st.Value)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.checkExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.checkExpr(e)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	}
+}
+
+// checkExpr flags blocking operations inside an expression evaluated while
+// a lock is held. Function literals are not descended into.
+func (w *walker) checkExpr(e ast.Expr) {
+	if e == nil || len(w.held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.pass.Reportf(x.Pos(),
+					"channel receive while holding %s: release the lock before communicating", w.heldName())
+			}
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(w.pass.TypesInfo, x); fn != nil && isLongBlocking(fn) {
+				w.pass.Reportf(x.Pos(),
+					"%s.%s while holding %s: long-blocking call under a lock", fn.Pkg().Name(), fn.Name(), w.heldName())
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies e as a Lock/RLock (locks=true) or Unlock/RUnlock
+// (locks=false) call on a sync.Mutex / sync.RWMutex, returning the
+// rendered receiver expression.
+func (w *walker) lockOp(e ast.Expr) (recv string, locks, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return "", false, false
+	}
+	rt := analysis.ReceiverOf(w.pass.TypesInfo, sel)
+	if rt == nil {
+		return "", false, false
+	}
+	if !analysis.IsNamed(rt, "sync", "Mutex") && !analysis.IsNamed(rt, "sync", "RWMutex") {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locks, true
+}
+
+// isLongBlocking reports whether fn is one of the known long-blocking
+// calls the discipline forbids under a lock.
+func isLongBlocking(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		return fn.Name() == "Sleep"
+	case "sync":
+		if fn.Name() != "Wait" {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return false
+		}
+		return analysis.IsNamed(sig.Recv().Type(), "sync", "WaitGroup")
+	}
+	return false
+}
+
+func selectHasDefault(st *ast.SelectStmt) bool {
+	for _, c := range st.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) acquire(recv string) {
+	for _, h := range w.held {
+		if h == recv {
+			return
+		}
+	}
+	w.held = append(w.held, recv)
+}
+
+func (w *walker) release(recv string) {
+	for i, h := range w.held {
+		if h == recv {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// heldName names the most recently acquired lock for diagnostics.
+func (w *walker) heldName() string {
+	if len(w.held) == 0 {
+		return "a lock"
+	}
+	return w.held[len(w.held)-1]
+}

@@ -1,0 +1,63 @@
+// Package snapshotpin enforces the repo's snapshot-pinned read contract:
+// outside internal/relstore, no code may scan a live *relstore.Table
+// directly. Every multi-row read must pin an immutable view first
+// (Table.Snapshot()) and iterate that, so the whole read observes exactly
+// one table version while writers proceed.
+//
+// This is the PR-4 race class turned into a compile-time fact: a direct
+// Table.Scan / Rows / IDs / Columnar call re-pins (or used to tear) per
+// call, so two calls in one logical read can observe two different
+// versions — the exact drift the versioned-report contract forbids.
+// Point reads (Table.Get) and mutations are not scans and stay allowed.
+package snapshotpin
+
+import (
+	"go/ast"
+
+	"semandaq/internal/lint/analysis"
+)
+
+// RelstorePath is the package whose Table type the analyzer guards. The
+// package itself is exempt: it owns the representation.
+const RelstorePath = "semandaq/internal/relstore"
+
+// scanMethods are the *relstore.Table methods that read more than one row
+// from the live store. Snapshot() is the sanctioned entry point; Len,
+// Version, Schema and the mutation surface are fine.
+var scanMethods = map[string]bool{
+	"Scan":     true,
+	"Rows":     true,
+	"IDs":      true,
+	"Columnar": true,
+}
+
+// Analyzer is the snapshotpin check.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotpin",
+	Doc: "forbid direct Table row scans outside relstore; reads must go " +
+		"through a pinned Snapshot so one read observes one version",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == RelstorePath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !scanMethods[sel.Sel.Name] {
+				return true
+			}
+			recv := analysis.ReceiverOf(pass.TypesInfo, sel)
+			if recv == nil || !analysis.IsNamed(recv, RelstorePath, "Table") {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"direct Table.%s outside relstore: pin a read view with Table.Snapshot() and scan that instead",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package snapshotpin_test
+
+import (
+	"testing"
+
+	"semandaq/internal/lint/analysistest"
+	"semandaq/internal/lint/snapshotpin"
+)
+
+func TestSnapshotPin(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotpin.Analyzer,
+		"semandaq/internal/relstore", "pin")
+}
+
+// TestPR4RaceRegression keeps the exact bug shape PR 4 fixed on file: two
+// unpinned scans in one logical read.
+func TestPR4RaceRegression(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotpin.Analyzer, "pr4race")
+}

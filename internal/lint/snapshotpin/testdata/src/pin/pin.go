@@ -1,0 +1,31 @@
+// Package pin exercises the snapshotpin analyzer: direct multi-row reads
+// of a live Table are flagged, snapshot reads and point reads are not.
+package pin
+
+import "semandaq/internal/relstore"
+
+func scansLive(tab *relstore.Table) {
+	tab.Scan(func(relstore.TupleID, relstore.Tuple) bool { return true }) // want `direct Table.Scan outside relstore`
+	_, _ = tab.Rows()                                                     // want `direct Table.Rows outside relstore`
+	_ = tab.IDs()                                                         // want `direct Table.IDs outside relstore`
+	_ = tab.Columnar()                                                    // want `direct Table.Columnar outside relstore`
+}
+
+func pinned(tab *relstore.Table) {
+	snap := tab.Snapshot()
+	snap.Scan(func(relstore.TupleID, relstore.Tuple) bool { return true })
+	_ = snap.Rows()
+	_ = snap.IDs()
+	_ = snap.Columnar()
+	_ = tab.Snapshot().IDs()
+}
+
+func pointReads(tab *relstore.Table) {
+	_, _ = tab.Get(0)
+	_ = tab.Len()
+}
+
+func suppressed(tab *relstore.Table) {
+	//semandaq:vet-ignore snapshotpin fixture exercises the directive
+	_ = tab.IDs()
+}

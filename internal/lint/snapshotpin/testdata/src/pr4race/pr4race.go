@@ -1,0 +1,51 @@
+// Package pr4race is the regression fixture for the PR-4 unpinned-read
+// race: the SQL engine's UPDATE path scanned the live table once to find
+// the matching rows and later again to apply, so a writer landing between
+// the two scans made the report's version a lie. The analyzer must flag
+// both unpinned scans; the pinned rewrite below must stay clean.
+package pr4race
+
+import "semandaq/internal/relstore"
+
+func updateWhereRacy(tab *relstore.Table, match func(relstore.Tuple) bool) int {
+	var hits []relstore.TupleID
+	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool { // want `direct Table.Scan outside relstore`
+		if match(row) {
+			hits = append(hits, id)
+		}
+		return true
+	})
+	// A concurrent writer can slip in here; the second scan then observes
+	// a different table version than the first.
+	n := 0
+	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool { // want `direct Table.Scan outside relstore`
+		for _, h := range hits {
+			if h == id {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}
+
+func updateWherePinned(tab *relstore.Table, match func(relstore.Tuple) bool) int {
+	snap := tab.Snapshot()
+	var hits []relstore.TupleID
+	snap.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		if match(row) {
+			hits = append(hits, id)
+		}
+		return true
+	})
+	n := 0
+	snap.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		for _, h := range hits {
+			if h == id {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}

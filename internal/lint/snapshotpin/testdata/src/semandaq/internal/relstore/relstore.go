@@ -1,0 +1,42 @@
+// Package relstore is a fixture stand-in for the real row store: same
+// import path (which is what the analyzer keys on), same method shapes,
+// no behaviour.
+package relstore
+
+// TupleID identifies a stored tuple.
+type TupleID int64
+
+// Tuple is one stored row.
+type Tuple []string
+
+// Partition groups tuple IDs.
+type Partition struct{ IDs []TupleID }
+
+// Columnar is the column-oriented snapshot face.
+type Columnar struct{}
+
+// Table is the live, mutable row store.
+type Table struct{ rows []Tuple }
+
+func (t *Table) Scan(fn func(TupleID, Tuple) bool) {}
+func (t *Table) Rows() ([]TupleID, []Tuple)        { return nil, nil }
+func (t *Table) IDs() []TupleID                    { return nil }
+func (t *Table) Columnar() *Columnar               { return nil }
+func (t *Table) Get(id TupleID) (Tuple, bool)      { return nil, false }
+func (t *Table) Len() int                          { return len(t.rows) }
+func (t *Table) Snapshot() *Snapshot               { return nil }
+
+// compact scans the live store from inside the owning package, which the
+// analyzer must allow: relstore owns the representation.
+func (t *Table) compact() {
+	t.Scan(func(TupleID, Tuple) bool { return true })
+	_ = t.IDs()
+}
+
+// Snapshot is the pinned immutable view.
+type Snapshot struct{}
+
+func (s *Snapshot) Scan(fn func(TupleID, Tuple) bool) {}
+func (s *Snapshot) Rows() []Tuple                     { return nil }
+func (s *Snapshot) IDs() []TupleID                    { return nil }
+func (s *Snapshot) Columnar() *Columnar               { return nil }

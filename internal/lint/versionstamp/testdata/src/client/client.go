@@ -1,0 +1,50 @@
+// Package client constructs contract structs from outside their home
+// packages; the stamping rule follows the type, not the constructing
+// package.
+package client
+
+import (
+	"semandaq/internal/detect"
+	"semandaq/internal/sqleng"
+)
+
+func unstamped() *detect.Report {
+	return &detect.Report{Vio: []int{1}} // want `detect.Report constructed without stamping Version`
+}
+
+func unstampedValue() detect.Report {
+	return detect.Report{} // want `detect.Report constructed without stamping Version`
+}
+
+func stamped(v int64) *detect.Report {
+	return &detect.Report{Version: v, Vio: nil}
+}
+
+func positional() detect.Report {
+	// A full positional literal sets every field, the stamp included.
+	return detect.Report{3, nil}
+}
+
+func stampedLater(v int64) *detect.Report {
+	rep := &detect.Report{}
+	rep.Version = v
+	return rep
+}
+
+func pluralStamp() *sqleng.Result {
+	return &sqleng.Result{Versions: map[string]int64{"customer": 4}}
+}
+
+func pluralUnstamped() *sqleng.Result {
+	return &sqleng.Result{Rows: nil} // want `sqleng.Result constructed without stamping Versions`
+}
+
+// Summary is not a contract type; no stamp is required.
+func summary() detect.Summary {
+	return detect.Summary{N: 1}
+}
+
+func suppressed() *detect.Report {
+	//semandaq:vet-ignore versionstamp fixture exercises the directive
+	return &detect.Report{}
+}

@@ -1,0 +1,27 @@
+// Package detect is a fixture stand-in for the real detection package:
+// same import path (the analyzer's contract keys on it), minimal types.
+package detect
+
+// Report carries the stamp field and is constructed by the client fixture.
+type Report struct {
+	Version int64
+	Vio     []int
+}
+
+// Result is missing its stamp field, which the declaration check flags.
+type Result struct { // want `detect.Result must carry a Version`
+	N int
+}
+
+// Summary is not a contract name; no field is required.
+type Summary struct {
+	N int
+}
+
+func fresh(version int64) *Report {
+	return &Report{Version: version}
+}
+
+func unstamped() *Report {
+	return &Report{Vio: []int{1}} // want `detect.Report constructed without stamping Version`
+}

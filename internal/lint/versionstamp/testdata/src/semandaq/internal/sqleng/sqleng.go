@@ -1,0 +1,21 @@
+// Package sqleng is a fixture stand-in for the SQL engine: its Result
+// stamps per-base-table versions through the plural Versions map, which
+// the analyzer accepts as the stamp field.
+package sqleng
+
+// Result carries per-table versions.
+type Result struct {
+	Versions map[string]int64
+	Rows     [][]string
+}
+
+func empty() *Result {
+	return &Result{Versions: map[string]int64{}}
+}
+
+func deferred(versions map[string]int64) *Result {
+	res := &Result{}
+	res.Rows = nil
+	res.Versions = versions
+	return res
+}

@@ -1,0 +1,13 @@
+package versionstamp_test
+
+import (
+	"testing"
+
+	"semandaq/internal/lint/analysistest"
+	"semandaq/internal/lint/versionstamp"
+)
+
+func TestVersionStamp(t *testing.T) {
+	analysistest.Run(t, "testdata", versionstamp.Analyzer,
+		"semandaq/internal/detect", "semandaq/internal/sqleng", "client")
+}

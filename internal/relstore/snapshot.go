@@ -65,6 +65,12 @@ func (s *Snapshot) IDs() []TupleID { return s.ids }
 // frozen (copy-on-write protected); callers must not mutate it.
 func (s *Snapshot) Row(i int) Tuple { return s.rows[i] }
 
+// Rows returns the snapshot's tuples in insertion order, parallel to
+// IDs(). Unlike the old Table.Rows, this is O(1): the slice and the
+// tuples are the snapshot's frozen backing storage, and callers must not
+// mutate either.
+func (s *Snapshot) Rows() []Tuple { return s.rows }
+
 // Get returns the tuple with the given ID as of this snapshot's version.
 // The returned Tuple is frozen; callers must not mutate it.
 func (s *Snapshot) Get(id TupleID) (Tuple, bool) {

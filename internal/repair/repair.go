@@ -12,6 +12,10 @@ import (
 	"semandaq/internal/types"
 )
 
+// cancelStride is how many items the repair pass loops process between
+// context cancellation checks.
+const cancelStride = 4096
+
 // Repairer runs the batch repair algorithm.
 type Repairer struct {
 	Cost CostModel
@@ -203,7 +207,13 @@ func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.
 		constFix := map[cellKey][]detect.Violation{}
 		perTuple := map[relstore.TupleID][]cellKey{}
 		var tupleOrder []relstore.TupleID
+		n := 0
 		for _, v := range rep.Violations {
+			if n++; n%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if v.Kind != detect.SingleTuple {
 				continue
 			}
@@ -217,6 +227,11 @@ func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.
 			constFix[k] = append(constFix[k], v)
 		}
 		for _, id := range tupleOrder {
+			if n++; n%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			row, ok := work.Get(id)
 			if !ok {
 				continue
@@ -264,6 +279,11 @@ func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.
 
 		// Step 3: multi-tuple group merges with oscillation arbitration.
 		for _, g := range rep.Groups {
+			if n++; n%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			did, err := r.resolveGroup(work, g, history, change)
 			if err != nil {
 				return nil, err

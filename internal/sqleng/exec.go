@@ -127,7 +127,11 @@ func (q *queryPins) versions() map[string]int64 {
 }
 
 // Query parses and executes a single statement without cancellation.
+//
+// Deprecated: use QueryContext so callers can cancel long scans and
+// joins; Query is kept only for context-free compatibility.
 func (e *Engine) Query(sql string) (*Result, error) {
+	//semandaq:vet-ignore ctxloop deprecated context-free wrapper by design
 	return e.QueryContext(context.Background(), sql)
 }
 
@@ -143,8 +147,12 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) 
 }
 
 // MustQuery is Query for tests; it panics on error.
+//
+// Deprecated: production callers use QueryContext; MustQuery exists for
+// test fixtures only.
 func (e *Engine) MustQuery(sql string) *Result {
-	r, err := e.Query(sql)
+	//semandaq:vet-ignore ctxloop deprecated context-free wrapper by design
+	r, err := e.QueryContext(context.Background(), sql)
 	if err != nil {
 		panic(err)
 	}
@@ -152,7 +160,11 @@ func (e *Engine) MustQuery(sql string) *Result {
 }
 
 // Run executes a pre-parsed statement without cancellation.
+//
+// Deprecated: use RunContext so callers can cancel long scans and joins;
+// Run is kept only for context-free compatibility.
 func (e *Engine) Run(st Statement) (*Result, error) {
+	//semandaq:vet-ignore ctxloop deprecated context-free wrapper by design
 	return e.RunContext(context.Background(), st)
 }
 
@@ -170,10 +182,15 @@ func (e *Engine) RunContext(ctx context.Context, st Statement) (*Result, error) 
 	case *CreateTableStmt:
 		return e.runCreate(s)
 	case *DropTableStmt:
-		if !e.store.Drop(s.Table) {
+		tab, ok := e.store.Table(s.Table)
+		if !ok || !e.store.Drop(s.Table) {
 			return nil, fmt.Errorf("sql: no table %q", s.Table)
 		}
-		return &Result{}, nil
+		// Stamp the dropped table's final version: the statement's last
+		// observation of the base table it touched.
+		return &Result{
+			Versions: map[string]int64{strings.ToLower(s.Table): tab.Version()},
+		}, nil
 	}
 	return nil, fmt.Errorf("sql: unsupported statement %T", st)
 }
@@ -460,17 +477,14 @@ func (e *Engine) runSelect(ctx context.Context, st *SelectStmt) (*Result, error)
 		}
 		rel.rows = kept
 	}
-	res, err := e.projectAndFinish(ctx, st, rel)
-	if err != nil {
-		return nil, err
-	}
-	res.Versions = qp.versions()
-	return res, nil
+	return e.projectAndFinish(ctx, st, rel, qp.versions())
 }
 
 // selectNoFrom handles SELECT <exprs> with no FROM clause (constants).
 func (e *Engine) selectNoFrom(st *SelectStmt) (*Result, error) {
-	res := &Result{}
+	// No FROM clause: the statement touches no base table, which the
+	// stamp records as an explicitly empty version map.
+	res := &Result{Versions: map[string]int64{}}
 	var row []types.Value
 	for _, item := range st.Items {
 		if item.Star {
@@ -1044,8 +1058,9 @@ func (s *aggState) result() types.Value {
 }
 
 // projectAndFinish runs grouping, having, projection, distinct, order and
-// limit over the filtered relation.
-func (e *Engine) projectAndFinish(ctx context.Context, st *SelectStmt, rel *relation) (*Result, error) {
+// limit over the filtered relation. versions is the per-base-table pin map
+// the query resolved; it stamps the Result at construction.
+func (e *Engine) projectAndFinish(ctx context.Context, st *SelectStmt, rel *relation, versions map[string]int64) (*Result, error) {
 	var orderExprs []Expr
 	for _, oi := range st.OrderBy {
 		orderExprs = append(orderExprs, oi.Expr)
@@ -1228,7 +1243,7 @@ func (e *Engine) projectAndFinish(ctx context.Context, st *SelectStmt, rel *rela
 		orderKeys = append(orderKeys, ok)
 	}
 
-	res := &Result{}
+	res := &Result{Versions: versions}
 	for _, p := range projs {
 		res.Columns = append(res.Columns, p.name)
 	}
@@ -1424,7 +1439,10 @@ func (e *Engine) runUpdate(ctx context.Context, st *UpdateStmt) (*Result, error)
 	var updates []pendingUpdate
 	var scanErr error
 	n := 0
-	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+	// Pin the read phase: the WHERE scan evaluates exactly one table
+	// version even while other writers interleave; the apply phase below
+	// then re-locks per tuple as usual.
+	tab.Snapshot().Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
 		if n++; n%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
 				scanErr = err
@@ -1484,7 +1502,8 @@ func (e *Engine) runDelete(ctx context.Context, st *DeleteStmt) (*Result, error)
 	var ids []relstore.TupleID
 	var scanErr error
 	n := 0
-	tab.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+	// Pin the read phase (see runUpdate): one version for the WHERE scan.
+	tab.Snapshot().Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
 		if n++; n%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
 				scanErr = err
@@ -1507,6 +1526,9 @@ func (e *Engine) runDelete(ctx context.Context, st *DeleteStmt) (*Result, error)
 	if scanErr != nil {
 		return nil, scanErr
 	}
+	// The apply phase deliberately runs to completion: aborting between
+	// deletes would leave the DML half-applied with an error return.
+	//semandaq:vet-ignore ctxloop apply phase is atomic by design
 	for _, id := range ids {
 		tab.Delete(id)
 	}
@@ -1521,8 +1543,11 @@ func (e *Engine) runCreate(st *CreateTableStmt) (*Result, error) {
 	for i, c := range st.Cols {
 		attrs[i] = schema.Attribute{Name: c.Name, Type: c.Type}
 	}
-	if _, err := e.store.Create(schema.NewTyped(st.Table, attrs...)); err != nil {
+	tab, err := e.store.Create(schema.NewTyped(st.Table, attrs...))
+	if err != nil {
 		return nil, err
 	}
-	return &Result{}, nil
+	return &Result{
+		Versions: map[string]int64{strings.ToLower(st.Table): tab.Version()},
+	}, nil
 }
