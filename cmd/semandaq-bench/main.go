@@ -44,6 +44,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	jsonPath := flag.String("json", "", "run the detection bench sweep and write machine-readable results to this file")
 	discoverJSONPath := flag.String("discoverjson", "", "run the discovery bench sweep and write machine-readable results to this file")
+	incrJSONPath := flag.String("incrjson", "", "run the incremental-serving ops sweep and write machine-readable results to this file")
 	flag.Var(&sel, "exp", "experiment ID to run (repeatable); default all")
 	flag.Parse()
 
@@ -61,6 +62,13 @@ func main() {
 	}
 	if *discoverJSONPath != "" {
 		if _, err := experiments.WriteDiscoverBenchJSON(ctx, *discoverJSONPath, *quick, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "semandaq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *incrJSONPath != "" {
+		if _, err := experiments.WriteIncrementalBenchJSON(ctx, *incrJSONPath, *quick, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "semandaq-bench: %v\n", err)
 			os.Exit(1)
 		}

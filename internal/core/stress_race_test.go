@@ -191,6 +191,37 @@ func runStress(t *testing.T, s *Semandaq, withMonitor bool) {
 		}()
 	}
 
+	// Discovery readers: each Discover routes through the table's
+	// incremental session (cache-refresh over the changed columns, full
+	// mine after inserts/deletes). Every served report must reflect exactly
+	// one pinned version — and in this workload K -> V holds at EVERY
+	// version, so a report missing that global FD can only come from mining
+	// state torn across versions.
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		last := int64(0)
+		for i := 0; i < readerIters; i++ {
+			rep, err := s.Discover(ctx, "traffic", WithMinSupport(2), WithMaxLHS(2))
+			if err != nil {
+				t.Errorf("discover: %v", err)
+				return
+			}
+			found := false
+			for _, c := range rep.Candidates {
+				if c.Kind == "global-fd" && len(c.CFD.LHS) == 1 && c.CFD.LHS[0] == "K" && c.CFD.RHS[0] == "V" {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("discover: K -> V missing at version %d (mining state torn across versions?)", rep.Version)
+				return
+			}
+			last = assertClean("discover", rep.Version, last)
+		}
+	}()
+
 	// With a monitor active, its incrementally tracked report must stay
 	// clean too, concurrently with the writers feeding it.
 	if withMonitor {

@@ -1,112 +1,98 @@
-package detect
+// The mutation cross-check tier, rebuilt on the reusable oracle harness
+// (internal/oracle): every test drives mutations through the incremental
+// stack — tracker, snapshot patcher, discovery session — and asserts the
+// maintained state is byte-identical to cold rebuilds at every
+// intermediate version. An external test package, because the oracle
+// imports detect.
+package detect_test
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
-	"reflect"
 	"sync"
 	"testing"
 
 	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+	"semandaq/internal/discovery"
+	"semandaq/internal/oracle"
 	"semandaq/internal/relstore"
 	"semandaq/internal/schema"
 	"semandaq/internal/types"
 )
 
-// assertByteIdentical cross-checks the tracker's materialized report
-// against a batch NativeDetector pass over the current table with
-// reflect.DeepEqual — not just vio(t) equivalence but identical violation
-// records, group members, RHS bookkeeping and the version stamp.
-func assertByteIdentical(t *testing.T, tab *relstore.Table, cfds []*cfd.CFD, tr *Tracker) {
-	t.Helper()
-	batch, err := NativeDetector{}.Detect(context.Background(), tab, cfds)
+// TestTrackerMutationSequenceByteIdentical drives a randomized
+// insert/delete/set stream — tiny domains, so multi-tuple groups
+// repeatedly flip dirty and heal clean — and asserts the whole
+// incremental stack stays byte-identical to cold rebuilds throughout.
+func TestTrackerMutationSequenceByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h, err := oracle.New(oracle.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := tr.Report()
-	if got.Version != batch.Version {
-		t.Fatalf("versions differ: tracker %d, batch %d", got.Version, batch.Version)
+	prog := make([]byte, 600)
+	for i := range prog {
+		prog[i] = byte(rng.Intn(256))
 	}
-	if !reflect.DeepEqual(batch, got) {
-		if err := Equivalent(batch, got); err != nil {
-			t.Fatalf("tracker diverged from batch: %v", err)
-		}
-		t.Fatalf("reports equivalent but not byte-identical:\nbatch: %+v\ntracker: %+v", batch, got)
+	// Check every 5 decoded ops: dense enough to pin a divergence to a
+	// handful of mutations, cheap enough to run a long program.
+	if err := h.Drive(prog, 5, func() error { return h.Check(t.Context()) }); err != nil {
+		t.Fatal(err)
 	}
 }
 
-// TestTrackerMutationSequenceByteIdentical drives a randomized
-// insert/delete/set stream — tuned so multi-tuple groups repeatedly flip
-// dirty and heal clean — and asserts the tracker's report stays
-// byte-identical to batch detection throughout and on the final table.
-func TestTrackerMutationSequenceByteIdentical(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
-	tab := relstore.NewTable(schema.New("m", "K", "V", "W"))
-	cfds, err := cfd.ParseSet(`
-m: [K=_] -> [V=_]
-m: [K=k0] -> [W=good]
-`)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Tiny domains: 3 keys, 2 values — groups of ~7 tuples constantly gain
-	// and lose dissenters, exercising the flip (clean group turns
-	// violating: every member becomes dirty) and heal (violating group
-	// turns clean: every member loses the dirty source) transitions.
-	randRow := func() relstore.Tuple {
-		return relstore.Tuple{
-			types.NewString(fmt.Sprintf("k%d", rng.Intn(3))),
-			types.NewString(fmt.Sprintf("v%d", rng.Intn(2))),
-			types.NewString([]string{"good", "bad"}[rng.Intn(2)]),
-		}
-	}
-	for i := 0; i < 20; i++ {
-		tab.MustInsert(randRow())
-	}
-	tr, err := NewTracker(tab, cfds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ids := tab.IDs()
-	for step := 0; step < 300; step++ {
-		switch op := rng.Intn(4); {
-		case op == 0:
-			id, _, err := tr.Insert(randRow())
+// TestOracleAcrossNoiseRates replays edit workloads over the paper's
+// customer relation at 0%, 2% and 10% noise, cross-checking tracker,
+// patcher and discovery session against cold rebuilds at every version.
+func TestOracleAcrossNoiseRates(t *testing.T) {
+	for _, noise := range []float64{0, 0.02, 0.10} {
+		t.Run(fmt.Sprintf("noise=%v", noise), func(t *testing.T) {
+			ds := datagen.Generate(datagen.Config{Tuples: 200, Seed: 7, NoiseRate: noise})
+			tab := ds.Dirty
+			cfds := datagen.StandardCFDs()
+			h, err := oracle.Attach(tab, cfds, discovery.Options{MinSupport: 4, MaxLHS: 2, Workers: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
-			ids = append(ids, id)
-		case op == 1 && len(ids) > 4:
-			k := rng.Intn(len(ids))
-			if _, err := tr.Delete(ids[k]); err != nil {
-				t.Fatal(err)
+			rng := rand.New(rand.NewSource(int64(noise * 100)))
+			sc := tab.Schema()
+			cities := []string{"Edinburgh", "London", "New York", "Chicago"}
+			countries := []string{"UK", "US"}
+			ids := tab.IDs()
+			for step := 0; step < 12; step++ {
+				id := ids[rng.Intn(len(ids))]
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := h.Tracker.SetCell(id, "CITY", types.NewString(cities[rng.Intn(len(cities))])); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					if _, err := h.Tracker.SetCell(id, "CNT", types.NewString(countries[rng.Intn(len(countries))])); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					row, ok := tab.Get(id)
+					if !ok {
+						t.Fatalf("lost tuple %d", id)
+					}
+					if _, err := h.Tracker.Delete(id); err != nil {
+						t.Fatal(err)
+					}
+					nid, _, err := h.Tracker.Insert(append(relstore.Tuple(nil), row...))
+					if err != nil {
+						t.Fatal(err)
+					}
+					ids[len(ids)-1] = nid
+					_ = sc
+				}
+				if err := h.Check(t.Context()); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
 			}
-			ids = append(ids[:k], ids[k+1:]...)
-		default:
-			if len(ids) == 0 {
-				continue
-			}
-			id := ids[rng.Intn(len(ids))]
-			attr := []string{"K", "V", "W"}[rng.Intn(3)]
-			var val types.Value
-			switch attr {
-			case "K":
-				val = types.NewString(fmt.Sprintf("k%d", rng.Intn(3)))
-			case "V":
-				val = types.NewString(fmt.Sprintf("v%d", rng.Intn(2)))
-			default:
-				val = types.NewString([]string{"good", "bad"}[rng.Intn(2)])
-			}
-			if _, err := tr.SetCell(id, attr, val); err != nil {
-				t.Fatal(err)
-			}
-		}
-		if step%25 == 0 {
-			assertByteIdentical(t, tab, cfds, tr)
-		}
+		})
 	}
-	assertByteIdentical(t, tab, cfds, tr)
 }
 
 // TestTrackerConcurrentUseRace hits the tracker from concurrent writers
@@ -126,7 +112,7 @@ func TestTrackerConcurrentUseRace(t *testing.T) {
 			types.NewString(fmt.Sprintf("v%d", i%2)),
 		})
 	}
-	tr, err := NewTracker(tab, cfds)
+	tr, err := detect.NewTracker(tab, cfds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,5 +171,29 @@ func TestTrackerConcurrentUseRace(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	assertByteIdentical(t, tab, cfds, tr)
+	h, err := oracle.Attach(tab, cfds, discovery.Options{MinSupport: 2, MaxLHS: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The post-race harness attaches a fresh tracker; cross-check the one
+	// that absorbed the concurrent writes against batch detection too.
+	if err := h.CheckStore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckDiscovery(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	batchCheck(t, tab, cfds, tr)
+}
+
+// batchCheck cross-checks a live tracker's report against a batch pass.
+func batchCheck(t *testing.T, tab *relstore.Table, cfds []*cfd.CFD, tr *detect.Tracker) {
+	t.Helper()
+	batch, err := detect.NativeDetector{}.Detect(t.Context(), tab, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := detect.Equivalent(batch, tr.Report()); err != nil {
+		t.Fatalf("tracker diverged from batch: %v", err)
+	}
 }

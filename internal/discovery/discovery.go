@@ -118,11 +118,21 @@ type Report struct {
 // versioned report. A cancelled ctx aborts the search between strides and
 // returns ctx.Err().
 func Mine(ctx context.Context, snap *relstore.Snapshot, opts Options) (*Report, error) {
+	return mineSession(ctx, snap, opts, nil, nil, &mineStats{})
+}
+
+// mineSession is Mine with the incremental hooks attached: reuse answers
+// lattice decisions from the previous run where valid (nil = cold), rec
+// collects this run's decisions for the next (nil = don't record). Reuse
+// only short-circuits per-node work; the walk and hence the Report are
+// identical to a cold Mine over the same snapshot.
+func mineSession(ctx context.Context, snap *relstore.Snapshot, opts Options, reuse *reuseState, rec *recorder, stats *mineStats) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err // don't pay the columnar/PLI build for a dead request
 	}
 	opts = opts.withDefaults(snap.Len())
 	m := newMiner(ctx, snap, opts)
+	m.reuse, m.rec, m.stats = reuse, rec, stats
 	if err := ctx.Err(); err != nil {
 		return nil, err // the cold build stopped early; its outputs are partial
 	}

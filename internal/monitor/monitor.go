@@ -104,6 +104,14 @@ func (m *Monitor) MarkCleansed() {
 // Tracker exposes the underlying violation index (read-only use).
 func (m *Monitor) Tracker() *detect.Tracker { return m.tracker }
 
+// CFDs returns the constraint set the monitor tracks (fixed at New). The
+// serving layer compares it against a detection request's constraints to
+// decide whether the tracker's incrementally maintained report can answer
+// the request.
+func (m *Monitor) CFDs() []*cfd.CFD {
+	return append([]*cfd.CFD(nil), m.cfds...)
+}
+
 // DirtyCount returns the number of tuples with violations.
 func (m *Monitor) DirtyCount() int { return m.tracker.DirtyCount() }
 

@@ -1,0 +1,87 @@
+package oracle
+
+import (
+	"math"
+	"reflect"
+)
+
+// deepEqual is reflect.DeepEqual with one repair: floats compare by their
+// IEEE-754 bits, so NaN equals NaN (same payload) and the oracle can keep
+// NaN in its value alphabet — reflect.DeepEqual would reject every report
+// containing a NaN candidate, cold-vs-cold included. Bit comparison is
+// stricter than ==, which is the point: the oracle asserts byte identity.
+func deepEqual(a, b any) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return eqValue(reflect.ValueOf(a), reflect.ValueOf(b))
+}
+
+func eqValue(a, b reflect.Value) bool {
+	if !a.IsValid() || !b.IsValid() {
+		return a.IsValid() == b.IsValid()
+	}
+	if a.Type() != b.Type() {
+		return false
+	}
+	switch a.Kind() {
+	case reflect.Float32, reflect.Float64:
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	case reflect.Bool:
+		return a.Bool() == b.Bool()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return a.Int() == b.Int()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return a.Uint() == b.Uint()
+	case reflect.String:
+		return a.String() == b.String()
+	case reflect.Complex64, reflect.Complex128:
+		ac, bc := a.Complex(), b.Complex()
+		return math.Float64bits(real(ac)) == math.Float64bits(real(bc)) &&
+			math.Float64bits(imag(ac)) == math.Float64bits(imag(bc))
+	case reflect.Pointer, reflect.Interface:
+		if a.IsNil() || b.IsNil() {
+			return a.IsNil() == b.IsNil()
+		}
+		return eqValue(a.Elem(), b.Elem())
+	case reflect.Slice:
+		if a.IsNil() != b.IsNil() { // DeepEqual distinguishes nil from empty
+			return false
+		}
+		fallthrough
+	case reflect.Array:
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if !eqValue(a.Index(i), b.Index(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Map:
+		// Keys look up directly (no NaN keys in any report type); values
+		// recurse.
+		if a.IsNil() != b.IsNil() || a.Len() != b.Len() {
+			return false
+		}
+		for _, k := range a.MapKeys() {
+			bv := b.MapIndex(k)
+			if !bv.IsValid() || !eqValue(a.MapIndex(k), bv) {
+				return false
+			}
+		}
+		return true
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			if !eqValue(a.Field(i), b.Field(i)) {
+				return false
+			}
+		}
+		return true
+	default:
+		// Chan/Func/UnsafePointer never appear in reports; identity is the
+		// only sane meaning if they ever do.
+		return a.Interface() == b.Interface()
+	}
+}

@@ -1,0 +1,243 @@
+// Package oracle is the reusable incremental-vs-batch cross-check harness:
+// it decodes byte strings into mutation sequences over a seeded schema,
+// applies them through the incremental serving stack (the detect.Tracker,
+// which also drives the relstore snapshot patcher, plus a discovery
+// Session), and asserts at every intermediate version that the patched
+// state is byte-identical to a cold rebuild:
+//
+//   - the patched Snapshot/Columnar/PLI artifacts equal a from-scratch
+//     batch build (relstore.DiffSnapshots);
+//   - the tracker's materialized report equals a batch NativeDetector pass
+//     and a ColumnarDetector pass over a rebuilt snapshot (DeepEqual);
+//   - the discovery session's refreshed report equals a cold Mine over a
+//     rebuilt snapshot (DeepEqual).
+//
+// The detect-package cross-check tests and the FuzzIncrementalOracle fuzz
+// target both drive this harness; experiments reuse its mutation decoding
+// for reproducible edit workloads. Values are drawn from small per-column
+// alphabets that include the adversarial representations (INT 1 vs FLOAT
+// 1.0, NaN, NULL) so the Equal-vs-exact distinction the patcher relies on
+// is always in play.
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/detect"
+	"semandaq/internal/discovery"
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+// Config seeds one harness: the schema, a value alphabet per column, the
+// constraints the tracker maintains, the number of seed rows inserted
+// before the tracker attaches, and the discovery options the session runs.
+type Config struct {
+	Schema    *schema.Relation
+	Domain    [][]types.Value
+	CFDs      []*cfd.CFD
+	SeedRows  int
+	Discovery discovery.Options
+}
+
+// DefaultConfig returns the standard oracle workload: a 3-attribute
+// relation under one variable and one constant CFD, with tiny domains so
+// multi-tuple groups constantly flip between clean and violating, and with
+// Equal-but-not-identical numerics in the V column.
+func DefaultConfig() Config {
+	cfds, err := cfd.ParseSet(`
+f: [K=_] -> [V=_]
+f: [K=k0] -> [W=good]
+`)
+	if err != nil {
+		panic(err) // static text; cannot fail
+	}
+	return Config{
+		Schema: schema.New("f", "K", "V", "W"),
+		Domain: [][]types.Value{
+			{types.NewString("k0"), types.NewString("k1"), types.NewString("k2")},
+			{types.NewString("v0"), types.NewString("v1"), types.NewInt(1),
+				types.NewFloat(1.0), types.NewFloat(math.NaN()), types.Null},
+			{types.NewString("good"), types.NewString("bad"), types.Null},
+		},
+		CFDs:      cfds,
+		SeedRows:  8,
+		Discovery: discovery.Options{MinSupport: 2, MaxLHS: 2, Workers: 2},
+	}
+}
+
+// Harness is one live oracle run: the table, the incremental maintainers
+// over it, and the id set the mutation decoder targets.
+type Harness struct {
+	Cfg     Config
+	Tab     *relstore.Table
+	Tracker *detect.Tracker
+	Sess    *discovery.Session
+	ids     []relstore.TupleID
+}
+
+// New builds the table, inserts the seed rows (cycling the domain), and
+// attaches the tracker and the discovery session.
+func New(cfg Config) (*Harness, error) {
+	tab := relstore.NewTable(cfg.Schema)
+	arity := cfg.Schema.Arity()
+	h := &Harness{Cfg: cfg, Tab: tab}
+	for i := 0; i < cfg.SeedRows; i++ {
+		row := make(relstore.Tuple, arity)
+		for j := range row {
+			row[j] = cfg.Domain[j][(i+j)%len(cfg.Domain[j])]
+		}
+		h.ids = append(h.ids, tab.MustInsert(row))
+	}
+	tr, err := detect.NewTracker(tab, cfg.CFDs)
+	if err != nil {
+		return nil, err
+	}
+	h.Tracker = tr
+	h.Sess = discovery.NewSession(tab)
+	return h, nil
+}
+
+// Attach wraps an existing table — e.g. a datagen workload at a chosen
+// noise rate — in a harness: tracker and discovery session attach to the
+// table as it stands. The returned harness has no decoder domain; callers
+// drive their own mutations through Tracker and call the Check methods.
+func Attach(tab *relstore.Table, cfds []*cfd.CFD, opts discovery.Options) (*Harness, error) {
+	tr, err := detect.NewTracker(tab, cfds)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{
+		Cfg:     Config{Schema: tab.Schema(), CFDs: cfds, Discovery: opts},
+		Tab:     tab,
+		Tracker: tr,
+		Sess:    discovery.NewSession(tab),
+	}, nil
+}
+
+// Drive decodes data as a mutation program and applies it through the
+// tracker, invoking check after every checkEvery ops and once at the end.
+// The decoding is total: any byte string is a valid program (reads past
+// the end yield zero), which is what makes it a fuzz alphabet.
+func (h *Harness) Drive(data []byte, checkEvery int, check func() error) error {
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	arity := h.Cfg.Schema.Arity()
+	nops := 0
+	for pos < len(data) {
+		op := int(next()) % 4
+		if len(h.ids) == 0 {
+			op = 0 // only inserts make sense on an empty table
+		}
+		switch op {
+		case 0: // insert
+			row := make(relstore.Tuple, arity)
+			for j := range row {
+				row[j] = h.Cfg.Domain[j][int(next())%len(h.Cfg.Domain[j])]
+			}
+			id, _, err := h.Tracker.Insert(row)
+			if err != nil {
+				return err
+			}
+			h.ids = append(h.ids, id)
+		case 1: // delete
+			k := int(next()) % len(h.ids)
+			if _, err := h.Tracker.Delete(h.ids[k]); err != nil {
+				return err
+			}
+			h.ids = append(h.ids[:k], h.ids[k+1:]...)
+		default: // set cell (two opcodes: sets dominate real workloads)
+			id := h.ids[int(next())%len(h.ids)]
+			j := int(next()) % arity
+			v := h.Cfg.Domain[j][int(next())%len(h.Cfg.Domain[j])]
+			if _, err := h.Tracker.SetCell(id, h.Cfg.Schema.Attrs[j].Name, v); err != nil {
+				return err
+			}
+		}
+		if nops++; nops%checkEvery == 0 {
+			if err := check(); err != nil {
+				return fmt.Errorf("after op %d (version %d): %w", nops, h.Tab.Version(), err)
+			}
+		}
+	}
+	return check()
+}
+
+// Check asserts every incremental artifact equals its cold rebuild at the
+// table's current version. It is the union of the per-layer oracles; use
+// the narrower methods to scope a failure.
+func (h *Harness) Check(ctx context.Context) error {
+	if err := h.CheckStore(); err != nil {
+		return err
+	}
+	if err := h.CheckDetect(ctx); err != nil {
+		return err
+	}
+	return h.CheckDiscovery(ctx)
+}
+
+// CheckStore asserts the (possibly delta-patched) snapshot and all its
+// columnar/PLI artifacts are byte-identical to a from-scratch batch build.
+func (h *Harness) CheckStore() error {
+	if err := relstore.DiffSnapshots(h.Tab.Snapshot(), h.Tab.RebuildSnapshot()); err != nil {
+		return fmt.Errorf("relstore: patched snapshot != cold rebuild: %w", err)
+	}
+	return nil
+}
+
+// CheckDetect asserts the tracker's materialized report is DeepEqual to
+// batch detection — the row-store engine on the live table and the
+// columnar engine on a freshly rebuilt snapshot.
+func (h *Harness) CheckDetect(ctx context.Context) error {
+	got := h.Tracker.Report()
+	batch, err := detect.NativeDetector{}.Detect(ctx, h.Tab, h.Cfg.CFDs)
+	if err != nil {
+		return err
+	}
+	if !deepEqual(batch, got) {
+		if err := detect.Equivalent(batch, got); err != nil {
+			return fmt.Errorf("detect: tracker diverged from batch: %w", err)
+		}
+		return fmt.Errorf("detect: tracker report equivalent but not byte-identical to batch\nbatch: %+v\ntracker: %+v", batch, got)
+	}
+	col, err := detect.ColumnarDetector{}.DetectSnapshot(ctx, h.Tab.RebuildSnapshot(), h.Cfg.CFDs)
+	if err != nil {
+		return err
+	}
+	if !deepEqual(col, got) {
+		return fmt.Errorf("detect: tracker report != columnar engine over rebuilt snapshot")
+	}
+	return nil
+}
+
+// CheckDiscovery asserts the session's (possibly cache-refreshed) report
+// is DeepEqual to a cold Mine over a freshly rebuilt snapshot.
+func (h *Harness) CheckDiscovery(ctx context.Context) error {
+	got, err := h.Sess.Discover(ctx, h.Cfg.Discovery)
+	if err != nil {
+		return err
+	}
+	want, err := discovery.Mine(ctx, h.Tab.RebuildSnapshot(), h.Cfg.Discovery)
+	if err != nil {
+		return err
+	}
+	if !deepEqual(got, want) {
+		return fmt.Errorf("discovery: session report != cold mine (got %d/%d candidates/cfds, want %d/%d)",
+			len(got.Candidates), len(got.CFDs), len(want.Candidates), len(want.CFDs))
+	}
+	return nil
+}

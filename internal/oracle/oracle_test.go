@@ -1,0 +1,66 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHarnessRandomizedSequences drives seeded random mutation programs
+// through the full oracle — relstore patch, tracker report, discovery
+// session — checking byte-identity at every version.
+func TestHarnessRandomizedSequences(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		h, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 160)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		if err := h.Drive(data, 1, func() error { return h.Check(t.Context()) }); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestHarnessEmptiesTable drains the table to zero rows and rebuilds it,
+// crossing the structural edge cases (empty snapshot, empty PLIs, empty
+// mine) with the oracle active.
+func TestHarnessEmptiesTable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SeedRows = 3
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 deletes (opcode 1), then 4 inserts (opcode 0 + 3 domain bytes).
+	prog := []byte{
+		1, 0, 1, 0, 1, 0,
+		0, 0, 0, 0, 0, 1, 1, 1, 0, 2, 2, 2, 0, 0, 3, 1,
+	}
+	if err := h.Drive(prog, 1, func() error { return h.Check(t.Context()) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzIncrementalOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0, 2, 0, 1, 3, 1, 1, 2, 0, 0, 4})
+	f.Add([]byte{2, 0, 1, 3, 2, 1, 1, 4, 2, 2, 1, 5, 3, 3, 1, 2})
+	f.Add([]byte{1, 0, 1, 1, 1, 2, 0, 1, 1, 1, 0, 2, 2, 2})
+	f.Add([]byte{0, 2, 5, 2, 2, 4, 1, 3, 3, 5, 1, 0, 2, 6, 1, 1, 0, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512] // bound per-exec cost, not coverage
+		}
+		h, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Drive(data, 1, func() error { return h.Check(t.Context()) }); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

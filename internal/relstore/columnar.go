@@ -26,6 +26,7 @@ package relstore
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"semandaq/internal/schema"
 	"semandaq/internal/types"
@@ -38,6 +39,13 @@ type Column struct {
 	codes []uint32      // per row: exact dictionary code
 	dict  []types.Value // exact code -> value (first occurrence wins)
 	eq    []uint32      // exact code -> canonical Equal-class code
+	// counts and first are the occurrence bookkeeping the delta patcher
+	// (patch.go) decides on: counts[c] is how many rows carry exact code c,
+	// first[c] the row index of c's first occurrence — the position that
+	// fixes c's dictionary slot. Both are maintained by intern and by the
+	// patch builders, so a patched column can itself be patched again.
+	counts []int32
+	first  []int32
 	// keys materializes dict[code].Key() lazily (keysOnce): only columns
 	// serving as a variable CFD's RHS ever need it, and skipping it at
 	// build time saves one string allocation per distinct value on
@@ -51,10 +59,23 @@ type Column struct {
 	pliOnce      sync.Once
 	pli          *Partition
 	pliClassCode []uint32
-	orderOnce    sync.Once
-	classOrder   []int
-	probeOnce    sync.Once
-	probe        []uint32
+	// pliClassOf inverts pliClassCode: Equal-class canonical code -> PLI
+	// class index, -1 for codes that are not an occurring class canonical.
+	// Retained so the patcher can route row moves to their classes.
+	pliClassOf []int32
+	orderOnce  sync.Once
+	classOrder []int
+	probeOnce  sync.Once
+	probe      []uint32
+	// The ready flags mirror the sync.Once states above: each is set (with
+	// release semantics) after its lazy artifact is built, so the delta
+	// patcher can ask "did anyone build this on the previous version?"
+	// without racing concurrent builders — a nil answer just means the
+	// patched column leaves that artifact lazy too.
+	keysReady  atomic.Bool
+	pliReady   atomic.Bool
+	orderReady atomic.Bool
+	probeReady atomic.Bool
 	// Interner state, retained so EqCodeOf stays O(1) after the build.
 	// Strings, bools, NULL and NaN are their own Equal-classes; only the
 	// numeric kinds collapse across each other, via byNumClass (keyed by
@@ -125,13 +146,70 @@ func (c *Column) intern(v types.Value) {
 	if !ok {
 		code = c.addEntry(v)
 	}
+	c.counts[code]++
 	c.codes = append(c.codes, code)
+}
+
+// exactCode looks v's exact dictionary code up without interning: ok is
+// false when no stored value has v's exact (kind, payload) identity, even
+// if an Equal value exists. This is the read-only face of intern's lookup,
+// used by the patcher's guard checks.
+func (c *Column) exactCode(v types.Value) (uint32, bool) {
+	switch v.Kind() {
+	case types.KindNull:
+		if c.nullCode >= 0 {
+			return uint32(c.nullCode), true
+		}
+	case types.KindBool:
+		if v.Bool() {
+			if c.trueCode >= 0 {
+				return uint32(c.trueCode), true
+			}
+		} else if c.flsCode >= 0 {
+			return uint32(c.flsCode), true
+		}
+	case types.KindInt:
+		code, ok := c.byInt[v.Int()]
+		return code, ok
+	case types.KindFloat:
+		code, ok := c.byFlt[math.Float64bits(v.Float())]
+		return code, ok
+	case types.KindString:
+		code, ok := c.byStr[v.Str()]
+		return code, ok
+	}
+	return 0, false
+}
+
+// exactEqual reports whether two values share their exact (kind, payload)
+// representation — stricter than Equal, which collapses INT 1 / FLOAT 1.0
+// and all NaNs. The patcher compares exactly: representation changes move
+// dictionary entries even when the values are Equal.
+func exactEqual(a, b types.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case types.KindNull:
+		return true
+	case types.KindBool:
+		return a.Bool() == b.Bool()
+	case types.KindInt:
+		return a.Int() == b.Int()
+	case types.KindFloat:
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	case types.KindString:
+		return a.Str() == b.Str()
+	}
+	return false
 }
 
 // addEntry registers a new dictionary entry and returns its code.
 func (c *Column) addEntry(v types.Value) uint32 {
 	code := uint32(len(c.dict))
 	c.dict = append(c.dict, v)
+	c.counts = append(c.counts, 0)
+	c.first = append(c.first, int32(len(c.codes)))
 	// Canonical Equal-class code: entries are their own class except
 	// integral numbers, where INT n and FLOAT n share the "d<n>" key
 	// class and the first occurrence wins.
@@ -212,6 +290,7 @@ func (c *Column) EnsureKeys() {
 			keys[i] = v.Key()
 		}
 		c.keys = keys
+		c.keysReady.Store(true)
 	})
 }
 

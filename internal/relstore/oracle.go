@@ -1,0 +1,166 @@
+// The byte-identity oracle: DiffSnapshots force-builds every artifact two
+// snapshots can materialize — row vectors, columnar dictionaries, code
+// vectors, occurrence bookkeeping, interner maps, PLIs, probe vectors, key
+// tables, class orders — and compares them field by field. The fuzz targets
+// and cross-check tests run it between a patched snapshot and a cold
+// Table.RebuildSnapshot at every intermediate version; any divergence is a
+// patcher bug, reported with enough coordinates to reproduce.
+//
+// reflect.DeepEqual over whole Snapshots would be both too strict (sync.Once
+// and atomic scheduling state differ between a warm and a cold build) and
+// too vague (a mismatch names no field), hence the explicit walk. Slices
+// compare as sequences: nil and empty are the same artifact.
+package relstore
+
+import "fmt"
+
+// DiffSnapshots compares every observable artifact of got against want and
+// returns a precise error for the first divergence, nil if the snapshots
+// are indistinguishable. Both sides are force-built, so lazy caches are
+// exercised too. want is conventionally the cold rebuild.
+func DiffSnapshots(got, want *Snapshot) error {
+	if got.Version() != want.Version() {
+		return fmt.Errorf("version: got %d, want %d", got.Version(), want.Version())
+	}
+	if got.Len() != want.Len() {
+		return fmt.Errorf("len: got %d, want %d", got.Len(), want.Len())
+	}
+	for i, id := range want.ids {
+		if got.ids[i] != id {
+			return fmt.Errorf("ids[%d]: got %d, want %d", i, got.ids[i], id)
+		}
+		if err := diffTuple(got.rows[i], want.rows[i]); err != nil {
+			return fmt.Errorf("row %d (id %d): %w", i, id, err)
+		}
+	}
+	gc, wc := got.Columnar(), want.Columnar()
+	if gc.Version() != wc.Version() {
+		return fmt.Errorf("columnar version: got %d, want %d", gc.Version(), wc.Version())
+	}
+	if gc.NumCols() != wc.NumCols() {
+		return fmt.Errorf("columnar arity: got %d, want %d", gc.NumCols(), wc.NumCols())
+	}
+	for j := 0; j < wc.NumCols(); j++ {
+		if err := diffColumn(gc.Col(j), wc.Col(j)); err != nil {
+			return fmt.Errorf("column %d (%s): %w", j, want.schema.Attrs[j].Name, err)
+		}
+	}
+	return nil
+}
+
+func diffTuple(got, want Tuple) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("arity: got %d, want %d", len(got), len(want))
+	}
+	for j := range want {
+		if !exactEqual(got[j], want[j]) {
+			return fmt.Errorf("cell %d: got %v, want %v (exact)", j, got[j], want[j])
+		}
+	}
+	return nil
+}
+
+func diffColumn(g, w *Column) error {
+	if err := diffSeq("codes", g.codes, w.codes); err != nil {
+		return err
+	}
+	if len(g.dict) != len(w.dict) {
+		return fmt.Errorf("dict len: got %d, want %d", len(g.dict), len(w.dict))
+	}
+	for c := range w.dict {
+		if !exactEqual(g.dict[c], w.dict[c]) {
+			return fmt.Errorf("dict[%d]: got %v, want %v (exact)", c, g.dict[c], w.dict[c])
+		}
+	}
+	if err := diffSeq("eq", g.eq, w.eq); err != nil {
+		return err
+	}
+	if err := diffSeq("counts", g.counts, w.counts); err != nil {
+		return err
+	}
+	if err := diffSeq("first", g.first, w.first); err != nil {
+		return err
+	}
+	for _, s := range []struct {
+		name      string
+		got, want int64
+	}{
+		{"nullCode", g.nullCode, w.nullCode},
+		{"trueCode", g.trueCode, w.trueCode},
+		{"flsCode", g.flsCode, w.flsCode},
+		{"nanCode", g.nanCode, w.nanCode},
+	} {
+		if s.got != s.want {
+			return fmt.Errorf("%s: got %d, want %d", s.name, s.got, s.want)
+		}
+	}
+	if err := diffMap("byInt", g.byInt, w.byInt); err != nil {
+		return err
+	}
+	if err := diffMap("byFlt", g.byFlt, w.byFlt); err != nil {
+		return err
+	}
+	if err := diffMap("byStr", g.byStr, w.byStr); err != nil {
+		return err
+	}
+	if err := diffMap("byNumClass", g.byNumClass, w.byNumClass); err != nil {
+		return err
+	}
+	// Force the lazy artifacts on both sides and compare them too.
+	gp, wp := g.PLI(), w.PLI()
+	if gp.NumRows() != wp.NumRows() {
+		return fmt.Errorf("pli rows: got %d, want %d", gp.NumRows(), wp.NumRows())
+	}
+	if err := diffSeq("pli elems", gp.elems, wp.elems); err != nil {
+		return err
+	}
+	if err := diffSeq("pli offsets", gp.offsets, wp.offsets); err != nil {
+		return err
+	}
+	if err := diffSeq("pliClassCode", g.pliClassCode, w.pliClassCode); err != nil {
+		return err
+	}
+	if err := diffSeq("pliClassOf", g.pliClassOf, w.pliClassOf); err != nil {
+		return err
+	}
+	if err := diffSeq("probe", g.EqProbe(), w.EqProbe()); err != nil {
+		return err
+	}
+	if err := diffSeq("classOrder", g.PLIClassesByKey(), w.PLIClassesByKey()); err != nil {
+		return err
+	}
+	g.EnsureKeys()
+	w.EnsureKeys()
+	if err := diffSeq("keys", g.keys, w.keys); err != nil {
+		return err
+	}
+	return nil
+}
+
+func diffSeq[T comparable](what string, got, want []T) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s len: got %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s[%d]: got %v, want %v", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func diffMap[K comparable](what string, got, want map[K]uint32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s len: got %d, want %d", what, len(got), len(want))
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			return fmt.Errorf("%s[%v]: missing, want %d", what, k, wv)
+		}
+		if gv != wv {
+			return fmt.Errorf("%s[%v]: got %d, want %d", what, k, gv, wv)
+		}
+	}
+	return nil
+}

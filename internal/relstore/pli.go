@@ -194,6 +194,9 @@ func (c *Column) PLI() *Partition {
 				c.pliClassCode[cl] = uint32(code)
 			}
 		}
+		c.pliClassOf = classOf
+		c.pliReady.Store(true)
+		buildOps.pliBuilds.Add(1)
 	})
 	return c.pli
 }
@@ -219,6 +222,7 @@ func (c *Column) PLIClassesByKey() []int {
 			return c.keys[c.pliClassCode[order[i]]] < c.keys[c.pliClassCode[order[j]]]
 		})
 		c.classOrder = order
+		c.orderReady.Store(true)
 	})
 	return c.classOrder
 }
@@ -234,6 +238,7 @@ func (c *Column) EqProbe() []uint32 {
 			probe[i] = c.eq[code]
 		}
 		c.probe = probe
+		c.probeReady.Store(true)
 	})
 	return c.probe
 }

@@ -117,6 +117,96 @@ func TestPartitionKeepConfidence(t *testing.T) {
 	}
 }
 
+// Degenerate-shape coverage: empty partitions, all-singleton columns and
+// single-class columns are exactly the inputs the incremental split/merge
+// path produces when a delta empties, shatters or collapses classes.
+
+func TestPLIEmptyTable(t *testing.T) {
+	tab := pliTable(t, []string{"A", "B"}, nil)
+	col := tab.Columnar()
+	p := col.Col(0).PLI()
+	if p.NumRows() != 0 || p.NumClasses() != 0 || p.Size() != 0 {
+		t.Fatalf("empty PLI: rows=%d classes=%d size=%d", p.NumRows(), p.NumClasses(), p.Size())
+	}
+	probe := col.Col(1).EqProbe()
+	if pure, aborted := p.Refines(probe, 1, nil); !pure || aborted {
+		t.Errorf("Refines on empty = %v,%v, want true,false (vacuously pure)", pure, aborted)
+	}
+	if keep := p.Keep(probe); keep != 0 {
+		t.Errorf("Keep on empty = %d, want 0", keep)
+	}
+	q := p.Intersect(probe)
+	if q.NumRows() != 0 || q.NumClasses() != 0 {
+		t.Errorf("Intersect on empty: rows=%d classes=%d", q.NumRows(), q.NumClasses())
+	}
+}
+
+func TestPLIAllSingletonColumn(t *testing.T) {
+	// Every value distinct: n singleton classes. No FD can be violated
+	// from such an LHS, every row is kept, and intersection strips
+	// everything.
+	tab := pliTable(t, []string{"A", "B"}, [][]string{
+		{"a", "p"}, {"b", "p"}, {"c", "q"}, {"d", "q"},
+	})
+	col := tab.Columnar()
+	p := col.Col(0).PLI()
+	if p.NumClasses() != 4 || p.Size() != 4 {
+		t.Fatalf("classes=%d size=%d, want 4/4", p.NumClasses(), p.Size())
+	}
+	probe := col.Col(1).EqProbe()
+	if pure, _ := p.Refines(probe, 1, nil); !pure {
+		t.Error("all-singleton LHS must satisfy any FD")
+	}
+	if keep := p.Keep(probe); keep != 4 {
+		t.Errorf("Keep = %d, want 4", keep)
+	}
+	q := p.Intersect(probe)
+	if q.NumClasses() != 0 || q.Size() != 0 {
+		t.Errorf("Intersect left classes=%d size=%d, want stripped empty", q.NumClasses(), q.Size())
+	}
+	if q.NumRows() != 4 {
+		t.Errorf("Intersect NumRows = %d, want 4", q.NumRows())
+	}
+	// Intersecting the already-empty result again is stable.
+	r := q.Intersect(probe)
+	if r.NumClasses() != 0 || r.NumRows() != 4 {
+		t.Errorf("re-Intersect: classes=%d rows=%d", r.NumClasses(), r.NumRows())
+	}
+}
+
+func TestPLISingleClassColumn(t *testing.T) {
+	// One value everywhere: a single class holding all rows. The FD check
+	// degenerates to "is the RHS constant", Keep to the RHS plurality, and
+	// intersection to the RHS partition.
+	tab := pliTable(t, []string{"A", "B"}, [][]string{
+		{"x", "p"}, {"x", "p"}, {"x", "q"}, {"x", "p"},
+	})
+	col := tab.Columnar()
+	p := col.Col(0).PLI()
+	if p.NumClasses() != 1 || p.Size() != 4 {
+		t.Fatalf("classes=%d size=%d, want 1/4", p.NumClasses(), p.Size())
+	}
+	probe := col.Col(1).EqProbe()
+	if pure, _ := p.Refines(probe, 1, nil); pure {
+		t.Error("A -> B must fail: B is not constant")
+	}
+	if keep := p.Keep(probe); keep != 3 {
+		t.Errorf("Keep = %d, want 3 (plurality p)", keep)
+	}
+	q := p.Intersect(probe)
+	if q.NumClasses() != 1 {
+		t.Fatalf("Intersect classes = %d, want 1 ({0,1,3}; the q-row is a stripped singleton)", q.NumClasses())
+	}
+	if fmt.Sprint(q.Class(0)) != "[0 1 3]" {
+		t.Errorf("Intersect class = %v, want [0 1 3]", q.Class(0))
+	}
+	// Refining a single-class partition by itself keeps it intact.
+	self := p.Intersect(col.Col(0).EqProbe())
+	if self.NumClasses() != 1 || self.Size() != 4 {
+		t.Errorf("self-Intersect: classes=%d size=%d, want 1/4", self.NumClasses(), self.Size())
+	}
+}
+
 func TestPLIClassesByKeyDeterministicOrder(t *testing.T) {
 	tab := pliTable(t, []string{"A"}, [][]string{
 		{"zz"}, {"aa"}, {"mm"}, {"aa"},

@@ -25,6 +25,7 @@ package relstore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"semandaq/internal/schema"
 )
@@ -46,6 +47,18 @@ type Snapshot struct {
 	// shared by every columnar reader of this version.
 	colOnce sync.Once
 	col     *Columnar
+
+	// patch, when non-nil, links this snapshot to its predecessor and the
+	// delta separating them, so Columnar() can derive the columnar view by
+	// patching the predecessor's instead of re-interning every cell
+	// (patch.go). It is cleared once this snapshot's columnar view exists,
+	// and a successor snapshot severs it when it takes over as the patch
+	// target, so snapshots never chain more than one version back.
+	patch atomic.Pointer[snapPatch]
+	// colReady mirrors colOnce: set (with release semantics) once col is
+	// built, so the patcher can ask whether a predecessor's columnar view
+	// exists without racing a concurrent builder.
+	colReady atomic.Bool
 }
 
 // Schema returns the snapshot's relation schema.
@@ -102,34 +115,59 @@ func (s *Snapshot) Scan(fn func(id TupleID, row Tuple) bool) {
 // first use and shared by every caller. It carries the same version, rows
 // and insertion order as the snapshot itself, so mixing row reads and
 // columnar reads off one Snapshot stays single-version consistent.
+//
+// When the snapshot was derived from a predecessor by patching and the
+// predecessor's columnar view was built, the view is patched too — the
+// delta contract (docs/INCREMENTAL.md) guarantees the result is
+// indistinguishable from the batch build below.
 func (s *Snapshot) Columnar() *Columnar {
 	s.colOnce.Do(func() {
-		n := len(s.rows)
-		col := &Columnar{
-			schema:  s.schema,
-			version: s.version,
-			ids:     s.ids,
-			cols:    make([]*Column, s.schema.Arity()),
+		if p := s.patch.Load(); p != nil {
+			if pc := p.prev.builtColumnar(); pc != nil {
+				s.col = s.patchedColumnar(p, pc)
+			}
 		}
-		// Columns intern independently, so the build fans out one goroutine
-		// per attribute (the interleaved single-pass alternative defeats the
-		// branch predictor and the per-column map locality).
-		var wg sync.WaitGroup
-		for j := range col.cols {
-			wg.Add(1)
-			go func(j int) {
-				defer wg.Done()
-				c := newColumn(n)
-				for _, row := range s.rows {
-					c.intern(row[j])
-				}
-				col.cols[j] = c
-			}(j)
+		if s.col == nil {
+			n := len(s.rows)
+			col := &Columnar{
+				schema:  s.schema,
+				version: s.version,
+				ids:     s.ids,
+				cols:    make([]*Column, s.schema.Arity()),
+			}
+			// Columns intern independently, so the build fans out one goroutine
+			// per attribute (the interleaved single-pass alternative defeats the
+			// branch predictor and the per-column map locality).
+			var wg sync.WaitGroup
+			for j := range col.cols {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					c := newColumn(n)
+					for _, row := range s.rows {
+						c.intern(row[j])
+					}
+					col.cols[j] = c
+				}(j)
+			}
+			wg.Wait()
+			buildOps.internedCells.Add(int64(n * len(col.cols)))
+			buildOps.batchColumns.Add(int64(len(col.cols)))
+			s.col = col
 		}
-		wg.Wait()
-		s.col = col
+		s.colReady.Store(true)
+		s.patch.Store(nil) // the predecessor link is no longer needed
 	})
 	return s.col
+}
+
+// builtColumnar returns the columnar view iff it has already been built,
+// never triggering a build itself.
+func (s *Snapshot) builtColumnar() *Columnar {
+	if s.colReady.Load() {
+		return s.col
+	}
+	return nil
 }
 
 // Snapshot returns the pinned read view of the table's current version,
@@ -150,6 +188,23 @@ func (t *Table) Snapshot() *Snapshot {
 	if snap := t.snap; snap != nil && snap.version == t.version {
 		return snap
 	}
+	var snap *Snapshot
+	if t.prev != nil {
+		snap = t.patchSnapshotLocked()
+	}
+	if snap == nil {
+		snap = t.buildSnapshotLocked()
+		buildOps.batchSnapshots.Add(1)
+	}
+	t.prev = nil
+	t.npending = 0
+	t.snap = snap
+	return snap
+}
+
+// buildSnapshotLocked materializes the current version batch-wise. The
+// caller holds t.mu (either mode; the build only reads).
+func (t *Table) buildSnapshotLocked() *Snapshot {
 	snap := &Snapshot{
 		schema:  t.schema,
 		version: t.version,
@@ -162,8 +217,19 @@ func (t *Table) Snapshot() *Snapshot {
 			snap.rows = append(snap.rows, row)
 		}
 	}
-	t.snap = snap
 	return snap
+}
+
+// RebuildSnapshot builds a fresh, batch-built snapshot of the current
+// version, bypassing both the version cache and the delta patcher. It is
+// the cold side of the byte-identity oracle — every artifact a patched
+// snapshot serves must equal what this one builds — and of the cold-rebuild
+// measurements in experiment D7. Serving paths use Snapshot.
+func (t *Table) RebuildSnapshot() *Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	buildOps.batchSnapshots.Add(1)
+	return t.buildSnapshotLocked()
 }
 
 // Columnar returns the columnar snapshot of the table's current version. It

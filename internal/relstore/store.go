@@ -83,6 +83,20 @@ type Table struct {
 	// snap caches the pinned read view built by Snapshot() for the current
 	// version; mutations drop it so the memory is reclaimable immediately.
 	snap *Snapshot
+	// prev retains the last materialized snapshot across mutations, and
+	// npending counts the ops applied since it was taken, so the next
+	// Snapshot() call can derive the new view (and, transitively, its
+	// columnar dictionaries and PLIs) by patching prev instead of an O(n)
+	// batch rebuild (patch.go). prev is dropped once the delta grows past
+	// patch-worthiness or a new snapshot supersedes it.
+	prev     *Snapshot
+	npending int
+	// chlog is a bounded, version-ascending log of (version, column)
+	// change records backing ChangesSince; chfloor is the newest version
+	// whose records may have been evicted, i.e. queries reach back to it
+	// but no further.
+	chlog   []chRec
+	chfloor int64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -124,8 +138,7 @@ func (t *Table) Insert(row Tuple) (TupleID, error) {
 	r := row.Clone()
 	t.rows[id] = r
 	t.order = append(t.order, id)
-	t.version++
-	t.snap = nil
+	t.noteMutationLocked(structuralChange)
 	for _, ix := range t.indexes {
 		ix.add(id, r)
 	}
@@ -167,8 +180,7 @@ func (t *Table) Delete(id TupleID) bool {
 	}
 	delete(t.rows, id)
 	t.deleted++
-	t.version++
-	t.snap = nil
+	t.noteMutationLocked(structuralChange)
 	if t.deleted > len(t.rows) && t.deleted > 64 {
 		t.compactLocked()
 	}
@@ -192,8 +204,16 @@ func (t *Table) Update(id TupleID, row Tuple) error {
 	}
 	r := row.Clone()
 	t.rows[id] = r
-	t.version++
-	t.snap = nil
+	// Log the columns whose stored representation actually changed —
+	// exactEqual, not Equal: replacing INT 1 with FLOAT 1.0 re-shapes the
+	// columnar dictionary even though the values compare Equal.
+	var cols []int32
+	for j := range r {
+		if !exactEqual(old[j], r[j]) {
+			cols = append(cols, int32(j))
+		}
+	}
+	t.noteMutationLocked(cols...)
 	for _, ix := range t.indexes {
 		ix.add(id, r)
 	}
@@ -226,8 +246,7 @@ func (t *Table) SetCell(id TupleID, pos int, v types.Value) (types.Value, error)
 	nrow := row.Clone()
 	nrow[pos] = v
 	t.rows[id] = nrow
-	t.version++
-	t.snap = nil
+	t.noteMutationLocked(int32(pos))
 	for _, ix := range t.indexes {
 		ix.add(id, nrow)
 	}

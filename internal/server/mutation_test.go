@@ -73,6 +73,36 @@ func TestMutationsRouteThroughMonitor(t *testing.T) {
 	}
 }
 
+// TestMutationEndpointsDriveIncrementalServing: edits arriving over the
+// HTTP mutation API feed the relstore change log, so the next detection's
+// snapshot is delta-patched from the previous version's caches instead of
+// batch-rebuilt. Asserted on the global build-ops counters (this package's
+// tests run sequentially, so the measurement window is ours).
+func TestMutationEndpointsDriveIncrementalServing(t *testing.T) {
+	ts := testServer(t)
+	// Warm the version caches: the first detection pays the batch build.
+	do(t, ts, "POST", "/api/detect/customer?engine=columnar", "", http.StatusOK)
+	// Rewrite Ben's CNT through the HTTP surface only. Both the old value
+	// (US — Joe keeps its first occurrence) and the new one (UK) stay in
+	// the CNT dictionary at their positions, so the patcher can splice
+	// rather than rebuild the column.
+	do(t, ts, "PATCH", "/api/tables/customer/rows/4",
+		`{"attr":"CNT","value":"UK"}`, http.StatusOK)
+
+	before := relstore.ReadBuildOps()
+	do(t, ts, "POST", "/api/detect/customer?engine=columnar", "", http.StatusOK)
+	ops := relstore.ReadBuildOps().Sub(before)
+	if ops.PatchedSnapshots != 1 || ops.BatchSnapshots != 0 {
+		t.Fatalf("detect after an HTTP edit rebuilt the snapshot instead of patching: %+v", ops)
+	}
+	// Both values already exist in the dictionary: the single-cell edit
+	// must not re-intern the column.
+	if ops.InternedCells != 0 || ops.RebuiltColumns != 0 {
+		t.Fatalf("single-cell HTTP edit interned %d cells, rebuilt %d columns: %+v",
+			ops.InternedCells, ops.RebuiltColumns, ops)
+	}
+}
+
 // TestValueCoercionUsesSchemaType: JSON 5.0 arriving for a FLOAT column
 // stays a float (the old inference silently flipped it to Int, breaking
 // Equal comparisons against the column's other float values).
