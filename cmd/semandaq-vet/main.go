@@ -4,7 +4,16 @@
 //
 //	semandaq-vet ./...            # check the whole module (CI does this)
 //	semandaq-vet -list            # list analyzers
+//	semandaq-vet -json ./...      # machine-readable diagnostics on stdout
 //	semandaq-vet -run snapshotpin ./internal/detect/...
+//
+// Packages are analyzed in import-DAG order so interprocedural analyzers
+// (lockorder, mutationlog, ctxflow) see their dependencies' facts before
+// the importers; module-wide End phases (lock-order cycle detection) run
+// once after the last package. A //semandaq:vet-ignore directive that
+// suppresses nothing is itself reported (as the pseudo-analyzer
+// "suppression") — stale suppressions would otherwise hide real findings
+// at that line forever.
 //
 // Exit status is 1 if any analyzer reports a diagnostic, 2 on load
 // errors. Non-test files only: tests exercise deprecated and
@@ -14,8 +23,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -26,21 +37,39 @@ import (
 	"semandaq/internal/lint/loader"
 )
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column,omitempty"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	runNames := flag.String("run", "", "comma-separated analyzer names to run (default all)")
-	allowBackground := flag.String("allow-background", "",
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// run is main with injectable streams and an exit code, so tests can
+// drive the full driver in-process.
+func run(stdout, stderr io.Writer, argv []string) int {
+	fs := flag.NewFlagSet("semandaq-vet", flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	allowBackground := fs.String("allow-background", "",
 		"comma-separated import paths exempt from ctxloop's context.Background/TODO rule")
-	flag.Parse()
+	fs.Parse(argv)
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
-	if *runNames != "" {
+	allRan := *runNames == ""
+	if !allRan {
 		want := map[string]bool{}
 		for _, n := range strings.Split(*runNames, ",") {
 			want[strings.TrimSpace(n)] = true
@@ -53,8 +82,8 @@ func main() {
 			}
 		}
 		for n := range want {
-			fmt.Fprintf(os.Stderr, "semandaq-vet: unknown analyzer %q (use -list)\n", n)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "semandaq-vet: unknown analyzer %q (use -list)\n", n)
+			return 2
 		}
 		analyzers = sel
 	}
@@ -64,51 +93,109 @@ func main() {
 		}
 	}
 
-	patterns := flag.Args()
+	// Expand Requires into the execution plan (this also registers every
+	// fact type and analyzer name). Register the full suite's names too so
+	// stale-directive judging can tell "skipped by -run" from "no such
+	// analyzer" even on a subset run.
+	plan := analysis.Plan(analyzers)
+	for _, a := range lint.All() {
+		analysis.RegisterName(a.Name)
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	fset, pkgs, err := loader.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "semandaq-vet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "semandaq-vet: %v\n", err)
+		return 2
 	}
 
+	store := analysis.NewFactStore()
+	dirs := analysis.NewDirectives()
 	loadFailed := false
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		if pkg.Err != nil {
-			fmt.Fprintf(os.Stderr, "semandaq-vet: %s: %v\n", pkg.ImportPath, pkg.Err)
+			fmt.Fprintf(stderr, "semandaq-vet: %s: %v\n", pkg.ImportPath, pkg.Err)
 			loadFailed = true
 			continue
 		}
-		for _, a := range analyzers {
-			ds, err := analysis.Run(a, fset, pkg.Files, pkg.Types, pkg.Info)
+		dirs.AddFiles(fset, pkg.Files)
+		for _, a := range plan {
+			ds, err := analysis.RunPass(a, fset, pkg.Files, pkg.Types, pkg.Info, store, dirs)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "semandaq-vet: %v\n", err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "semandaq-vet: %v\n", err)
+				return 2
 			}
 			diags = append(diags, ds...)
 		}
 	}
+	for _, a := range plan {
+		if a.End == nil {
+			continue
+		}
+		ep := analysis.NewEndPass(a, store, dirs)
+		if err := a.End(ep); err != nil {
+			fmt.Fprintf(stderr, "semandaq-vet: %v\n", err)
+			return 2
+		}
+		diags = append(diags, ep.Diagnostics()...)
+	}
+	// Stale suppressions are judged last, once every pass has had its
+	// chance to be suppressed. A failed load leaves directives unexercised,
+	// so skip the judgment rather than report false staleness.
+	if !loadFailed {
+		ran := map[string]bool{}
+		for _, a := range plan {
+			ran[a.Name] = true
+		}
+		diags = append(diags, dirs.Stale(ran, allRan)...)
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		pi, pj := diags[i].Position(fset), diags[j].Position(fset)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	for _, d := range diags {
-		fmt.Printf("%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			p := d.Position(fset)
+			out = append(out, jsonDiagnostic{
+				File:     p.Filename,
+				Line:     p.Line,
+				Column:   p.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "semandaq-vet: encoding json: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s [%s]\n", d.Position(fset), d.Message, d.Analyzer)
+		}
 	}
 	switch {
 	case loadFailed:
-		os.Exit(2)
+		return 2
 	case len(diags) > 0:
-		fmt.Fprintf(os.Stderr, "semandaq-vet: %d contract violation(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "semandaq-vet: %d contract violation(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }

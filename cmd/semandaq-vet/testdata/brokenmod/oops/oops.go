@@ -1,0 +1,7 @@
+// Package oops does not type-check: the driver must exit 2 with the
+// package named, not panic.
+package oops
+
+func F() int {
+	return "definitely not an int"
+}

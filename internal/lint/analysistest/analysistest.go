@@ -50,23 +50,67 @@ var wantRE = regexp.MustCompile("`([^`]+)`")
 
 // Run applies the analyzer to each fixture package and reports every
 // mismatch between its diagnostics and the fixtures' want comments.
+//
+// The run mirrors the production driver: the analyzer's Requires expand
+// into an execution plan, every loaded fixture package (requested or
+// pulled in as a dependency) is analyzed in import-DAG order over a shared
+// fact store, and End hooks fire once at the close. Diagnostics — and want
+// expectations — are only checked for the requested packages, so shared
+// scaffolding fixtures (a fake relstore, say) stay out of each test's
+// assertions while still contributing facts.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	ld, err := newFixtureLoader(filepath.Join(testdata, "src"))
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	plan := analysis.Plan([]*analysis.Analyzer{a})
+	store := analysis.NewFactStore()
+	dirs := analysis.NewDirectives()
+	requested := map[string]bool{}
 	for _, path := range pkgPaths {
-		pe, err := ld.load(path)
-		if err != nil {
+		requested[path] = true
+		if _, err := ld.load(path); err != nil {
 			t.Fatalf("analysistest: loading %s: %v", path, err)
 		}
-		diags, err := analysis.Run(a, ld.fset, pe.files, pe.pkg, pe.info)
-		if err != nil {
-			t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
-		}
-		checkExpectations(t, ld.fset, pe.files, diags)
 	}
+	var diags []analysis.Diagnostic
+	var reqFiles []*ast.File
+	for _, path := range ld.order {
+		pe := ld.pkgs[path]
+		dirs.AddFiles(ld.fset, pe.files)
+		for _, an := range plan {
+			ds, err := analysis.RunPass(an, ld.fset, pe.files, pe.pkg, pe.info, store, dirs)
+			if err != nil {
+				t.Fatalf("analysistest: running %s on %s: %v", an.Name, path, err)
+			}
+			if requested[path] {
+				diags = append(diags, ds...)
+			}
+		}
+		if requested[path] {
+			reqFiles = append(reqFiles, pe.files...)
+		}
+	}
+	reqFilenames := map[string]bool{}
+	for _, f := range reqFiles {
+		reqFilenames[ld.fset.Position(f.Pos()).Filename] = true
+	}
+	for _, an := range plan {
+		if an.End == nil {
+			continue
+		}
+		ep := analysis.NewEndPass(an, store, dirs)
+		if err := an.End(ep); err != nil {
+			t.Fatalf("analysistest: %s end phase: %v", an.Name, err)
+		}
+		for _, d := range ep.Diagnostics() {
+			if reqFilenames[d.Position(ld.fset).Filename] {
+				diags = append(diags, d)
+			}
+		}
+	}
+	checkExpectations(t, ld.fset, reqFiles, diags)
 }
 
 // checkExpectations matches diagnostics against the files' want comments.
@@ -93,7 +137,7 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 		}
 	}
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
+		pos := d.Position(fset)
 		found := false
 		for _, w := range wants {
 			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
@@ -121,6 +165,9 @@ type fixtureLoader struct {
 	src  string
 	std  types.Importer
 	pkgs map[string]*pkgEntry
+	// order lists loaded package paths dependencies-first: a dependency's
+	// load completes (and appends) during its importer's type-check.
+	order []string
 }
 
 type pkgEntry struct {
@@ -230,5 +277,6 @@ func (ld *fixtureLoader) load(path string) (*pkgEntry, error) {
 	}
 	pe := &pkgEntry{files: files, pkg: pkg, info: info}
 	ld.pkgs[path] = pe
+	ld.order = append(ld.order, path)
 	return pe, nil
 }

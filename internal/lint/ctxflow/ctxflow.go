@@ -1,0 +1,228 @@
+// Package ctxflow extends ctxloop's cancellation contract across calls: a
+// function that accepts a context.Context and calls — directly or
+// transitively — a function doing row-scale work must pass the context
+// down at that call. ctxloop catches the loop that ignores ctx; ctxflow
+// catches the caller that severs the chain, where ctx is in scope but the
+// row-scale callee is invoked without it, making everything below the call
+// uncancellable no matter how diligent the callee's own loops are.
+//
+// Row-scale-ness is interprocedural: a function is row-scale if it
+// contains a row-scale loop itself (ctxloop's classification) or if any
+// in-module callee is (via callgraph facts, so the property flows across
+// package boundaries in import-DAG order). A call discharges the
+// obligation if any argument lexically mentions a context — passing ctx
+// itself, a derived context, or a closure that captures one all qualify.
+// Row-scale callees that take no ctx parameter at all are the callee's
+// design problem, not the call site's; they are still counted for
+// propagation (the caller stays row-scale) but the call is not reported
+// unless the callee could have accepted the context.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"semandaq/internal/lint/analysis"
+	"semandaq/internal/lint/callgraph"
+	"semandaq/internal/lint/ctxloop"
+)
+
+// RowScaleFact marks a function whose execution touches row-scale state,
+// directly or through in-module callees.
+type RowScaleFact struct {
+	Direct bool // contains a row-scale loop itself
+}
+
+// AFact marks RowScaleFact as a fact.
+func (*RowScaleFact) AFact() {}
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "require ctx-taking functions to pass the context down when calling " +
+		"(transitively) row-scale functions",
+	Run:       run,
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*RowScaleFact)(nil)},
+}
+
+func run(pass *analysis.Pass) error {
+	pa := &pkgAnalysis{
+		pass:     pass,
+		decls:    map[analysis.ObjKey]callgraph.FuncInfo{},
+		rowScale: map[analysis.ObjKey]bool{},
+		inflight: map[analysis.ObjKey]bool{},
+	}
+	fns := callgraph.Functions(pass.Files, pass.TypesInfo)
+	for _, fi := range fns {
+		pa.decls[fi.Key] = fi
+	}
+
+	// Classify and export facts first so the diagnostics pass below (and
+	// future importers) see the full package.
+	for _, fi := range fns {
+		if pa.rowScaleOf(fi.Key) {
+			if err := pass.ExportFactByKey(fi.Key, &RowScaleFact{Direct: pa.direct(fi)}); err != nil {
+				return err
+			}
+		}
+	}
+
+	res := callgraph.NewResolver(pass.Pkg)
+	for _, fi := range fns {
+		pa.checkFunc(fi, res)
+	}
+	return nil
+}
+
+type pkgAnalysis struct {
+	pass     *analysis.Pass
+	decls    map[analysis.ObjKey]callgraph.FuncInfo
+	rowScale map[analysis.ObjKey]bool
+	inflight map[analysis.ObjKey]bool
+}
+
+// direct reports whether the function body itself contains a row-scale
+// loop (including inside function literals it declares — the work happens
+// under this function's dynamic extent or on its behalf).
+func (pa *pkgAnalysis) direct(fi callgraph.FuncInfo) bool {
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := ctxloop.RowScaleLoop(pa.pass.TypesInfo, n); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rowScaleOf resolves row-scale-ness for a key: same-package functions by
+// walking their bodies and callgraph callees (memoized, cycle-guarded),
+// cross-package functions via the imported fact.
+func (pa *pkgAnalysis) rowScaleOf(key analysis.ObjKey) bool {
+	if rs, ok := pa.rowScale[key]; ok {
+		return rs
+	}
+	fi, ok := pa.decls[key]
+	if !ok {
+		// Not declared here: consult the fact store (dependency packages
+		// were analyzed earlier in the import DAG).
+		var fact RowScaleFact
+		rs := pa.pass.ImportFactByKey(key, &fact)
+		pa.rowScale[key] = rs
+		return rs
+	}
+	if pa.inflight[key] {
+		return false // recursion cycle: resolved by the outer call
+	}
+	pa.inflight[key] = true
+	rs := pa.direct(fi)
+	if !rs {
+		var callees callgraph.Callees
+		if pa.pass.ImportRequiredFact(callgraph.Analyzer, key, &callees) {
+			for _, ck := range callees.Keys {
+				if ck == key {
+					continue
+				}
+				if pa.rowScaleOf(ck) {
+					rs = true
+					break
+				}
+			}
+		}
+	}
+	delete(pa.inflight, key)
+	pa.rowScale[key] = rs
+	return rs
+}
+
+// checkFunc reports ctx-severing calls inside one ctx-taking function.
+func (pa *pkgAnalysis) checkFunc(fi callgraph.FuncInfo, res *callgraph.Resolver) {
+	if !ctxloop.HasCtxParam(pa.pass.TypesInfo, fi.Decl.Type) {
+		return
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		// A nested func lit with its own ctx parameter is an independent
+		// cancellation domain; its calls answer to its own parameter, which
+		// is in scope for every call inside, so there is nothing to check.
+		if lit, ok := n.(*ast.FuncLit); ok && ctxloop.HasCtxParam(pa.pass.TypesInfo, lit.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := pa.rowScaleCallee(call, res)
+		if callee == nil {
+			return true
+		}
+		if pa.callPassesCtx(call) {
+			return true
+		}
+		pa.pass.Reportf(call.Pos(),
+			"%s takes a ctx but calls row-scale %s without passing it: the work below this call cannot be cancelled",
+			fi.Fn.Name(), callee.Name())
+		return true
+	})
+}
+
+// rowScaleCallee resolves a call and returns the row-scale callee that
+// could have accepted the context, or nil if the call is exempt. Callees
+// with no ctx parameter are exempt at the call site (there is no way to
+// pass it); they surface instead through their own callers or by fixing
+// the signature.
+func (pa *pkgAnalysis) rowScaleCallee(call *ast.CallExpr, res *callgraph.Resolver) *types.Func {
+	static, ifaceMethod := callgraph.Resolve(pa.pass.TypesInfo, call)
+	fn := static
+	if fn == nil && ifaceMethod != nil {
+		for _, impl := range res.Implementations(ifaceMethod) {
+			if key, ok := analysis.KeyOf(impl); ok && pa.rowScaleOf(key) {
+				fn = ifaceMethod // report in terms of the interface method
+				break
+			}
+		}
+		if fn == nil {
+			return nil
+		}
+	} else if fn != nil {
+		key, ok := analysis.KeyOf(fn)
+		if !ok || !pa.rowScaleOf(key) {
+			return nil
+		}
+	} else {
+		return nil
+	}
+	if !acceptsCtx(fn) {
+		return nil
+	}
+	return fn
+}
+
+// acceptsCtx reports whether fn has a context.Context parameter.
+func acceptsCtx(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if analysis.IsNamed(sig.Params().At(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// callPassesCtx reports whether any argument lexically mentions a context
+// value — ctx itself, a derived context, or a closure capturing one.
+func (pa *pkgAnalysis) callPassesCtx(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if ctxloop.MentionsContext(pa.pass.TypesInfo, arg) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+// Package flow exercises the ctx-severing rule: ctx-taking functions
+// calling row-scale callees (directly, transitively, or across packages)
+// must pass the context down.
+package flow
+
+import (
+	"context"
+
+	"flowdep"
+
+	"semandaq/internal/relstore"
+)
+
+// scanCtx is directly row-scale and well-behaved.
+func scanCtx(ctx context.Context, rows []relstore.Tuple) int {
+	n := 0
+	for _, r := range rows {
+		if ctx.Err() != nil {
+			break
+		}
+		n += len(r)
+	}
+	return n
+}
+
+// viaHelper has no loop of its own but reaches one: transitively row-scale.
+func viaHelper(ctx context.Context, rows []relstore.Tuple) int {
+	return scanCtx(ctx, rows)
+}
+
+// goodDirect passes ctx straight down.
+func goodDirect(ctx context.Context, rows []relstore.Tuple) int {
+	return scanCtx(ctx, rows)
+}
+
+// goodDerived passes a derived context: still a mention, still cancellable.
+func goodDerived(ctx context.Context, rows []relstore.Tuple) int {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return scanCtx(sub, rows)
+}
+
+// badSever has ctx in scope but mints a root context for the row-scale
+// call, cutting the cancellation chain.
+func badSever(ctx context.Context, rows []relstore.Tuple) int {
+	return scanCtx(context.Background(), rows) // want `badSever takes a ctx but calls row-scale scanCtx without passing it`
+}
+
+// badTransitive severs through the helper: viaHelper is row-scale only by
+// propagation.
+func badTransitive(ctx context.Context, rows []relstore.Tuple) int {
+	return viaHelper(context.TODO(), rows) // want `badTransitive takes a ctx but calls row-scale viaHelper without passing it`
+}
+
+// badCrossPkg severs a call into another package: the callee's row-scale
+// fact crossed the package boundary through the store.
+func badCrossPkg(ctx context.Context, rows []relstore.Tuple) int {
+	return flowdep.Scan(context.Background(), rows) // want `badCrossPkg takes a ctx but calls row-scale Scan without passing it`
+}
+
+// goodCrossPkg passes ctx into the other package.
+func goodCrossPkg(ctx context.Context, rows []relstore.Tuple) int {
+	return flowdep.Scan(ctx, rows)
+}
+
+// noCtxCaller takes no context: nothing to sever, nothing to report, even
+// though the callee is row-scale.
+func noCtxCaller(rows []relstore.Tuple) int {
+	return scanCtx(context.Background(), rows)
+}
+
+// countAll is row-scale but takes no ctx parameter: callers cannot pass
+// one, so call sites are exempt — the fix belongs on this signature.
+func countAll(rows []relstore.Tuple) int {
+	n := 0
+	for range rows {
+		n++
+	}
+	return n
+}
+
+// goodNoCtxParamCallee calls a row-scale function that cannot accept a
+// context; the call site is not the place to report it.
+func goodNoCtxParamCallee(ctx context.Context, rows []relstore.Tuple) int {
+	return countAll(rows)
+}
+
+// goodInnerDomain declares a func lit with its own ctx parameter: an
+// independent cancellation domain, checked on its own terms.
+func goodInnerDomain(ctx context.Context, rows []relstore.Tuple) func(context.Context) int {
+	return func(inner context.Context) int {
+		return scanCtx(inner, rows)
+	}
+}

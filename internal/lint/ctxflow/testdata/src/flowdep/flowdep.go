@@ -1,0 +1,22 @@
+// Package flowdep exports a row-scale function for the cross-package
+// propagation fixture: flow imports it, so its RowScaleFact must arrive
+// through the fact store, not local analysis.
+package flowdep
+
+import (
+	"context"
+
+	"semandaq/internal/relstore"
+)
+
+// Scan is directly row-scale: it ranges the tuples.
+func Scan(ctx context.Context, rows []relstore.Tuple) int {
+	n := 0
+	for _, r := range rows {
+		if ctx.Err() != nil {
+			break
+		}
+		n += len(r)
+	}
+	return n
+}

@@ -1,0 +1,9 @@
+// Package relstore is a fixture stand-in: the analyzer classifies
+// collections as row-scale by these type names at this import path.
+package relstore
+
+type TupleID int64
+
+type Tuple []string
+
+type Partition struct{ IDs []TupleID }

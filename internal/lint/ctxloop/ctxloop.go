@@ -94,7 +94,7 @@ func checkLoops(pass *analysis.Pass) {
 			default:
 				return true
 			}
-			if body == nil || !hasCtxParam(pass, ftyp) {
+			if body == nil || !HasCtxParam(pass.TypesInfo, ftyp) {
 				return true
 			}
 			checkBody(pass, body)
@@ -107,14 +107,14 @@ func checkLoops(pass *analysis.Pass) {
 	}
 }
 
-// hasCtxParam reports whether the function type has a context.Context
+// HasCtxParam reports whether the function type has a context.Context
 // parameter.
-func hasCtxParam(pass *analysis.Pass, ftyp *ast.FuncType) bool {
+func HasCtxParam(info *types.Info, ftyp *ast.FuncType) bool {
 	if ftyp.Params == nil {
 		return false
 	}
 	for _, field := range ftyp.Params.List {
-		if t := pass.TypesInfo.Types[field.Type].Type; t != nil && isContext(t) {
+		if t := info.Types[field.Type].Type; t != nil && isContext(t) {
 			return true
 		}
 	}
@@ -128,33 +128,39 @@ func isContext(t types.Type) bool {
 // checkBody flags row-scale loops in body that never mention a context.
 func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
-		var loopBody *ast.BlockStmt
-		var pos ast.Node
-		switch loop := n.(type) {
-		case *ast.RangeStmt:
-			if !isRowy(pass.TypesInfo.TypeOf(loop.X)) {
-				return true
-			}
-			loopBody, pos = loop.Body, loop
-		case *ast.ForStmt:
-			if !condMentionsRowy(pass, loop.Cond) {
-				return true
-			}
-			loopBody, pos = loop.Body, loop
-		default:
+		loopBody, ok := RowScaleLoop(pass.TypesInfo, n)
+		if !ok {
 			return true
 		}
-		if !mentionsContext(pass, loopBody) {
-			pass.Reportf(pos.Pos(),
+		if !MentionsContext(pass.TypesInfo, loopBody) {
+			pass.Reportf(n.Pos(),
 				"row-scale loop in a ctx-taking function has no cancellation check: consult ctx per stride (ctx.Err()/ctx.Done()) or pass ctx to the per-item work")
 		}
 		return true
 	})
 }
 
-// isRowy reports whether t is a collection (slice, array, map or channel)
+// RowScaleLoop classifies n: if it is a loop whose trip count tracks the
+// data (a range over a row-scale collection, or a 3-clause for whose
+// condition mentions one), it returns the loop body. ctxflow shares this
+// classification to decide which functions count as row-scale.
+func RowScaleLoop(info *types.Info, n ast.Node) (*ast.BlockStmt, bool) {
+	switch loop := n.(type) {
+	case *ast.RangeStmt:
+		if IsRowy(info.TypeOf(loop.X)) {
+			return loop.Body, true
+		}
+	case *ast.ForStmt:
+		if condMentionsRowy(info, loop.Cond) {
+			return loop.Body, true
+		}
+	}
+	return nil, false
+}
+
+// IsRowy reports whether t is a collection (slice, array, map or channel)
 // of row-scale elements.
-func isRowy(t types.Type) bool {
+func IsRowy(t types.Type) bool {
 	if t == nil {
 		return false
 	}
@@ -187,13 +193,13 @@ func rowyElem(t types.Type) bool {
 
 // condMentionsRowy reports whether a 3-clause for condition ranges a
 // row-scale collection, e.g. `for i := 0; i < len(rows); i++`.
-func condMentionsRowy(pass *analysis.Pass, cond ast.Expr) bool {
+func condMentionsRowy(info *types.Info, cond ast.Expr) bool {
 	if cond == nil {
 		return false
 	}
 	found := false
 	ast.Inspect(cond, func(n ast.Node) bool {
-		if e, ok := n.(ast.Expr); ok && isRowy(pass.TypesInfo.TypeOf(e)) {
+		if e, ok := n.(ast.Expr); ok && IsRowy(info.TypeOf(e)) {
 			found = true
 			return false
 		}
@@ -202,17 +208,17 @@ func condMentionsRowy(pass *analysis.Pass, cond ast.Expr) bool {
 	return found
 }
 
-// mentionsContext reports whether body lexically references any value of
+// MentionsContext reports whether n lexically references any value of
 // type context.Context — an Err/Done call, a select case, or passing ctx
 // onward all qualify.
-func mentionsContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+func MentionsContext(info *types.Info, n ast.Node) bool {
 	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(n, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
 		if !ok || found {
 			return !found
 		}
-		if obj := pass.TypesInfo.Uses[id]; obj != nil && isContext(obj.Type()) {
+		if obj := info.Uses[id]; obj != nil && isContext(obj.Type()) {
 			found = true
 			return false
 		}

@@ -7,18 +7,26 @@ package lint
 
 import (
 	"semandaq/internal/lint/analysis"
+	"semandaq/internal/lint/ctxflow"
 	"semandaq/internal/lint/ctxloop"
 	"semandaq/internal/lint/lockdiscipline"
+	"semandaq/internal/lint/lockorder"
+	"semandaq/internal/lint/mutationlog"
 	"semandaq/internal/lint/snapshotpin"
 	"semandaq/internal/lint/versionstamp"
 )
 
-// All returns every registered analyzer, in stable order.
+// All returns every registered analyzer, in stable order. The callgraph
+// pass is not listed: it reports nothing and is pulled in through the
+// interprocedural analyzers' Requires when analysis.Plan expands the run.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		snapshotpin.Analyzer,
 		versionstamp.Analyzer,
 		ctxloop.Analyzer,
 		lockdiscipline.Analyzer,
+		lockorder.Analyzer,
+		mutationlog.Analyzer,
+		ctxflow.Analyzer,
 	}
 }

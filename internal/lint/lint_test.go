@@ -63,8 +63,10 @@ func TestAnalyzerNamesAndDocs(t *testing.T) {
 }
 
 // TestRepoClean runs the full suite over the real module — the same sweep
-// `semandaq-vet ./...` performs in CI — and requires zero diagnostics, so
-// a contract regression fails go test even where CI is not wired up.
+// `semandaq-vet ./...` performs in CI, including the interprocedural
+// passes, the End phases, and the stale-suppression judgment — and
+// requires zero diagnostics, so a contract regression fails go test even
+// where CI is not wired up.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module; skipped with -short")
@@ -73,19 +75,44 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
+	plan := analysis.Plan(lint.All())
+	store := analysis.NewFactStore()
+	dirs := analysis.NewDirectives()
+	loadFailed := false
 	for _, pkg := range pkgs {
 		if pkg.Err != nil {
 			t.Errorf("%s: %v", pkg.ImportPath, pkg.Err)
+			loadFailed = true
 			continue
 		}
-		for _, a := range lint.All() {
-			diags, err := analysis.Run(a, fset, pkg.Files, pkg.Types, pkg.Info)
+		dirs.AddFiles(fset, pkg.Files)
+		for _, a := range plan {
+			diags, err := analysis.RunPass(a, fset, pkg.Files, pkg.Types, pkg.Info, store, dirs)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 			}
 			for _, d := range diags {
-				t.Errorf("%s: %s [%s]", fset.Position(d.Pos), d.Message, a.Name)
+				t.Errorf("%s: %s [%s]", d.Position(fset), d.Message, a.Name)
 			}
+		}
+	}
+	ran := map[string]bool{}
+	for _, a := range plan {
+		ran[a.Name] = true
+		if a.End == nil {
+			continue
+		}
+		ep := analysis.NewEndPass(a, store, dirs)
+		if err := a.End(ep); err != nil {
+			t.Fatalf("%s end phase: %v", a.Name, err)
+		}
+		for _, d := range ep.Diagnostics() {
+			t.Errorf("%s: %s [%s]", d.Position(fset), d.Message, a.Name)
+		}
+	}
+	if !loadFailed {
+		for _, d := range dirs.Stale(ran, true) {
+			t.Errorf("%s: %s [%s]", d.Position(fset), d.Message, d.Analyzer)
 		}
 	}
 }

@@ -33,6 +33,7 @@ type Package struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string // direct imports, as listed by go list
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
@@ -48,6 +49,7 @@ type ListPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Error      *struct{ Err string }
@@ -58,7 +60,7 @@ type ListPackage struct {
 // every buildable package in it (targets and dependencies alike).
 func GoList(dir string, patterns ...string) ([]ListPackage, map[string]string, error) {
 	args := []string{"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error"}
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Imports,Standard,DepOnly,Error"}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -101,6 +103,11 @@ func ExportImporter(fset *token.FileSet, exports map[string]string) types.Import
 // Load type-checks the packages matched by patterns (their dependencies
 // are consumed as export data only). dir is the working directory for the
 // underlying go list call, typically the module root.
+//
+// The returned packages are in import-DAG order — every package after all
+// of its in-module dependencies — which is what lets fact-exporting
+// analyzers see their dependencies' facts before analyzing the importer.
+// Ties (unrelated packages) break by import path for determinism.
 func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -121,6 +128,7 @@ func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
 			Name:       lp.Name,
 			Dir:        lp.Dir,
 			GoFiles:    lp.GoFiles,
+			Imports:    lp.Imports,
 		}
 		if lp.Error != nil {
 			p.Err = fmt.Errorf("%s", lp.Error.Err)
@@ -130,8 +138,40 @@ func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
 		p.Files, p.Types, p.Info, p.Err = Check(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
-	return fset, out, nil
+	return fset, SortDAG(out), nil
+}
+
+// SortDAG orders packages dependencies-first (topological over the direct
+// Imports edges restricted to the given set), breaking ties by import path.
+// Cycles cannot occur in a valid Go build graph; if the input is somehow
+// cyclic the members are emitted in path order rather than dropped.
+func SortDAG(pkgs []*Package) []*Package {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	out := make([]*Package, 0, len(pkgs))
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			return
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // Check parses the named files in dir and type-checks them as the package

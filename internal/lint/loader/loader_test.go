@@ -1,0 +1,135 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadDAGOrder pins the dependencies-first ordering interprocedural
+// analyzers rely on: by the time a package is analyzed, every in-module
+// dependency has already been.
+func TestLoadDAGOrder(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module m\n\ngo 1.24\n",
+		"a/a.go":   "package a\n\nimport \"m/b\"\n\nfunc A() int { return b.B() }\n",
+		"b/b.go":   "package b\n\nimport \"m/c\"\n\nfunc B() int { return c.C() }\n",
+		"c/c.go":   "package c\n\nfunc C() int { return 1 }\n",
+		"zz/zz.go": "package zz\n\nfunc Z() int { return 0 }\n",
+		"main.go":  "package m\n\nimport \"m/a\"\n\nfunc M() int { return a.A() }\n",
+	})
+	_, pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, p := range pkgs {
+		if p.Err != nil {
+			t.Fatalf("%s: %v", p.ImportPath, p.Err)
+		}
+		pos[p.ImportPath] = i
+	}
+	for _, dep := range [][2]string{{"m/c", "m/b"}, {"m/b", "m/a"}, {"m/a", "m"}} {
+		if pos[dep[0]] >= pos[dep[1]] {
+			t.Errorf("%s (index %d) must precede its importer %s (index %d)",
+				dep[0], pos[dep[0]], dep[1], pos[dep[1]])
+		}
+	}
+}
+
+// TestLoadTypeError pins the error path the driver's exit-2 behaviour
+// depends on: a package that does not type-check comes back with Err set
+// (with a useful position), not as a panic and not silently dropped.
+func TestLoadTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":    "module bad\n\ngo 1.24\n",
+		"oops/o.go": "package oops\n\nfunc F() int { return \"not an int\" }\n",
+		"fine/f.go": "package fine\n\nfunc G() int { return 2 }\n",
+	})
+	_, pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load must not fail wholesale on a package type error: %v", err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	bad := byPath["bad/oops"]
+	if bad == nil {
+		t.Fatal("broken package missing from the result")
+	}
+	if bad.Err == nil {
+		t.Fatal("broken package has no Err")
+	}
+	if !strings.Contains(bad.Err.Error(), "o.go") {
+		t.Errorf("type error should carry the offending position, got: %v", bad.Err)
+	}
+	if fine := byPath["bad/fine"]; fine == nil || fine.Err != nil {
+		t.Errorf("healthy sibling package must still load, got %+v", fine)
+	}
+}
+
+// TestLoadMissingExportData pins the other error path: when a dependency
+// fails to compile it has no export data, and the importing package must
+// degrade to a per-package Err mentioning the missing dependency rather
+// than panicking.
+func TestLoadMissingExportData(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":      "module bad\n\ngo 1.24\n",
+		"broken/b.go": "package broken\n\nfunc B() int { return \"nope\" }\n",
+		"user/u.go":   "package user\n\nimport \"bad/broken\"\n\nfunc U() int { return broken.B() }\n",
+	})
+	_, pkgs, err := Load(dir, "./user")
+	if err != nil {
+		t.Fatalf("Load must not fail wholesale: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	u := pkgs[0]
+	if u.Err == nil {
+		t.Fatal("importer of a broken dependency has no Err")
+	}
+	if !strings.Contains(u.Err.Error(), "bad/broken") {
+		t.Errorf("error should name the missing dependency, got: %v", u.Err)
+	}
+}
+
+// TestSortDAG covers the pure ordering helper, including the tie-break.
+func TestSortDAG(t *testing.T) {
+	mk := func(path string, imports ...string) *Package {
+		return &Package{ImportPath: path, Imports: imports}
+	}
+	pkgs := []*Package{
+		mk("z"),
+		mk("a", "z", "m"),
+		mk("m", "z"),
+		mk("b"), // unrelated: path order among roots
+	}
+	got := SortDAG(pkgs)
+	var order []string
+	for _, p := range got {
+		order = append(order, p.ImportPath)
+	}
+	want := "z m a b"
+	if s := strings.Join(order, " "); s != want {
+		t.Errorf("SortDAG order = %q, want %q", s, want)
+	}
+}

@@ -1,0 +1,548 @@
+// Package lockorder detects potential deadlocks from inconsistent lock
+// acquisition order, module-wide. Named locks are sync.Mutex / sync.RWMutex
+// values identified structurally — a receiver-field mutex is pkg.Type.field
+// (every relstore.Table shares the ID relstore.Table.mu), a package-level
+// mutex is pkg.var — so the analysis reasons about lock *classes*, the
+// granularity at which an ordering convention can be stated and checked.
+//
+// Per function, a lexical walk (the lockdiscipline walker, upgraded with
+// lock identities) tracks which named locks are held at each statement.
+// Acquiring lock B while holding lock A — directly, or transitively because
+// a callee's summary says it acquires B — records the edge A → B with its
+// witnessing positions and call chain. Summaries flow across package
+// boundaries as LockFact facts over the import DAG; within a package they
+// are computed callee-first by memoized recursion, and interface calls are
+// over-approximated by the callgraph resolver's implementing types.
+//
+// After the last package, the End hook unions every package's edges into
+// the global lock-order graph and reports each cycle as a potential
+// deadlock, witnessed edge by edge: where the held lock was taken, where
+// the next one was acquired, and through which call chain. An acyclic
+// graph IS the lock hierarchy; docs/INVARIANTS.md documents the one this
+// repo proves.
+//
+// Known blind spots, shared with lockdiscipline: function literals are not
+// walked under the caller's held set (a synchronously invoked closure is
+// invisible; a goroutine correctly so), calls through function values are
+// unresolvable, and locks reached only through locals (e.g. a mutex taken
+// out of a map) have no class name. sync.RWMutex read locks participate in
+// ordering like write locks: R-R cannot deadlock alone, but any R-W pair
+// across two lock classes can.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"semandaq/internal/lint/analysis"
+	"semandaq/internal/lint/callgraph"
+)
+
+// LockID names a lock class: "pkg.Type.field" or "pkg.var".
+type LockID string
+
+// Posn is a serializable source position (token.Position minus offset).
+type Posn struct {
+	File string
+	Line int
+}
+
+func (p Posn) String() string { return fmt.Sprintf("%s:%d", p.File, p.Line) }
+
+func posnOf(fset *token.FileSet, pos token.Pos) Posn {
+	pp := fset.Position(pos)
+	return Posn{File: pp.Filename, Line: pp.Line}
+}
+
+// Acq records that a function may acquire Lock while running: directly
+// (empty Chain) or through the named chain of callees. At is the directly
+// witnessing site — the Lock()/RLock() call, or the call expression that
+// enters the chain.
+type Acq struct {
+	Lock  LockID
+	At    Posn
+	Chain []string
+}
+
+// LockFact is the per-function summary fact: every lock class the function
+// may acquire, transitively, each with one witness.
+type LockFact struct {
+	Acquires []Acq
+}
+
+// AFact marks LockFact as a fact.
+func (*LockFact) AFact() {}
+
+// Edge is one observed ordering: To was acquired while From was held.
+type Edge struct {
+	From, To LockID
+	Fn       string // function in which the ordering was observed
+	HeldAt   Posn   // where From was taken
+	AcqAt    Posn   // the acquisition (or the call leading to it)
+	Chain    []string
+}
+
+// Edges is the package fact carrying the orderings observed in one package.
+type Edges struct {
+	List []Edge
+}
+
+// AFact marks Edges as a fact.
+func (*Edges) AFact() {}
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "summarize which named locks each function holds and acquires, " +
+		"build the module-wide lock-order graph, and report any cycle as a " +
+		"potential deadlock with its witnessing acquisition chain",
+	Run:       run,
+	End:       end,
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*LockFact)(nil), (*Edges)(nil)},
+}
+
+// pkgAnalysis carries the per-package summarization state.
+type pkgAnalysis struct {
+	pass      *analysis.Pass
+	res       *callgraph.Resolver
+	decls     map[analysis.ObjKey]*ast.FuncDecl
+	summaries map[analysis.ObjKey]*LockFact
+	inflight  map[analysis.ObjKey]bool
+	edges     []Edge
+}
+
+func run(pass *analysis.Pass) error {
+	pa := &pkgAnalysis{
+		pass:      pass,
+		res:       callgraph.NewResolver(pass.Pkg),
+		decls:     map[analysis.ObjKey]*ast.FuncDecl{},
+		summaries: map[analysis.ObjKey]*LockFact{},
+		inflight:  map[analysis.ObjKey]bool{},
+	}
+	fns := callgraph.Functions(pass.Files, pass.TypesInfo)
+	for _, fi := range fns {
+		pa.decls[fi.Key] = fi.Decl
+	}
+	for _, fi := range fns {
+		sum := pa.summarize(fi.Key)
+		if err := pass.ExportFactByKey(fi.Key, sum); err != nil {
+			return err
+		}
+	}
+	if len(pa.edges) > 0 {
+		return pass.ExportPackageFact(&Edges{List: pa.edges})
+	}
+	return nil
+}
+
+// summarize computes (once) the lock summary of a same-package function,
+// recording lock-order edges observed inside it as a side effect.
+// Recursion cycles yield an empty in-progress summary, which is sound for
+// edge recording (the recursive call adds nothing new on the second visit).
+func (pa *pkgAnalysis) summarize(key analysis.ObjKey) *LockFact {
+	if s, ok := pa.summaries[key]; ok {
+		return s
+	}
+	if pa.inflight[key] {
+		return &LockFact{}
+	}
+	decl, ok := pa.decls[key]
+	if !ok {
+		return &LockFact{}
+	}
+	pa.inflight[key] = true
+	w := &lockWalker{pa: pa, fnKey: key, acquired: map[LockID]bool{}}
+	w.block(decl.Body)
+	pa.inflight[key] = false
+	sum := &LockFact{Acquires: w.acqs}
+	pa.summaries[key] = sum
+	return sum
+}
+
+// acquiresOf resolves a callee's summary: same-package functions by local
+// recursion, cross-package ones from the fact store. Unknown functions
+// (stdlib, function values) contribute nothing.
+func (pa *pkgAnalysis) acquiresOf(fn *types.Func) []Acq {
+	key, ok := analysis.KeyOf(fn)
+	if !ok {
+		return nil
+	}
+	if fn.Pkg() == pa.pass.Pkg {
+		return pa.summarize(key).Acquires
+	}
+	var fact LockFact
+	if pa.pass.ImportFactByKey(key, &fact) {
+		return fact.Acquires
+	}
+	return nil
+}
+
+// heldLock is one currently-held acquisition.
+type heldLock struct {
+	expr string // rendered receiver expression, the instance-ish key
+	id   LockID
+	at   Posn
+}
+
+// lockWalker walks one function body in statement order, maintaining the
+// held set and recording acquisitions and ordering edges.
+type lockWalker struct {
+	pa       *pkgAnalysis
+	fnKey    analysis.ObjKey
+	held     []heldLock
+	acqs     []Acq
+	acquired map[LockID]bool // dedup for the exported summary
+}
+
+// event registers an acquisition of lock id (directly or via chain) at
+// posn: ordering edges against everything currently held, plus the
+// function's own summary entry.
+func (w *lockWalker) event(id LockID, posn Posn, chain []string) {
+	for _, h := range w.held {
+		w.pa.edges = append(w.pa.edges, Edge{
+			From: h.id, To: id, Fn: w.fnKey.String(),
+			HeldAt: h.at, AcqAt: posn, Chain: chain,
+		})
+	}
+	if !w.acquired[id] {
+		w.acquired[id] = true
+		w.acqs = append(w.acqs, Acq{Lock: id, At: posn, Chain: chain})
+	}
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if expr, id, locks, ok := w.lockOp(st.X); ok {
+			if locks {
+				w.acquire(expr, id, posnOf(w.pa.pass.Fset, st.X.Pos()))
+			} else {
+				w.release(expr)
+			}
+			return
+		}
+		w.checkExpr(st.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() holds the lock to function end; other deferred
+		// calls run after the function's own acquisition windows closed.
+	case *ast.GoStmt:
+		// A spawned goroutine does not hold the caller's locks.
+	case *ast.BlockStmt:
+		w.block(st)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.checkExpr(st.Cond)
+		w.block(st.Body)
+		if st.Else != nil {
+			w.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.checkExpr(st.Cond)
+		}
+		w.block(st.Body)
+	case *ast.RangeStmt:
+		w.checkExpr(st.X)
+		w.block(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.checkExpr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			for _, cs := range c.(*ast.CommClause).Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.SendStmt:
+		w.checkExpr(st.Chan)
+		w.checkExpr(st.Value)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.checkExpr(e)
+		}
+		for _, e := range st.Lhs {
+			w.checkExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.checkExpr(e)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	}
+}
+
+// checkExpr scans an expression for calls whose callees acquire locks,
+// turning each callee summary into transitive acquisition events. Function
+// literals are not descended into (they do not run under this window by
+// construction — see the package comment).
+func (w *lockWalker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	info := w.pa.pass.TypesInfo
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			static, ifaceMethod := callgraph.Resolve(info, x)
+			var callees []*types.Func
+			if static != nil {
+				callees = append(callees, static)
+			}
+			if ifaceMethod != nil {
+				callees = append(callees, w.pa.res.Implementations(ifaceMethod)...)
+			}
+			callPosn := posnOf(w.pa.pass.Fset, x.Pos())
+			for _, fn := range callees {
+				key, _ := analysis.KeyOf(fn)
+				for _, acq := range w.pa.acquiresOf(fn) {
+					chain := append([]string{key.String()}, acq.Chain...)
+					w.event(acq.Lock, callPosn, chain)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies e as a Lock/RLock (locks=true) or Unlock/RUnlock call
+// on a named sync.Mutex / sync.RWMutex, returning the rendered receiver
+// expression and the lock class.
+func (w *lockWalker) lockOp(e ast.Expr) (expr string, id LockID, locks, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return "", "", false, false
+	}
+	info := w.pa.pass.TypesInfo
+	rt := analysis.ReceiverOf(info, sel)
+	if rt == nil {
+		return "", "", false, false
+	}
+	if !analysis.IsNamed(rt, "sync", "Mutex") && !analysis.IsNamed(rt, "sync", "RWMutex") {
+		return "", "", false, false
+	}
+	id, named := NameLock(info, sel.X)
+	if !named {
+		return "", "", false, false
+	}
+	return types.ExprString(sel.X), id, locks, true
+}
+
+// NameLock derives the lock class of the mutex-valued expression e:
+// pkg.Type.field for a field of a named struct type, pkg.var for a
+// package-level variable. Anything else (locals, map values, anonymous
+// structs) is unnamed.
+func NameLock(info *types.Info, e ast.Expr) (LockID, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[x]
+		if ok && sel.Kind() == types.FieldVal {
+			n, isNamed := analysis.Deref(sel.Recv()).(*types.Named)
+			if !isNamed || n.Obj() == nil || n.Obj().Pkg() == nil {
+				return "", false
+			}
+			return LockID(fmt.Sprintf("%s.%s.%s",
+				n.Obj().Pkg().Path(), n.Obj().Name(), x.Sel.Name)), true
+		}
+		// Qualified package-level var: pkg.Var.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return LockID(v.Pkg().Path() + "." + v.Name()), true
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && isPackageLevel(v) {
+			return LockID(v.Pkg().Path() + "." + v.Name()), true
+		}
+	}
+	return "", false
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func (w *lockWalker) acquire(expr string, id LockID, posn Posn) {
+	for _, h := range w.held {
+		if h.expr == expr {
+			return // re-entrant on the same instance: lockdiscipline's bug to flag
+		}
+	}
+	w.event(id, posn, nil)
+	w.held = append(w.held, heldLock{expr: expr, id: id, at: posn})
+}
+
+func (w *lockWalker) release(expr string) {
+	for i, h := range w.held {
+		if h.expr == expr {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- End phase: global graph + cycle report ------------------------------
+
+// maxReportedCycles bounds the End-phase report; past this the graph is so
+// tangled that listing more cycles adds noise, not signal.
+const maxReportedCycles = 20
+
+func end(pass *analysis.EndPass) error {
+	var all []Edge
+	for _, pkgPath := range pass.PackageFactKeys(&Edges{}) {
+		var fact Edges
+		if pass.ImportPackageFact(pkgPath, &fact) {
+			all = append(all, fact.List...)
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	// One witness per (From, To), deterministically the smallest position.
+	type pair struct{ from, to LockID }
+	witness := map[pair]Edge{}
+	for _, e := range all {
+		p := pair{e.From, e.To}
+		if w, ok := witness[p]; !ok || lessEdge(e, w) {
+			witness[p] = e
+		}
+	}
+	adj := map[LockID][]LockID{}
+	for p := range witness {
+		adj[p.from] = append(adj[p.from], p.to)
+	}
+	nodes := make([]LockID, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		sort.Slice(adj[n], func(i, j int) bool { return adj[n][i] < adj[n][j] })
+	}
+
+	var cycles [][]LockID
+	seen := map[string]bool{}
+	var path []LockID
+	onPath := map[LockID]bool{}
+	var dfs func(start, cur LockID)
+	dfs = func(start, cur LockID) {
+		if len(cycles) >= maxReportedCycles {
+			return
+		}
+		for _, next := range adj[cur] {
+			if next < start {
+				continue // canonical cycles start at their smallest node
+			}
+			if next == start {
+				cyc := append(append([]LockID{}, path...), start)
+				key := fmt.Sprint(cyc)
+				if !seen[key] {
+					seen[key] = true
+					cycles = append(cycles, cyc)
+				}
+				continue
+			}
+			if onPath[next] {
+				continue
+			}
+			onPath[next] = true
+			path = append(path, next)
+			dfs(start, next)
+			path = path[:len(path)-1]
+			delete(onPath, next)
+		}
+	}
+	for _, n := range nodes {
+		path = path[:0]
+		path = append(path, n)
+		onPath = map[LockID]bool{n: true}
+		dfs(n, n)
+	}
+
+	for _, cyc := range cycles {
+		var b strings.Builder
+		fmt.Fprintf(&b, "potential deadlock: lock-order cycle %s", joinCycle(cyc))
+		for i := 0; i+1 < len(cyc); i++ {
+			e := witness[pair{cyc[i], cyc[i+1]}]
+			fmt.Fprintf(&b, "; %s held (%s) then %s acquired at %s", e.From, e.HeldAt, e.To, e.AcqAt)
+			if len(e.Chain) > 0 {
+				fmt.Fprintf(&b, " via %s", strings.Join(e.Chain, " -> "))
+			}
+			fmt.Fprintf(&b, " [in %s]", e.Fn)
+		}
+		first := witness[pair{cyc[0], cyc[1]}]
+		pass.Reportf(token.Position{Filename: first.AcqAt.File, Line: first.AcqAt.Line}, "%s", b.String())
+	}
+	return nil
+}
+
+func lessEdge(a, b Edge) bool {
+	if a.AcqAt.File != b.AcqAt.File {
+		return a.AcqAt.File < b.AcqAt.File
+	}
+	if a.AcqAt.Line != b.AcqAt.Line {
+		return a.AcqAt.Line < b.AcqAt.Line
+	}
+	return len(a.Chain) < len(b.Chain)
+}
+
+func joinCycle(cyc []LockID) string {
+	parts := make([]string, len(cyc))
+	for i, l := range cyc {
+		parts[i] = string(l)
+	}
+	return strings.Join(parts, " -> ")
+}

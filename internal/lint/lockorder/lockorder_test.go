@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"semandaq/internal/lint/analysistest"
+	"semandaq/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockcycle", "lockok")
+}

@@ -1,0 +1,39 @@
+// Package lockcycle seeds a genuine lock-order cycle: ab acquires A.mu
+// then B.mu, while ba acquires B.mu and then reaches A.mu through the
+// helper lockA. The End phase must report the cycle with both witnessing
+// edges, including the call chain through the helper.
+package lockcycle
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `potential deadlock: lock-order cycle lockcycle\.A\.mu -> lockcycle\.B\.mu -> lockcycle\.A\.mu; .*then lockcycle\.B\.mu acquired .*\[in lockcycle\.ab\]; .*then lockcycle\.A\.mu acquired .* via lockcycle\.lockA \[in lockcycle\.ba\]`
+	b.n++
+	a.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	lockA(a)
+	b.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.n++
+}

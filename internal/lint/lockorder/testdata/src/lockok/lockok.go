@@ -1,0 +1,55 @@
+// Package lockok holds every ordering a consistent hierarchy allows: the
+// parent lock is always taken before the child, directly or through a
+// helper, including an RLock on the way down. No cycle, no findings.
+package lockok
+
+import "sync"
+
+type Parent struct {
+	mu    sync.RWMutex
+	child *Child
+	n     int
+}
+
+type Child struct {
+	mu sync.Mutex
+	n  int
+}
+
+func direct(p *Parent) {
+	p.mu.Lock()
+	p.child.mu.Lock()
+	p.child.n++
+	p.child.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func viaHelper(p *Parent) {
+	p.mu.RLock()
+	bumpChild(p.child)
+	p.mu.RUnlock()
+}
+
+func bumpChild(c *Child) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// childOnly takes the child alone: acquiring a lower lock without the
+// parent held introduces no ordering edge.
+func childOnly(c *Child) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// sequential takes the locks one after the other, never together: no edge.
+func sequential(p *Parent, c *Child) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}

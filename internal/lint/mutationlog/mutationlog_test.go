@@ -1,0 +1,12 @@
+package mutationlog_test
+
+import (
+	"testing"
+
+	"semandaq/internal/lint/analysistest"
+	"semandaq/internal/lint/mutationlog"
+)
+
+func TestMutationLog(t *testing.T) {
+	analysistest.Run(t, "testdata", mutationlog.Analyzer, "semandaq/internal/relstore")
+}

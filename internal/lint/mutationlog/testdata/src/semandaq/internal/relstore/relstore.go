@@ -1,0 +1,140 @@
+// Package relstore is a fixture stand-in shaped like the real store: the
+// analyzer keys on this import path, the Table type, its rows/order
+// fields, and the noteMutationLocked epilogue.
+package relstore
+
+import "sync"
+
+type TupleID int64
+
+type Tuple []string
+
+type Table struct {
+	mu    sync.Mutex
+	rows  map[TupleID]Tuple
+	order []TupleID
+	ver   uint64
+}
+
+func NewTable() *Table {
+	return &Table{rows: map[TupleID]Tuple{}}
+}
+
+func (t *Table) noteMutationLocked(ids ...TupleID) {
+	t.ver++
+}
+
+// goodInsert notes the write before returning: clean.
+func (t *Table) goodInsert(id TupleID, tup Tuple) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[id] = tup
+	t.order = append(t.order, id)
+	t.noteMutationLocked(id)
+}
+
+// goodDeferredNote notes through a defer, which covers every return path.
+func (t *Table) goodDeferredNote(id TupleID, tup Tuple) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.noteMutationLocked(id)
+	t.rows[id] = tup
+}
+
+// goodBranches notes on each writing path.
+func (t *Table) goodBranches(id TupleID, tup Tuple, drop bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if drop {
+		delete(t.rows, id)
+		t.noteMutationLocked(id)
+		return
+	}
+	t.rows[id] = tup
+	t.noteMutationLocked(id)
+}
+
+// goodClone populates a fresh local table: nothing observes it before
+// publication, so there is no logging obligation.
+func (t *Table) goodClone() *Table {
+	c := NewTable()
+	for id, tup := range t.rows {
+		c.rows[id] = tup
+	}
+	c.order = append(c.order, t.order...)
+	return c
+}
+
+// badReturn writes and returns without noting.
+func (t *Table) badReturn(id TupleID, tup Tuple) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[id] = tup
+	return nil // want `badReturn returns with an unlogged Table mutation`
+}
+
+// badFallOff writes and falls off the end.
+func (t *Table) badFallOff(id TupleID) { // want `badFallOff writes Table row storage but falls off the end without calling noteMutationLocked`
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.rows, id)
+}
+
+// badBranch notes on one path but not the other.
+func (t *Table) badBranch(id TupleID, tup Tuple, drop bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if drop {
+		delete(t.rows, id)
+		return // want `badBranch returns with an unlogged Table mutation`
+	}
+	t.rows[id] = tup
+	t.noteMutationLocked(id)
+}
+
+// badUnlock releases the table lock with the write still unlogged: a
+// reader can observe the mutation before the version advances.
+func (t *Table) badUnlock(id TupleID, tup Tuple) {
+	t.mu.Lock()
+	t.rows[id] = tup
+	t.mu.Unlock() // want `badUnlock releases the table lock with an unlogged mutation`
+	t.noteMutationLocked(id)
+}
+
+// helperWrite mutates without noting; the pending write escapes to its
+// callers through the summary fact.
+func (t *Table) helperWrite(id TupleID, tup Tuple) { // want `helperWrite writes Table row storage but falls off the end without calling noteMutationLocked`
+	t.rows[id] = tup
+}
+
+// goodCaller notes after the tainted helper: clean.
+func (t *Table) goodCaller(id TupleID, tup Tuple) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.helperWrite(id, tup)
+	t.noteMutationLocked(id)
+}
+
+// badCaller inherits the helper's pending write and never notes.
+func (t *Table) badCaller(id TupleID, tup Tuple) { // want `badCaller writes Table row storage but falls off the end without calling noteMutationLocked`
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.helperWrite(id, tup)
+}
+
+// suppressedCompact mirrors the real compactLocked: a locked helper whose
+// caller owns the note, with the contract stated at the directive.
+//
+//semandaq:vet-ignore mutationlog the caller's epilogue logs the write
+func (t *Table) suppressedCompact() {
+	t.order = t.order[:0]
+}
+
+// goodSuppressedCaller still notes after the suppressed helper — the
+// suppression hides the helper's own finding, not the propagated summary.
+func (t *Table) goodSuppressedCaller() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.suppressedCompact()
+	t.noteMutationLocked()
+}

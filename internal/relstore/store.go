@@ -180,10 +180,13 @@ func (t *Table) Delete(id TupleID) bool {
 	}
 	delete(t.rows, id)
 	t.deleted++
-	t.noteMutationLocked(structuralChange)
 	if t.deleted > len(t.rows) && t.deleted > 64 {
 		t.compactLocked()
 	}
+	// The note is the last write of the critical section so the mutation —
+	// including any compaction — is fully logged before the lock drops
+	// (mutationlog enforces this ordering).
+	t.noteMutationLocked(structuralChange)
 	return true
 }
 
@@ -253,7 +256,14 @@ func (t *Table) SetCell(id TupleID, pos int, v types.Value) (types.Value, error)
 	return old, nil
 }
 
-// compactLocked drops tombstones from the order slice. Caller holds mu.
+// compactLocked drops tombstones from the order slice. Caller holds mu and
+// must call noteMutationLocked afterwards (Delete does): the compaction is
+// representation-preserving — live ids keep their relative order and every
+// row survives — but it rewrites t.order, and the version must advance
+// before the lock drops so cached artifacts are never rebuilt against a
+// silently reshaped order slice.
+//
+//semandaq:vet-ignore mutationlog the caller's epilogue logs the enclosing delete; see above
 func (t *Table) compactLocked() {
 	live := t.order[:0]
 	for _, id := range t.order {
