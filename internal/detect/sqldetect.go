@@ -105,6 +105,21 @@ func (d *SQLDetector) run(ctx context.Context, sql string) (*sqleng.Result, erro
 	return d.Engine.QueryContext(ctx, sql)
 }
 
+// stream runs sql through the engine's lazy executor, calling yield once
+// per output row. The non-grouped Qc and Qv join-back queries go through
+// here so violations are assembled as the join produces rows, without the
+// engine ever materializing the full result set.
+func (d *SQLDetector) stream(ctx context.Context, sql string, yield func(row []types.Value) bool) error {
+	if d.Trace != nil {
+		d.Trace(sql)
+	}
+	ss, err := d.Engine.Stream(ctx, sql)
+	if err != nil {
+		return err
+	}
+	return ss.Each(ctx, yield)
+}
+
 // detectOneSQL generates and runs Qc and Qv for one merged CFD. The
 // context reaches the SQL engine's scan loops, so a mid-query cancel
 // aborts inside the generated query rather than between queries.
@@ -148,12 +163,8 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepa
 			sqleng.TIDColumn, sqleng.TIDColumn, q(rhs), q(rhs),
 			q(dataName), q(tpName), match,
 			q(rhs), cfd.WildcardToken, q(rhs), q(rhs))
-		res, err := d.run(ctx, qc)
-		if err != nil {
-			return fmt.Errorf("detect: Qc for %s: %w", p.c.ID, err)
-		}
 		seen := map[relstore.TupleID]bool{}
-		for _, row := range res.Rows {
+		if err := d.stream(ctx, qc, func(row []types.Value) bool {
 			id := relstore.TupleID(row[0].Int())
 			rep.Violations = append(rep.Violations, Violation{
 				CFDID:    p.c.ID,
@@ -168,6 +179,9 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepa
 				seen[id] = true
 				st.SingleTuple++
 			}
+			return true
+		}); err != nil {
+			return fmt.Errorf("detect: Qc for %s: %w", p.c.ID, err)
 		}
 	}
 
@@ -224,11 +238,7 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepa
 			"SELECT t.%s, t.%s, %s FROM %s t, %s g WHERE %s",
 			sqleng.TIDColumn, q(rhs), strings.Join(lhsSel, ", "),
 			q(dataName), q(gName), strings.Join(joinConds, " AND "))
-		res, err = d.run(ctx, qv2)
-		if err != nil {
-			return fmt.Errorf("detect: Qv step 2 for %s: %w", p.c.ID, err)
-		}
-		// Assemble groups in Go: key on the LHS vector.
+		// Assemble groups in Go as the join streams: key on the LHS vector.
 		type acc struct {
 			lhsVals   []types.Value
 			members   []relstore.TupleID
@@ -236,7 +246,7 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepa
 			rhsCounts map[string]int
 		}
 		groups := map[string]*acc{}
-		for _, row := range res.Rows {
+		if err := d.stream(ctx, qv2, func(row []types.Value) bool {
 			id := relstore.TupleID(row[0].Int())
 			rhsVal := row[1]
 			lhsVals := row[2:]
@@ -244,7 +254,7 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepa
 			g, ok := groups[key]
 			if !ok {
 				g = &acc{
-					lhsVals:   append([]types.Value(nil), lhsVals...),
+					lhsVals:   lhsVals,
 					rhsOf:     map[relstore.TupleID]string{},
 					rhsCounts: map[string]int{},
 				}
@@ -254,6 +264,9 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepa
 			rk := rhsVal.Key()
 			g.rhsOf[id] = rk
 			g.rhsCounts[rk]++
+			return true
+		}); err != nil {
+			return fmt.Errorf("detect: Qv step 2 for %s: %w", p.c.ID, err)
 		}
 		n := 0
 		for _, g := range groups {

@@ -20,7 +20,7 @@ import (
 // diff, instead of eyeballing text tables.
 
 // DetectBenchSchema versions the JSON layout.
-const DetectBenchSchema = "semandaq/bench-detect/v1"
+const DetectBenchSchema = "semandaq/bench-detect/v2"
 
 // DetectBenchEntry is one (engine, size) measurement.
 type DetectBenchEntry struct {
@@ -42,6 +42,11 @@ type DetectBenchReport struct {
 	Quick       bool               `json:"quick"`
 	NoiseRate   float64            `json:"noise_rate"`
 	Results     []DetectBenchEntry `json:"results"`
+	// SQLStream is the D8 sweep: the streaming SQL executor against the
+	// legacy materializing path, ops-counted, with its hard gates
+	// (identity, never-more-allocations, constant-memory self-join)
+	// enforced while measuring.
+	SQLStream []SQLStreamEntry `json:"sql_stream"`
 }
 
 // DetectBench measures every detection engine at each size and returns the
@@ -49,8 +54,11 @@ type DetectBenchReport struct {
 // slower and would dominate the sweep's runtime). Engines are cross-checked
 // per size; a mismatch fails the sweep.
 func DetectBench(ctx context.Context, quick bool) (*DetectBenchReport, error) {
+	// The streaming executor brought SQL detection within ~2x of the
+	// columnar engine, so the sweep runs it at full size now (it was
+	// capped at 100k when the materializing path was ~9x slower).
 	sizes := []int{10000, 100000, 1000000}
-	sqlCap := 100000
+	sqlCap := 1000000
 	if quick {
 		sizes = []int{2000, 10000}
 		sqlCap = 10000
@@ -109,6 +117,15 @@ func DetectBench(ctx context.Context, quick bool) (*DetectBenchReport, error) {
 			})
 		}
 	}
+	// D8: streaming-vs-legacy executor comparison, gates included — a
+	// gate violation fails the whole sweep (and the CI bench-smoke job).
+	for i, n := range sizes {
+		entries, err := runD8Point(ctx, n, i == len(sizes)-1)
+		if err != nil {
+			return nil, err
+		}
+		rep.SQLStream = append(rep.SQLStream, entries...)
+	}
 	return rep, nil
 }
 
@@ -132,6 +149,14 @@ func WriteDetectBenchJSON(ctx context.Context, path string, quick bool, w io.Wri
 	for _, e := range rep.Results {
 		fmt.Fprintf(w, "%-10s %10d %14d %14.0f %8d\n",
 			e.Engine, e.Tuples, e.NsOp, e.RowsPerSec, e.Dirty)
+	}
+	fmt.Fprintf(w, "%-12s %10s %14s %14s\n", "sql_stream", "tuples", "mallocs_strm", "mallocs_legacy")
+	for _, e := range rep.SQLStream {
+		legacy := "-"
+		if e.Legacy != nil {
+			legacy = fmt.Sprintf("%d", e.Legacy.Mallocs)
+		}
+		fmt.Fprintf(w, "%-12s %10d %14d %14s\n", e.Query, e.Tuples, e.Streaming.Mallocs, legacy)
 	}
 	return rep, nil
 }

@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -27,7 +27,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Error("ByID(nope) should fail")
 	}
-	if got := len(IDs()); got != 18 {
+	if got := len(IDs()); got != 19 {
 		t.Errorf("IDs = %d", got)
 	}
 }
@@ -50,6 +50,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		"D4": {"workers", "native_ms", "parallel_ms", "sql_ms", "speedup"},
 		"D5": {"workers", "native_ms", "col_cold_ms", "col_warm_ms", "warm_x", "dirty"},
 		"D7": {"interned", "pli_patches", "mallocs", "va_reuse", "cold", "incr"},
+		"D8": {"mallocs_strm", "mallocs_legacy", "filter-count", "group-city", "self-join", "ratio"},
 		"R1": {"noise", "prec", "recall", "clean"},
 		"R2": {"repair_ms", "passes"},
 		"R3": {"inc_ms", "batch_ms", "dirty_after"},

@@ -227,6 +227,24 @@ func (c *Column) PLIClassesByKey() []int {
 	return c.classOrder
 }
 
+// ClassRows returns the ascending row indices of the PLI class holding the
+// Equal-class code eq, nil when no stored row belongs to that class. This
+// is the lookup side of a PLI-class join: EqCodeOf resolves a probe value
+// to its Equal-class code and ClassRows returns the matching rows straight
+// from the cached partition — no per-row hashing, no materialization. The
+// slice is backing storage: callers must not mutate it.
+func (c *Column) ClassRows(eq uint32) []int32 {
+	c.PLI()
+	if int(eq) >= len(c.pliClassOf) {
+		return nil
+	}
+	cl := c.pliClassOf[eq]
+	if cl < 0 {
+		return nil
+	}
+	return c.pli.Class(int(cl))
+}
+
 // EqProbe returns the per-row Equal-class code vector (probe[i] =
 // EqCode(i), materialized): the lookup side of partition intersection and
 // purity checks. Built on first use and cached for the snapshot's lifetime.

@@ -94,7 +94,15 @@ type DropTableStmt struct {
 	Table string
 }
 
+// ExplainStmt is EXPLAIN SELECT ...: plan the query and return the chosen
+// join order, pushed-down predicates and the exact statistics behind each
+// choice, one plan line per result row, without executing it.
+type ExplainStmt struct {
+	Select *SelectStmt
+}
+
 func (*SelectStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
 func (*InsertStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}

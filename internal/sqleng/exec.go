@@ -173,6 +173,8 @@ func (e *Engine) RunContext(ctx context.Context, st Statement) (*Result, error) 
 	switch s := st.(type) {
 	case *SelectStmt:
 		return e.runSelect(ctx, s)
+	case *ExplainStmt:
+		return e.runExplain(s)
 	case *InsertStmt:
 		return e.runInsert(s)
 	case *UpdateStmt:
@@ -196,19 +198,12 @@ func (e *Engine) RunContext(ctx context.Context, st Statement) (*Result, error) 
 }
 
 // relation is an intermediate materialized result with a column catalog.
+// It belongs to the legacy materializing executor, kept behind
+// SetColumnarScan(false) as the cross-check oracle for the streaming path.
 type relation struct {
 	cat    catalog
 	hidden []bool // parallel to cat; hidden columns are excluded from `*`
 	rows   [][]types.Value
-	// cnr and rowIdx carry the columnar fast path for freshly loaded base
-	// tables: cnr is the table's columnar snapshot and rowIdx maps each
-	// relation row to its snapshot row, kept in sync while filtering.
-	// While deferred is set the rows have not been materialized yet (only
-	// rowIdx exists); ensureRows builds them on demand. Joins and grouping
-	// drop the fast path (cnr == nil disables it).
-	cnr      *relstore.Columnar
-	rowIdx   []int32
-	deferred bool
 }
 
 func (r *relation) width() int { return len(r.cat) }
@@ -216,11 +211,7 @@ func (r *relation) width() int { return len(r.cat) }
 // loadTable materializes a base table with its hidden _tid column first,
 // reading from the query's pinned snapshot (queryPins) so the whole
 // statement — including self-joins — observes exactly one version of each
-// base table. With the columnar path enabled it builds the rows from the
-// snapshot's dictionary-encoded decomposition — one consistent, cached
-// materialization — and keeps it attached for predicate pushdown in
-// applyResolvable. Exact dictionary codes round-trip the stored values, so
-// both paths produce identical rows in identical (insertion) order.
+// base table.
 func (e *Engine) loadTable(ctx context.Context, fi FromItem, qp *queryPins) (*relation, error) {
 	snap, ok := qp.snapshot(fi.Table)
 	if !ok {
@@ -234,65 +225,21 @@ func (e *Engine) loadTable(ctx context.Context, fi FromItem, qp *queryPins) (*re
 		rel.cat = append(rel.cat, colInfo{qual: fi.Alias, name: a.Name})
 		rel.hidden = append(rel.hidden, false)
 	}
-	if e.rowScan {
-		n := 0
-		snap.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
-			if n++; n%cancelStride == 0 && ctx.Err() != nil {
-				return false
-			}
-			out := make([]types.Value, 0, len(row)+1)
-			out = append(out, types.NewInt(int64(id)))
-			out = append(out, row...)
-			rel.rows = append(rel.rows, out)
-			return true
-		})
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	n := 0
+	snap.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
+		if n++; n%cancelStride == 0 && ctx.Err() != nil {
+			return false
 		}
-		return rel, nil
-	}
-	// Row materialization is deferred (rel.deferred): applyResolvable's
-	// code filters narrow rowIdx first, so a selective WHERE only ever
-	// materializes the surviving tuples.
-	cnr := snap.Columnar()
-	rel.cnr = cnr
-	rel.deferred = true
-	rel.rowIdx = make([]int32, cnr.Len())
-	for i := range rel.rowIdx {
-		rel.rowIdx[i] = int32(i)
+		out := make([]types.Value, 0, len(row)+1)
+		out = append(out, types.NewInt(int64(id)))
+		out = append(out, row...)
+		rel.rows = append(rel.rows, out)
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return rel, nil
-}
-
-// ensureRows materializes a deferred base-table relation: one row per
-// surviving snapshot index, hidden _tid first, values from the exact
-// dictionary codes (bit-identical to the stored tuples). No-op for
-// relations already materialized.
-func (r *relation) ensureRows(ctx context.Context) error {
-	if !r.deferred {
-		return nil
-	}
-	r.deferred = false
-	snap := r.cnr
-	width := snap.NumCols()
-	cols := make([]*relstore.Column, width)
-	for j := range cols {
-		cols[j] = snap.Col(j)
-	}
-	ids := snap.IDs()
-	r.rows = make([][]types.Value, 0, len(r.rowIdx))
-	for n, i := range r.rowIdx {
-		if err := strideCheck(ctx, n); err != nil {
-			return err
-		}
-		out := make([]types.Value, width+1)
-		out[0] = types.NewInt(int64(ids[i]))
-		for j, col := range cols {
-			out[j+1] = col.Value(col.Code(int(i)))
-		}
-		r.rows = append(r.rows, out)
-	}
-	return nil
 }
 
 // splitConjuncts flattens nested ANDs into a conjunct list.
@@ -411,10 +358,51 @@ func (e *Engine) validateRefs(st *SelectStmt) error {
 	return check(all...)
 }
 
+// runSelect dispatches a SELECT to the streaming planner/executor
+// (plan.go, iterator.go) or, when SetColumnarScan(false) forced the row
+// path, to the legacy materializing executor below. Both produce
+// byte-identical Results; the legacy path is the cross-check oracle.
 func (e *Engine) runSelect(ctx context.Context, st *SelectStmt) (*Result, error) {
 	if len(st.From) == 0 {
 		return e.selectNoFrom(st)
 	}
+	if e.rowScan {
+		return e.runSelectLegacy(ctx, st)
+	}
+	p, err := e.buildSelectPlan(st)
+	if err != nil {
+		return nil, err
+	}
+	return p.collect(ctx)
+}
+
+// runExplain plans the SELECT (without running it) and renders the chosen
+// join order, pushed-down predicates and the exact statistics behind each
+// choice, one line per plan element.
+func (e *Engine) runExplain(st *ExplainStmt) (*Result, error) {
+	if len(st.Select.From) == 0 {
+		// No FROM clause: nothing to scan, join or push down.
+		return &Result{
+			Columns:  []string{"plan"},
+			Rows:     [][]types.Value{{types.NewString("constant select (no FROM)")}},
+			Versions: map[string]int64{},
+		}, nil
+	}
+	p, err := e.buildSelectPlan(st.Select)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"plan"}, Versions: p.versions}
+	for _, line := range p.describe() {
+		res.Rows = append(res.Rows, []types.Value{types.NewString(line)})
+	}
+	return res, nil
+}
+
+// runSelectLegacy is the materializing executor: load whole tables, filter,
+// join relation by relation, then project. Retained verbatim as the oracle
+// the streaming path is cross-checked against.
+func (e *Engine) runSelectLegacy(ctx context.Context, st *SelectStmt) (*Result, error) {
 	if err := e.validateRefs(st); err != nil {
 		return nil, err
 	}
@@ -506,28 +494,9 @@ func (e *Engine) selectNoFrom(st *SelectStmt) (*Result, error) {
 }
 
 // applyResolvable filters rel by every pending conjunct that resolves,
-// returning the surviving conjuncts. On a freshly loaded base table
-// (rel.cnr != nil) equality-with-literal and IS [NOT] NULL conjuncts are
-// evaluated against dictionary codes — one probe plus an integer compare
-// per row — before the rows are even materialized; only the survivors are
-// built. Code-filterable conjuncts therefore run ahead of the compiled
-// ones regardless of their WHERE position (conjunction is commutative;
-// like most engines, evaluation order within a WHERE is unspecified).
+// returning the surviving conjuncts.
 func applyResolvable(ctx context.Context, rel *relation, pending []Expr) (*relation, []Expr, error) {
 	var rest []Expr
-	if rel.cnr != nil {
-		var later []Expr
-		for _, c := range pending {
-			if resolvable(c, rel.cat) && !hasAggregate(c) && filterByCodes(rel, c) {
-				continue
-			}
-			later = append(later, c)
-		}
-		pending = later
-	}
-	if err := rel.ensureRows(ctx); err != nil {
-		return nil, nil, err
-	}
 	for _, c := range pending {
 		if !resolvable(c, rel.cat) || hasAggregate(c) {
 			rest = append(rest, c)
@@ -559,117 +528,15 @@ func applyResolvable(ctx context.Context, rel *relation, pending []Expr) (*relat
 	return rel, rest, nil
 }
 
-// filterInPlace keeps the rows the predicate selects, maintaining the
-// snapshot row mapping when the columnar fast path is attached.
+// filterInPlace keeps the rows the predicate selects.
 func (r *relation) filterInPlace(keep func(row []types.Value) bool) {
 	rows := r.rows[:0]
-	idxs := r.rowIdx[:0]
-	for i, row := range r.rows {
+	for _, row := range r.rows {
 		if keep(row) {
 			rows = append(rows, row)
-			if r.rowIdx != nil {
-				idxs = append(idxs, r.rowIdx[i])
-			}
 		}
 	}
 	r.rows = rows
-	if r.rowIdx != nil {
-		r.rowIdx = idxs
-	}
-}
-
-// filterByCodes evaluates one conjunct against rel's columnar snapshot if
-// it has a code-comparable shape, reporting whether it was handled. The
-// supported shapes — `col = literal` (either side) and `col IS [NOT]
-// NULL` — are exactly the ones whose SQL semantics coincide with
-// dictionary-code comparison: `=` is true iff both sides are non-NULL and
-// Compare as equal, which is one Equal-class code equality; a literal
-// absent from the dictionary (or a NULL literal, never truthy under
-// three-valued logic) selects nothing.
-func filterByCodes(rel *relation, c Expr) bool {
-	colOf := func(e Expr) (*relstore.Column, bool) {
-		ref, ok := e.(*ColumnRef)
-		if !ok {
-			return nil, false
-		}
-		idx, err := rel.cat.resolve(ref)
-		if err != nil || idx == 0 {
-			return nil, false // unresolvable, or the synthetic _tid column
-		}
-		return rel.cnr.Col(idx - 1), true
-	}
-	switch n := c.(type) {
-	case *BinaryExpr:
-		if n.Op != "=" {
-			return false
-		}
-		var col *relstore.Column
-		var lit *Literal
-		if cc, ok := colOf(n.L); ok {
-			if l, ok := n.R.(*Literal); ok {
-				col, lit = cc, l
-			}
-		} else if cc, ok := colOf(n.R); ok {
-			if l, ok := n.L.(*Literal); ok {
-				col, lit = cc, l
-			}
-		}
-		if col == nil || lit == nil {
-			return false
-		}
-		if lit.Value.IsNull() {
-			// x = NULL is NULL for every x: nothing survives.
-			rel.rows, rel.rowIdx = rel.rows[:0], rel.rowIdx[:0]
-			return true
-		}
-		want, present := col.EqCodeOf(lit.Value)
-		if !present {
-			rel.rows, rel.rowIdx = rel.rows[:0], rel.rowIdx[:0]
-			return true
-		}
-		// NULL rows never match: a non-NULL literal's Equal-class differs
-		// from the NULL code by construction.
-		rel.filterByCode(func(i int32) bool { return col.EqCode(int(i)) == want })
-		return true
-	case *IsNullExpr:
-		col, ok := colOf(n.E)
-		if !ok {
-			return false
-		}
-		nullCode, hasNull := col.NullCode()
-		switch {
-		case !n.Not && !hasNull:
-			rel.rows, rel.rowIdx = rel.rows[:0], rel.rowIdx[:0]
-		case !n.Not:
-			rel.filterByCode(func(i int32) bool { return col.Code(int(i)) == nullCode })
-		case hasNull:
-			rel.filterByCode(func(i int32) bool { return col.Code(int(i)) != nullCode })
-		default:
-			// IS NOT NULL with no NULLs stored: keep everything.
-		}
-		return true
-	}
-	return false
-}
-
-// filterByCode keeps the rows whose snapshot index the predicate selects.
-// On a still-deferred relation only rowIdx is filtered; materialized rows
-// are kept in sync otherwise.
-func (r *relation) filterByCode(keep func(snapRow int32) bool) {
-	idxs := r.rowIdx[:0]
-	rows := r.rows[:0]
-	for i, s := range r.rowIdx {
-		if keep(s) {
-			idxs = append(idxs, s)
-			if r.rows != nil {
-				rows = append(rows, r.rows[i])
-			}
-		}
-	}
-	r.rowIdx = idxs
-	if r.rows != nil {
-		r.rows = rows
-	}
 }
 
 // joinRelations joins left and right. Equi-join keys are harvested from
@@ -678,12 +545,6 @@ func (r *relation) filterByCode(keep func(snapRow int32) bool) {
 // whole ON condition is evaluated per pair and unmatched left rows are
 // null-extended.
 func joinRelations(ctx context.Context, left, right *relation, pending, on []Expr, outer bool) (*relation, []Expr, error) {
-	if err := left.ensureRows(ctx); err != nil {
-		return nil, nil, err
-	}
-	if err := right.ensureRows(ctx); err != nil {
-		return nil, nil, err
-	}
 	combinedCat := append(append(catalog{}, left.cat...), right.cat...)
 	combinedHidden := append(append([]bool{}, left.hidden...), right.hidden...)
 

@@ -1,0 +1,180 @@
+package sqleng
+
+import (
+	"strings"
+	"testing"
+
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+// newJoinStore builds a three-way star schema with skewed cardinalities:
+// orders (8 rows) joins cust on CID (2 distinct values -> expect 2 matches
+// per probe) and prod on PID (8 distinct values -> expect 1 match).
+func newJoinStore(t *testing.T) *relstore.Store {
+	t.Helper()
+	store := relstore.NewStore()
+	orders, err := store.Create(schema.New("orders", "OID", "CID", "PID"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cust, err := store.Create(schema.New("cust", "CID", "CITY"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := store.Create(schema.New("prod", "PID", "PNAME"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		orders.MustInsert(relstore.Tuple{
+			types.NewInt(int64(100 + i)),
+			types.NewInt(int64(i % 2)),
+			types.NewInt(int64(i)),
+		})
+		prod.MustInsert(relstore.Tuple{
+			types.NewInt(int64(i)),
+			types.NewString("prod" + string(rune('a'+i))),
+		})
+	}
+	cust.MustInsert(relstore.Tuple{types.NewInt(0), types.NewString("York")})
+	cust.MustInsert(relstore.Tuple{types.NewInt(0), types.NewString("Hull")})
+	cust.MustInsert(relstore.Tuple{types.NewInt(1), types.NewString("York")})
+	cust.MustInsert(relstore.Tuple{types.NewInt(1), types.NewString("Bath")})
+	return store
+}
+
+// planLines runs EXPLAIN and returns the plan rows as strings.
+func planLines(t *testing.T, e *Engine, sql string) []string {
+	t.Helper()
+	res, err := e.Query(sql)
+	if err != nil {
+		t.Fatalf("EXPLAIN failed: %v", err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("EXPLAIN columns = %v", res.Columns)
+	}
+	lines := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		lines[i] = row[0].String()
+	}
+	return lines
+}
+
+// indexOfLine returns the first line containing all substrings, or -1.
+func indexOfLine(lines []string, subs ...string) int {
+	for i, ln := range lines {
+		ok := true
+		for _, s := range subs {
+			if !strings.Contains(ln, s) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestExplainThreeTableJoin pins the plan shape of a 3-table join: exact
+// cardinalities from the relstore statistics, the pushed-down filter on
+// cust, and the hoisting of the selective prod probe into the driver scan.
+func TestExplainThreeTableJoin(t *testing.T) {
+	e := New(newJoinStore(t))
+	lines := planLines(t, e,
+		`EXPLAIN SELECT o.OID, p.PNAME FROM orders o, cust c, prod p
+		 WHERE o.CID = c.CID AND o.PID = p.PID AND c.CITY = 'York'`)
+	text := strings.Join(lines, "\n")
+
+	drive := indexOfLine(lines, "drive orders AS o rows=8")
+	if drive != 0 {
+		t.Fatalf("expected driver scan first, got:\n%s", text)
+	}
+	// Exact statistics: distinct class counts straight from the PLIs.
+	if !strings.Contains(lines[0], "OID:8") || !strings.Contains(lines[0], "CID:2") || !strings.Contains(lines[0], "PID:8") {
+		t.Errorf("driver stats wrong: %q", lines[0])
+	}
+
+	// The prod join keys only on the driver, is the most selective
+	// (expect=1 vs cust's expect=2), and must be probed at the driver
+	// stage, before any cust pairing happens.
+	probe := indexOfLine(lines, "probe join#2", "pli", "expect=1")
+	custScan := indexOfLine(lines, "scan cust AS c rows=4")
+	if probe < 0 || custScan < 0 || probe > custScan {
+		t.Errorf("prod probe not hoisted above cust scan:\n%s", text)
+	}
+
+	// WHERE c.CITY = 'York' is pushed into the cust scan.
+	filter := indexOfLine(lines, "filter", "c.CITY", "York")
+	if filter < custScan {
+		t.Errorf("cust filter not pushed down below its scan:\n%s", text)
+	}
+
+	// Both joins go through PLI classes with exact counts.
+	if indexOfLine(lines, "join inner pli on o.CID = c.CID", "classes=2", "expect=2") < 0 {
+		t.Errorf("cust join line wrong:\n%s", text)
+	}
+	if indexOfLine(lines, "join inner pli on o.PID = p.PID", "classes=8", "expect=1", "probe@0") < 0 {
+		t.Errorf("prod join line wrong:\n%s", text)
+	}
+
+	if indexOfLine(lines, "sink", "project 2 cols") < 0 {
+		t.Errorf("sink line wrong:\n%s", text)
+	}
+	if !strings.Contains(lines[len(lines)-1], "pure plan") {
+		t.Errorf("expected pure-plan note last:\n%s", text)
+	}
+}
+
+// TestExplainGreedyProbeOrder checks that when two hoisted probes land on
+// the same stage, the one with fewer expected matches is probed first.
+func TestExplainGreedyProbeOrder(t *testing.T) {
+	store := newJoinStore(t)
+	wide, err := store.Create(schema.New("wide", "CID", "W"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		wide.MustInsert(relstore.Tuple{types.NewInt(int64(i % 2)), types.NewInt(int64(i))})
+	}
+	e := New(store)
+	// cust joins at its own stage; wide (expect=3) and prod (expect=1) both
+	// key on the driver alone, so both hoist to stage 0; greedy ordering
+	// must put the selective prod probe first.
+	lines := planLines(t, e,
+		`EXPLAIN SELECT o.OID FROM orders o, cust c, wide w, prod p
+		 WHERE o.CID = c.CID AND o.CID = w.CID AND o.PID = p.PID`)
+	text := strings.Join(lines, "\n")
+	prodProbe := indexOfLine(lines, "probe join#3", "expect=1")
+	wideProbe := indexOfLine(lines, "probe join#2", "expect=3")
+	if prodProbe < 0 || wideProbe < 0 {
+		t.Fatalf("missing hoisted probes:\n%s", text)
+	}
+	if prodProbe > wideProbe {
+		t.Errorf("greedy order wrong: selective probe after coarse one:\n%s", text)
+	}
+}
+
+// TestExplainImpurePlan: a plan with an impure predicate must refuse the
+// optimizations and say so.
+func TestExplainImpurePlan(t *testing.T) {
+	e := New(newJoinStore(t))
+	lines := planLines(t, e,
+		`EXPLAIN SELECT o.OID FROM orders o, cust c
+		 WHERE o.CID = c.CID AND o.OID / c.CID > 10`)
+	if indexOfLine(lines, "impure predicates: legacy staging preserved") < 0 {
+		t.Errorf("expected impure note:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestExplainNoFrom covers the constant-select guard.
+func TestExplainNoFrom(t *testing.T) {
+	e := New(relstore.NewStore())
+	lines := planLines(t, e, "EXPLAIN SELECT 1 + 2")
+	if len(lines) != 1 || !strings.Contains(lines[0], "constant select") {
+		t.Errorf("lines = %v", lines)
+	}
+}

@@ -571,6 +571,9 @@ func compileScalarFunc(n *FuncExpr, cat catalog, aggEnv map[string]int) (evalFn,
 			if vals[0].IsNull() || vals[1].IsNull() {
 				return types.Null, nil
 			}
+			if vals[1].Kind() != types.KindInt {
+				return types.Null, fmt.Errorf("sql: SUBSTR position must be an integer, got %s", vals[1].Kind())
+			}
 			s := vals[0].CoerceString()
 			start := int(vals[1].Int()) - 1 // SQL is 1-based
 			if start < 0 {
@@ -581,7 +584,14 @@ func compileScalarFunc(n *FuncExpr, cat catalog, aggEnv map[string]int) (evalFn,
 			}
 			end := len(s)
 			if len(vals) == 3 && !vals[2].IsNull() {
-				if n := int(vals[2].Int()); start+n < end {
+				if vals[2].Kind() != types.KindInt {
+					return types.Null, fmt.Errorf("sql: SUBSTR length must be an integer, got %s", vals[2].Kind())
+				}
+				n := int(vals[2].Int())
+				if n < 0 {
+					n = 0
+				}
+				if start+n < end {
 					end = start + n
 				}
 			}

@@ -1,0 +1,933 @@
+// The streaming executor: runs a selectPlan as a push-style pipeline over
+// the pinned columnar snapshots. One reusable full-width row buffer is
+// filled scan segment by scan segment; join steps look partners up through
+// PLI classes or hash indexes over snapshot row numbers; the sink projects,
+// groups, orders and limits. No intermediate relation is ever materialized
+// — the only per-row state retained is what the sink keeps (projected
+// output rows, or group accumulators).
+//
+// Identity with the legacy materializing path is by construction: rows are
+// enumerated in exactly the legacy nested order (driver scan in snapshot
+// order, each join step's matches in right-side snapshot order, unmatched
+// outer rows null-extended in place), and every predicate was placed by the
+// planner at the stage the legacy executor evaluated it.
+//
+// All hot loops share one monotonic counter and check the context every
+// cancelStride rows, preserving the engine's cancellation contract.
+package sqleng
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"semandaq/internal/relstore"
+	"semandaq/internal/types"
+)
+
+// scanReader caches the per-scan snapshot accessors the hot loops touch.
+type scanReader struct {
+	ids  []relstore.TupleID
+	cols []*relstore.Column
+}
+
+// rightIndex is the build side of one join step: which right rows survive
+// the pushed-down filters, plus the lookup structure of the step's kind.
+type rightIndex struct {
+	surv     []bool  // nil: every row survives (no right-side filters)
+	survRows []int32 // stepNested: surviving rows in snapshot order
+	allRows  bool    // stepNested: no filters, iterate the whole snapshot
+	buckets  map[string][]int32
+	pliCol   *relstore.Column
+}
+
+// planExec is one execution of a selectPlan.
+type planExec struct {
+	p       *selectPlan
+	ctx     context.Context
+	buf     []types.Value // one reusable full-width row
+	readers []scanReader  // per scan
+	idx     []*rightIndex // per step
+	cached  [][]int32     // per step: candidates from a hoisted probe
+	keyBuf  []byte
+	n       int // shared row counter for stride context checks
+	stop    bool
+}
+
+// stride ticks the shared row counter and returns ctx.Err() every
+// cancelStride-th row across all of the execution's loops.
+func (px *planExec) stride() error {
+	if px.n++; px.n%cancelStride == 0 {
+		return px.ctx.Err()
+	}
+	return nil
+}
+
+// run drives the pipeline to completion (or early stop) into the plan's
+// sink. It may be called once per plan.
+func (p *selectPlan) run(ctx context.Context) error {
+	px := &planExec{
+		p:       p,
+		ctx:     ctx,
+		buf:     make([]types.Value, len(p.cat)),
+		readers: make([]scanReader, len(p.scans)),
+		idx:     make([]*rightIndex, len(p.steps)),
+		cached:  make([][]int32, len(p.steps)),
+	}
+	for i, sc := range p.scans {
+		r := scanReader{ids: sc.cnr.IDs(), cols: make([]*relstore.Column, sc.arity-1)}
+		for j := range r.cols {
+			r.cols[j] = sc.cnr.Col(j)
+		}
+		px.readers[i] = r
+	}
+	// Build every join index eagerly, in step order: the legacy path
+	// evaluates right-side filters and hash keys over the full right side
+	// before probing, even when the left side turns out empty, so building
+	// up front keeps evaluation (and error) coverage identical.
+	for si := range p.steps {
+		if err := px.buildIndex(si); err != nil {
+			return err
+		}
+	}
+	return px.scanDriver()
+}
+
+// fillScan materializes scan s's snapshot row r into the row buffer:
+// hidden _tid first, then the attribute values straight from the exact
+// dictionary (bit-identical to the stored tuple).
+func (px *planExec) fillScan(s int, r int32) {
+	sc := px.p.scans[s]
+	rd := &px.readers[s]
+	px.buf[sc.start] = types.NewInt(int64(rd.ids[r]))
+	for j, col := range rd.cols {
+		px.buf[sc.start+1+j] = col.Value(col.Code(int(r)))
+	}
+}
+
+// buildIndex builds step si's right-side index: applies the pushed-down
+// filters row by row on a local scratch row, then indexes the survivors
+// according to the step's kind.
+func (px *planExec) buildIndex(si int) error {
+	step := px.p.steps[si]
+	sc := step.right
+	n := sc.cnr.Len()
+	idx := &rightIndex{}
+	px.idx[si] = idx
+	if step.kind == stepPLI {
+		idx.pliCol = sc.cnr.Col(step.keyRCol)
+	}
+
+	needScratch := len(sc.filters) > 0 || step.kind == stepHash
+	if !needScratch {
+		// PLI steps read candidates straight from the cached partition and
+		// nested steps iterate the snapshot; with no filters there is
+		// nothing to precompute.
+		idx.allRows = true
+		return nil
+	}
+
+	var scratch []types.Value
+	var rd scanReader
+	scratch = make([]types.Value, sc.arity)
+	rd = scanReader{ids: sc.cnr.IDs(), cols: make([]*relstore.Column, sc.arity-1)}
+	for j := range rd.cols {
+		rd.cols[j] = sc.cnr.Col(j)
+	}
+	if len(sc.filters) > 0 {
+		idx.surv = make([]bool, n)
+	}
+	if step.kind == stepHash {
+		idx.buckets = make(map[string][]int32, n)
+	}
+rows:
+	for r := 0; r < n; r++ {
+		if err := px.stride(); err != nil {
+			return err
+		}
+		scratch[0] = types.NewInt(int64(rd.ids[r]))
+		for j, col := range rd.cols {
+			scratch[1+j] = col.Value(col.Code(r))
+		}
+		for _, f := range sc.filters {
+			v, err := f.fn(scratch)
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				continue rows
+			}
+		}
+		if idx.surv != nil {
+			idx.surv[r] = true
+		}
+		switch step.kind {
+		case stepHash:
+			key := px.keyBuf[:0]
+			null := false
+			for _, kf := range step.keyR {
+				v, err := kf(scratch)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				key = v.AppendGroupKey(key)
+			}
+			px.keyBuf = key
+			if null {
+				continue // NULL never equi-joins
+			}
+			idx.buckets[string(key)] = append(idx.buckets[string(key)], int32(r))
+		case stepNested:
+			idx.survRows = append(idx.survRows, int32(r))
+		}
+	}
+	return nil
+}
+
+// scanDriver iterates the driver scan: code filters on dictionary codes
+// first, then the filled row through the stage-0 filters and probes, then
+// down the join steps.
+func (px *planExec) scanDriver() error {
+	p := px.p
+	sc := p.scans[0]
+	n := sc.cnr.Len()
+rows:
+	for r := 0; r < n; r++ {
+		if err := px.stride(); err != nil {
+			return err
+		}
+		for i := range sc.codeFs {
+			if !sc.codeFs[i].match(r) {
+				continue rows
+			}
+		}
+		px.fillScan(0, int32(r))
+		ok, err := px.stageGate(0)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := px.descend(0); err != nil {
+			return err
+		}
+		if px.stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// stageGate runs stage d's filters and hoisted probes over the current
+// prefix, reporting whether the prefix survives.
+func (px *planExec) stageGate(d int) (bool, error) {
+	for _, f := range px.p.stages[d] {
+		v, err := f.fn(px.buf)
+		if err != nil {
+			return false, err
+		}
+		if !truthy(v) {
+			return false, nil
+		}
+	}
+	for _, si := range px.p.probesAt[d] {
+		ok, err := px.probe(si)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// lookup finds step si's candidate right rows for the current prefix key,
+// nil when the key is NULL or has no partner.
+func (px *planExec) lookup(si int) ([]int32, error) {
+	step := px.p.steps[si]
+	idx := px.idx[si]
+	switch step.kind {
+	case stepPLI:
+		v, err := step.keyL[0](px.buf)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return nil, nil
+		}
+		eq, ok := idx.pliCol.EqCodeOf(v)
+		if !ok {
+			return nil, nil
+		}
+		return idx.pliCol.ClassRows(eq), nil
+	default: // stepHash
+		key := px.keyBuf[:0]
+		for _, kf := range step.keyL {
+			v, err := kf(px.buf)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				px.keyBuf = key
+				return nil, nil
+			}
+			key = v.AppendGroupKey(key)
+		}
+		px.keyBuf = key
+		return idx.buckets[string(key)], nil
+	}
+}
+
+// probe runs step si's index lookup early, at a stage before the step's
+// own, and caches the candidates for the step to consume. A prefix with no
+// surviving partner is killed on the spot.
+func (px *planExec) probe(si int) (bool, error) {
+	cands, err := px.lookup(si)
+	if err != nil {
+		return false, err
+	}
+	idx := px.idx[si]
+	if idx.surv != nil {
+		any := false
+		for _, r := range cands {
+			if idx.surv[r] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			cands = nil
+		}
+	}
+	px.cached[si] = cands
+	return len(cands) > 0, nil
+}
+
+// descend runs the pipeline below stage d: the next join step, or the sink
+// when every scan is filled.
+func (px *planExec) descend(d int) error {
+	if d == len(px.p.scans)-1 {
+		stop, err := px.p.sink.add(px.buf)
+		if err != nil {
+			return err
+		}
+		px.stop = px.stop || stop
+		return nil
+	}
+	step := px.p.steps[d]
+	idx := px.idx[d]
+
+	var cands []int32
+	switch {
+	case step.kind == stepNested:
+		// handled below: nested steps iterate rows, not candidate lists
+	case step.probeAt < d:
+		cands = px.cached[d] // the hoisted probe already looked it up
+	default:
+		var err error
+		cands, err = px.lookup(d)
+		if err != nil {
+			return err
+		}
+	}
+
+	matched := false
+	tryRight := func(r int32) error {
+		if err := px.stride(); err != nil {
+			return err
+		}
+		px.fillScan(d+1, r)
+		for _, f := range step.residuals {
+			v, err := f.fn(px.buf)
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				return nil
+			}
+		}
+		// The legacy path counts a pair as matched once the ON residuals
+		// pass, before the later WHERE conjuncts run — the distinction
+		// decides null-extension, so it is preserved exactly.
+		matched = true
+		ok, err := px.stageGate(d + 1)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return px.descend(d + 1)
+	}
+
+	switch {
+	case step.kind == stepNested && idx.allRows:
+		n := int32(step.right.cnr.Len())
+		for r := int32(0); r < n && !px.stop; r++ {
+			if err := tryRight(r); err != nil {
+				return err
+			}
+		}
+	case step.kind == stepNested:
+		for _, r := range idx.survRows {
+			if px.stop {
+				break
+			}
+			if err := tryRight(r); err != nil {
+				return err
+			}
+		}
+	default:
+		for _, r := range cands {
+			if px.stop {
+				break
+			}
+			if idx.surv != nil && !idx.surv[r] {
+				continue
+			}
+			if err := tryRight(r); err != nil {
+				return err
+			}
+		}
+	}
+	if px.stop {
+		return nil
+	}
+
+	if step.outer && !matched {
+		// Null-extend: the zero types.Value is NULL, so clearing the right
+		// segment materializes the unmatched-left row the legacy path
+		// appends, and the later-stage WHERE conjuncts see it as such.
+		sc := step.right
+		for i := sc.start; i < sc.start+sc.arity; i++ {
+			px.buf[i] = types.Null
+		}
+		ok, err := px.stageGate(d + 1)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return px.descend(d + 1)
+		}
+	}
+	return nil
+}
+
+// collect runs the plan and materializes the eager Result the engine API
+// returns, stamped with the versions pinned at plan time.
+func (p *selectPlan) collect(ctx context.Context) (*Result, error) {
+	if err := p.run(ctx); err != nil {
+		return nil, err
+	}
+	return p.sink.finish(ctx, p.versions)
+}
+
+// sinkProj is one compiled output column.
+type sinkProj struct {
+	name string
+	fn   evalFn
+	pure bool
+}
+
+// sinkOrderKey is one compiled ORDER BY key: an expression over the
+// (grouped) relation row, or a reference to an output column by alias.
+type sinkOrderKey struct {
+	fn    evalFn // nil when byOut >= 0
+	byOut int
+	desc  bool
+}
+
+// sinkOutRow pairs an output row with its materialized order keys.
+type sinkOutRow struct {
+	vals []types.Value
+	keys []types.Value
+}
+
+// sinkGroup is one GROUP BY group: the representative row (a retained copy
+// of the first member) plus the aggregate accumulators.
+type sinkGroup struct {
+	rep    []types.Value
+	states []*aggState
+}
+
+// streamSink terminates the pipeline: grouping/aggregation, HAVING,
+// projection, DISTINCT, ORDER BY, OFFSET/LIMIT. It is fully compiled at
+// plan time, mirroring the legacy projectAndFinish semantics stage by
+// stage, and consumes rows incrementally — for non-grouped queries only
+// the projected output rows are retained, never the pipeline rows.
+type streamSink struct {
+	st         *SelectStmt
+	width      int // width of the pipeline row
+	needsGroup bool
+	calls      []aggCall
+	keyFns     []evalFn
+	having     evalFn
+	projs      []sinkProj
+	orderKeys  []sinkOrderKey
+	// earlyStop: with a LIMIT, no ORDER BY, no grouping and a pure plan
+	// and projection, the pipeline can stop as soon as OFFSET+LIMIT output
+	// rows exist — no later row could change the result.
+	earlyStop bool
+	target    int // earlyStop: rows to accumulate before stopping
+
+	// Runtime state.
+	groups   map[string]*sinkGroup
+	gorder   []string
+	out      []sinkOutRow
+	seen     map[string]bool
+	keyBuf   []byte
+	streamed int // rows already passed to yield
+	yield    func(row []types.Value) bool
+	yieldend bool // yield returned false: consumer stopped
+}
+
+// newStreamSink compiles the sink for st over the pipeline catalog. The
+// compile steps and error messages mirror the legacy projectAndFinish
+// exactly; only the point in time moves (plan time instead of interleaved
+// with execution), which preserves error presence.
+func newStreamSink(st *SelectStmt, cat catalog, hidden []bool, planPure bool) (*streamSink, error) {
+	s := &streamSink{st: st, width: len(cat)}
+
+	var orderExprs []Expr
+	for _, oi := range st.OrderBy {
+		orderExprs = append(orderExprs, oi.Expr)
+	}
+	var itemExprs []Expr
+	for _, it := range st.Items {
+		if !it.Star {
+			itemExprs = append(itemExprs, it.Expr)
+		}
+	}
+	s.needsGroup = len(st.GroupBy) > 0 || st.Having != nil
+	if !s.needsGroup {
+		for _, ex := range append(append([]Expr{}, itemExprs...), orderExprs...) {
+			if hasAggregate(ex) {
+				s.needsGroup = true
+				break
+			}
+		}
+	}
+
+	var aggEnv map[string]int
+	gcat, ghidden := cat, hidden
+	if s.needsGroup {
+		all := append(append([]Expr{}, itemExprs...), orderExprs...)
+		if st.Having != nil {
+			all = append(all, st.Having)
+		}
+		env, calls, err := collectAggs(cat, all...)
+		if err != nil {
+			return nil, err
+		}
+		aggEnv = env
+		s.calls = calls
+		for _, g := range st.GroupBy {
+			f, err := compileExpr(g, cat)
+			if err != nil {
+				return nil, err
+			}
+			s.keyFns = append(s.keyFns, f)
+		}
+		gcat = append(append(catalog{}, cat...), make(catalog, len(calls))...)
+		ghidden = append(append([]bool{}, hidden...), make([]bool, len(calls))...)
+		for i := range calls {
+			ghidden[len(cat)+i] = true
+		}
+		if st.Having != nil {
+			f, err := compileExprAgg(st.Having, gcat, aggEnv)
+			if err != nil {
+				return nil, err
+			}
+			s.having = f
+		}
+		s.groups = map[string]*sinkGroup{}
+	}
+
+	for _, it := range st.Items {
+		if it.Star {
+			for i, ci := range gcat {
+				if ghidden[i] {
+					continue
+				}
+				if it.StarTable != "" && !strings.EqualFold(ci.qual, it.StarTable) {
+					continue
+				}
+				idx := i
+				s.projs = append(s.projs, sinkProj{name: ci.name, pure: true,
+					fn: func(row []types.Value) (types.Value, error) { return row[idx], nil }})
+			}
+			continue
+		}
+		f, err := compileExprAgg(it.Expr, gcat, aggEnv)
+		if err != nil {
+			return nil, err
+		}
+		s.projs = append(s.projs, sinkProj{name: itemName(it), fn: f, pure: pureExpr(it.Expr)})
+	}
+	if len(s.projs) == 0 {
+		return nil, fmt.Errorf("sql: empty select list")
+	}
+
+	for _, oi := range st.OrderBy {
+		ok := sinkOrderKey{byOut: -1, desc: oi.Desc}
+		if f, err := compileExprAgg(oi.Expr, gcat, aggEnv); err == nil {
+			ok.fn = f
+		} else if cr, isRef := oi.Expr.(*ColumnRef); isRef && cr.Table == "" {
+			found := -1
+			for i, pr := range s.projs {
+				if strings.EqualFold(pr.name, cr.Column) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return nil, err
+			}
+			ok.byOut = found
+		} else {
+			return nil, err
+		}
+		s.orderKeys = append(s.orderKeys, ok)
+	}
+
+	if st.Distinct {
+		s.seen = map[string]bool{}
+	}
+	if planPure && !s.needsGroup && len(s.orderKeys) == 0 && st.Limit >= 0 {
+		s.earlyStop = true
+		for _, pr := range s.projs {
+			if !pr.pure {
+				s.earlyStop = false
+			}
+		}
+		s.target = st.Offset + st.Limit
+	}
+	return s, nil
+}
+
+// columns returns the output column names.
+func (s *streamSink) columns() []string {
+	cols := make([]string, len(s.projs))
+	for i, pr := range s.projs {
+		cols[i] = pr.name
+	}
+	return cols
+}
+
+// canStream reports whether output rows can be yielded as they are
+// produced (no grouping or ordering barrier).
+func (s *streamSink) canStream() bool {
+	return !s.needsGroup && len(s.orderKeys) == 0
+}
+
+// describe renders the sink stage for EXPLAIN output.
+func (s *streamSink) describe() string {
+	var parts []string
+	if s.needsGroup {
+		parts = append(parts, fmt.Sprintf("group(keys=%d aggs=%d)", len(s.keyFns), len(s.calls)))
+	}
+	if s.having != nil {
+		parts = append(parts, "having")
+	}
+	parts = append(parts, fmt.Sprintf("project %d cols", len(s.projs)))
+	if s.st.Distinct {
+		parts = append(parts, "distinct")
+	}
+	if len(s.orderKeys) > 0 {
+		parts = append(parts, fmt.Sprintf("order by %d keys", len(s.orderKeys)))
+	}
+	if s.st.Offset > 0 {
+		parts = append(parts, fmt.Sprintf("offset %d", s.st.Offset))
+	}
+	if s.st.Limit >= 0 {
+		parts = append(parts, fmt.Sprintf("limit %d", s.st.Limit))
+	}
+	if s.earlyStop {
+		parts = append(parts, "early-stop")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// add consumes one pipeline row. The row buffer is reused by the caller:
+// everything the sink retains is copied. Returns stop=true when the
+// pipeline may terminate early (LIMIT satisfied, or a streaming consumer
+// declined more rows).
+func (s *streamSink) add(row []types.Value) (bool, error) {
+	if s.needsGroup {
+		key := s.keyBuf[:0]
+		for _, f := range s.keyFns {
+			v, err := f(row)
+			if err != nil {
+				return false, err
+			}
+			key = v.AppendGroupKey(key)
+		}
+		s.keyBuf = key
+		g, ok := s.groups[string(key)]
+		if !ok {
+			g = &sinkGroup{rep: append([]types.Value(nil), row...)}
+			for _, c := range s.calls {
+				g.states = append(g.states, newAggState(c))
+			}
+			s.groups[string(key)] = g
+			s.gorder = append(s.gorder, string(key))
+		}
+		for _, st := range g.states {
+			if err := st.add(row); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
+
+	or := sinkOutRow{vals: make([]types.Value, len(s.projs))}
+	for i, pr := range s.projs {
+		v, err := pr.fn(row)
+		if err != nil {
+			return false, err
+		}
+		or.vals[i] = v
+	}
+	if s.seen != nil {
+		key := s.keyBuf[:0]
+		for _, v := range or.vals {
+			key = v.AppendGroupKey(key)
+		}
+		s.keyBuf = key
+		if s.seen[string(key)] {
+			return false, nil
+		}
+		s.seen[string(key)] = true
+	}
+	for _, okey := range s.orderKeys {
+		var v types.Value
+		if okey.byOut >= 0 {
+			v = or.vals[okey.byOut]
+		} else {
+			var err error
+			v, err = okey.fn(row)
+			if err != nil {
+				return false, err
+			}
+		}
+		or.keys = append(or.keys, v)
+	}
+
+	if s.yield != nil {
+		// Streaming consumer: apply OFFSET/LIMIT inline and hand the row
+		// over instead of retaining it.
+		s.streamed++
+		if s.streamed <= s.st.Offset {
+			return false, nil
+		}
+		if s.st.Limit >= 0 && s.streamed > s.st.Offset+s.st.Limit {
+			return true, nil
+		}
+		if !s.yield(or.vals) {
+			s.yieldend = true
+			return true, nil
+		}
+		if s.st.Limit >= 0 && s.streamed == s.st.Offset+s.st.Limit {
+			return true, nil
+		}
+		return false, nil
+	}
+
+	s.out = append(s.out, or)
+	return s.earlyStop && len(s.out) >= s.target, nil
+}
+
+// finish completes grouping/having, sorts, applies OFFSET/LIMIT and builds
+// the eager Result, stamped with the plan-time pinned versions.
+func (s *streamSink) finish(ctx context.Context, versions map[string]int64) (*Result, error) {
+	if s.needsGroup {
+		if err := s.finishGroups(ctx); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Columns: s.columns(), Versions: versions}
+	out := s.out
+	if len(s.orderKeys) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			for k, okey := range s.orderKeys {
+				c := out[i].keys[k].Compare(out[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if okey.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if s.st.Offset > 0 {
+		if s.st.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[s.st.Offset:]
+		}
+	}
+	if s.st.Limit >= 0 && s.st.Limit < len(out) {
+		out = out[:s.st.Limit]
+	}
+	for _, or := range out {
+		res.Rows = append(res.Rows, or.vals)
+	}
+	return res, nil
+}
+
+// finishGroups turns the accumulated groups into output rows: one row per
+// group in first-appearance order (representative + aggregate results),
+// filtered by HAVING, projected like the non-grouped path.
+func (s *streamSink) finishGroups(ctx context.Context) error {
+	// A global aggregate over an empty input still yields one group, with
+	// an all-NULL representative row.
+	if len(s.groups) == 0 && len(s.st.GroupBy) == 0 {
+		g := &sinkGroup{rep: make([]types.Value, s.width)}
+		for _, c := range s.calls {
+			g.states = append(g.states, newAggState(c))
+		}
+		s.groups[""] = g
+		s.gorder = append(s.gorder, "")
+	}
+	for gi, key := range s.gorder {
+		if err := strideCheck(ctx, gi); err != nil {
+			return err
+		}
+		g := s.groups[key]
+		row := make([]types.Value, 0, s.width+len(s.calls))
+		row = append(row, g.rep...)
+		for _, st := range g.states {
+			row = append(row, st.result())
+		}
+		if s.having != nil {
+			v, err := s.having(row)
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		or := sinkOutRow{vals: make([]types.Value, len(s.projs))}
+		for i, pr := range s.projs {
+			v, err := pr.fn(row)
+			if err != nil {
+				return err
+			}
+			or.vals[i] = v
+		}
+		if s.seen != nil {
+			kb := s.keyBuf[:0]
+			for _, v := range or.vals {
+				kb = v.AppendGroupKey(kb)
+			}
+			s.keyBuf = kb
+			if s.seen[string(kb)] {
+				continue
+			}
+			s.seen[string(kb)] = true
+		}
+		for _, okey := range s.orderKeys {
+			var v types.Value
+			if okey.byOut >= 0 {
+				v = or.vals[okey.byOut]
+			} else {
+				var err error
+				v, err = okey.fn(row)
+				if err != nil {
+					return err
+				}
+			}
+			or.keys = append(or.keys, v)
+		}
+		s.out = append(s.out, or)
+	}
+	return nil
+}
+
+// SelectStream is a lazily evaluated SELECT: the plan is built and the
+// base-table snapshots pinned at creation time (Versions records them —
+// mutations between creation and iteration are invisible), but rows are
+// produced on demand by Each.
+type SelectStream struct {
+	// Columns names the output columns.
+	Columns []string
+	// Versions is the per-base-table pinned version map, captured when the
+	// stream was created (pin time), not when rows are consumed.
+	Versions map[string]int64
+
+	plan  *selectPlan
+	eager *Result // legacy-path fallback: fully materialized
+}
+
+// Stream plans a SELECT for incremental consumption. For plans with a
+// grouping or ordering barrier (and on the legacy row-scan path) the
+// result is materialized on the first Each call; otherwise rows flow
+// straight from the pipeline. A stream is single-use: Each may be called
+// once.
+func (e *Engine) Stream(ctx context.Context, sql string) (*SelectStream, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Stream requires a SELECT statement")
+	}
+	if len(sel.From) == 0 || e.rowScan {
+		res, err := e.RunContext(ctx, sel)
+		if err != nil {
+			return nil, err
+		}
+		return &SelectStream{Columns: res.Columns, Versions: res.Versions, eager: res}, nil
+	}
+	p, err := e.buildSelectPlan(sel)
+	if err != nil {
+		return nil, err
+	}
+	return &SelectStream{Columns: p.sink.columns(), Versions: p.versions, plan: p}, nil
+}
+
+// Each runs the query, calling yield once per output row in result order.
+// Yielded rows are freshly allocated and may be retained. A false return
+// from yield stops iteration early (no error). Each may be called once.
+func (s *SelectStream) Each(ctx context.Context, yield func(row []types.Value) bool) error {
+	if s.eager != nil {
+		for i, row := range s.eager.Rows {
+			if err := strideCheck(ctx, i); err != nil {
+				return err
+			}
+			if !yield(row) {
+				return nil
+			}
+		}
+		return nil
+	}
+	if s.plan.sink.canStream() {
+		s.plan.sink.yield = yield
+		return s.plan.run(ctx)
+	}
+	res, err := s.plan.collect(ctx)
+	if err != nil {
+		return err
+	}
+	for i, row := range res.Rows {
+		if err := strideCheck(ctx, i); err != nil {
+			return err
+		}
+		if !yield(row) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -8,8 +8,8 @@
 // multi-table FROM (comma joins and INNER JOIN ... ON) executed as hash
 // equi-joins where possible, WHERE with three-valued logic, GROUP BY,
 // HAVING, aggregates (COUNT, COUNT(DISTINCT), SUM, AVG, MIN, MAX), ORDER
-// BY, LIMIT/OFFSET, and the DML statements INSERT, UPDATE, DELETE plus
-// CREATE/DROP TABLE.
+// BY, LIMIT/OFFSET, EXPLAIN SELECT, and the DML statements INSERT, UPDATE,
+// DELETE plus CREATE/DROP TABLE.
 package sqleng
 
 import (
@@ -48,7 +48,7 @@ var keywords = map[string]bool{
 	"MIN": true, "MAX": true, "INT": true, "FLOAT": true, "STRING": true,
 	"BOOL": true, "TEXT": true, "VARCHAR": true, "UNION": true, "ALL": true,
 	"EXISTS": true, "BETWEEN": true, "CASE": true, "WHEN": true,
-	"THEN": true, "ELSE": true, "END": true,
+	"THEN": true, "ELSE": true, "END": true, "EXPLAIN": true,
 }
 
 // lexer turns SQL text into tokens.

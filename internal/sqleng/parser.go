@@ -121,6 +121,13 @@ func (p *parser) parseStatement() (Statement, error) {
 	switch t.text {
 	case "SELECT":
 		return p.parseSelect()
+	case "EXPLAIN":
+		p.advance()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Select: sel}, nil
 	case "INSERT":
 		return p.parseInsert()
 	case "UPDATE":

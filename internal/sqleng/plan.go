@@ -1,0 +1,845 @@
+// The planner for the streaming SELECT path: buildSelectPlan lowers a
+// SelectStmt onto the query's pinned snapshots as a left-deep pipeline of
+// columnar scans and join steps, placing every WHERE/ON conjunct at exactly
+// the stage the legacy materializing executor would have applied it. That
+// placement discipline is the identity contract: the streaming executor in
+// iterator.go enumerates the same logical rows in the same order as
+// exec.go's legacy path, so the two produce byte-identical Results (the
+// cross-check battery and FuzzSQLExec hold both paths to it).
+//
+// On top of the legacy-faithful skeleton the planner layers optimizations
+// that provably cannot change the result:
+//
+//   - code filters: equality-with-literal and IS [NOT] NULL conjuncts on a
+//     scan run against dictionary codes before any value is materialized;
+//   - join indexes: equi-join steps probe the right side through its PLI
+//     classes (single bare column) or a hash index over composite keys,
+//     instead of nesting loops;
+//   - greedy probe ordering by exact statistics: every indexed inner join
+//     whose left key is computable from an earlier prefix is probed as soon
+//     as that prefix is filled, most selective first, ranked by expected
+//     matches = right rows / PLI class count (or dictionary-cardinality
+//     product) — numbers the snapshot carries exactly, never estimates;
+//   - filter pushdown of pure right-only WHERE conjuncts into inner join
+//     builds, and LIMIT-driven early termination through the pipeline.
+//
+// Everything that changes *which* rows an expression is evaluated on is
+// gated on purity (pureExpr): a pure expression can never return an
+// evaluation error, so reordering or skipping its evaluations cannot make
+// an error appear or disappear relative to the legacy path. Impure plans
+// simply run the legacy staging verbatim, streamed.
+package sqleng
+
+import (
+	"fmt"
+	"strings"
+
+	"semandaq/internal/relstore"
+	"semandaq/internal/types"
+)
+
+// filterPred is one compiled conjunct plus the metadata the planner needs:
+// the source expression (for EXPLAIN and recompilation) and whether it is
+// pure (evaluation can never error).
+type filterPred struct {
+	fn   evalFn
+	src  Expr
+	pure bool
+}
+
+// Code-filter operators: predicates decided per row from dictionary codes
+// alone, before any value materializes.
+const (
+	cfNone    uint8 = iota // no row matches (e.g. col = NULL, absent literal)
+	cfEq                   // EqCode(row) == code
+	cfIsNull               // Code(row) == code (the NULL code)
+	cfNotNull              // Code(row) != code
+	cfTrue                 // every row matches (IS NOT NULL, no NULLs stored)
+)
+
+// codeFilter is one code-level predicate on a scan's column.
+type codeFilter struct {
+	op   uint8
+	col  *relstore.Column
+	code uint32
+	src  Expr
+}
+
+// match decides the predicate for snapshot row r.
+func (cf *codeFilter) match(r int) bool {
+	switch cf.op {
+	case cfEq:
+		return cf.col.EqCode(r) == cf.code
+	case cfIsNull:
+		return cf.col.Code(r) == cf.code
+	case cfNotNull:
+		return cf.col.Code(r) != cf.code
+	case cfTrue:
+		return true
+	default: // cfNone
+		return false
+	}
+}
+
+// scanNode is one base-table access: a pinned columnar snapshot plus the
+// predicates pushed down to it. start/arity locate the scan's segment
+// (hidden _tid first, then the attributes) inside the full pipeline row.
+type scanNode struct {
+	alias string
+	table string
+	snap  *relstore.Snapshot
+	cnr   *relstore.Columnar
+	cat   catalog // this scan's own catalog: [_tid, attrs...]
+	start int     // offset of the scan's segment in the full row
+	arity int     // segment width (1 + number of attributes)
+	// codeFs run against dictionary codes; filters are compiled against the
+	// scan's own catalog and evaluated on the scan's local row. The driver
+	// scan keeps its compiled WHERE conjuncts in plan.stages[0] instead
+	// (they may reference the full prefix catalog conventions); filters here
+	// hold right-side pushdown only.
+	codeFs  []codeFilter
+	filters []filterPred
+}
+
+// stepKind selects the join algorithm of one step.
+type stepKind uint8
+
+const (
+	stepNested stepKind = iota // no equi-key: filtered nested loop
+	stepPLI                    // single bare right column: PLI-class probe
+	stepHash                   // composite/expression keys: hash index
+)
+
+func (k stepKind) String() string {
+	switch k {
+	case stepPLI:
+		return "pli"
+	case stepHash:
+		return "hash"
+	default:
+		return "nested"
+	}
+}
+
+// joinStep joins the pipeline prefix with one more scan. Key expressions
+// were harvested exactly like the legacy takeKey (bare `=` conjuncts
+// bridging the sides, from ON first, then — inner joins only — from the
+// pending WHERE list).
+type joinStep struct {
+	right    *scanNode
+	rightIdx int // scan index of the right side (= step index + 1)
+	outer    bool
+	kind     stepKind
+
+	keyL    []evalFn // against the full row's filled prefix
+	keyLSrc []Expr
+	keyR    []evalFn // against the right scan's local row
+	keyRSrc []Expr
+	keyRCol int  // stepPLI: snapshot column index of the key column
+	keyPure bool // every key expression on both sides is pure
+
+	residuals []filterPred // leftover ON conjuncts, against the combined prefix
+
+	// Exact statistics (never estimated): right row count, and the number
+	// of key classes when the key is statable — PLI class count for a
+	// single column, capped dictionary-cardinality product for composite
+	// bare-column keys, 0 when the key is a computed expression.
+	rightLen int
+	classes  int
+	expected float64 // rightLen / classes (rightLen when classes == 0)
+
+	// probeAt is the earliest stage (number of scans filled minus one) at
+	// which the step's left key is computable. When the plan is pure and
+	// probeAt precedes the step's own stage, the executor probes the index
+	// there and kills doomed prefixes early; otherwise probeAt equals the
+	// step's own stage.
+	probeAt int
+}
+
+// selectPlan is a fully compiled SELECT: scans, join steps, stage filters,
+// the greedy probe schedule and the result sink, with the per-table pinned
+// versions captured at plan (pin) time.
+type selectPlan struct {
+	st     *SelectStmt
+	cat    catalog
+	hidden []bool
+	scans  []*scanNode
+	steps  []*joinStep
+	// stages[d] holds the WHERE conjuncts that become evaluable once scans
+	// 0..d are filled, in original WHERE order — exactly the conjuncts the
+	// legacy path's applyResolvable claims after join d.
+	stages [][]filterPred
+	// probesAt[d] lists indexes of steps probed right after stage d's
+	// filters pass, most selective first (ascending expected matches).
+	probesAt [][]int
+	versions map[string]int64
+	pure     bool // every predicate and key in the plan is pure
+	sink     *streamSink
+}
+
+// prefixCat returns the catalog covering scans 0..i — the same catalog the
+// legacy path's joinRelations would have as combinedCat after join i.
+func (p *selectPlan) prefixCat(i int) catalog {
+	sc := p.scans[i]
+	return p.cat[:sc.start+sc.arity]
+}
+
+// scanOf maps a full-row column position to the owning scan index.
+func (p *selectPlan) scanOf(pos int) int {
+	for i := len(p.scans) - 1; i > 0; i-- {
+		if pos >= p.scans[i].start {
+			return i
+		}
+	}
+	return 0
+}
+
+// buildSelectPlan compiles st against the engine's store and pins. Every
+// compile error the legacy path would eventually hit surfaces here instead
+// (compilation is deterministic, so error presence is preserved; only the
+// point in time moves).
+func (e *Engine) buildSelectPlan(st *SelectStmt) (*selectPlan, error) {
+	if err := e.validateRefs(st); err != nil {
+		return nil, err
+	}
+	pending := splitConjuncts(st.Where)
+	qp := e.newQueryPins()
+	p := &selectPlan{st: st}
+
+	type fromSpec struct {
+		fi    FromItem
+		on    []Expr
+		outer bool
+		join  bool // false for the driver scan
+	}
+	var specs []fromSpec
+	for i, fi := range st.From {
+		specs = append(specs, fromSpec{fi: fi, join: i > 0})
+	}
+	for _, jc := range st.Joins {
+		specs = append(specs, fromSpec{fi: jc.Item, on: splitConjuncts(jc.On), outer: jc.Left, join: true})
+	}
+
+	for _, spec := range specs {
+		snap, ok := qp.snapshot(spec.fi.Table)
+		if !ok {
+			return nil, fmt.Errorf("sql: no table %q", spec.fi.Table)
+		}
+		sc := &scanNode{
+			alias: spec.fi.Alias,
+			table: spec.fi.Table,
+			snap:  snap,
+			cnr:   snap.Columnar(),
+			start: len(p.cat),
+		}
+		sc.cat = append(sc.cat, colInfo{qual: spec.fi.Alias, name: TIDColumn})
+		p.cat = append(p.cat, colInfo{qual: spec.fi.Alias, name: TIDColumn})
+		p.hidden = append(p.hidden, true)
+		for _, a := range snap.Schema().Attrs {
+			sc.cat = append(sc.cat, colInfo{qual: spec.fi.Alias, name: a.Name})
+			p.cat = append(p.cat, colInfo{qual: spec.fi.Alias, name: a.Name})
+			p.hidden = append(p.hidden, false)
+		}
+		sc.arity = len(sc.cat)
+		p.scans = append(p.scans, sc)
+	}
+	p.stages = make([][]filterPred, len(p.scans))
+	p.versions = qp.versions()
+
+	// Driver scan: claim WHERE conjuncts resolvable on the first table in
+	// order, exactly as the legacy applyResolvable does. Code-comparable
+	// shapes are implemented as dictionary-code filters, which execute
+	// before the compiled ones regardless of claim position — legal only
+	// while no impure filter was claimed ahead of them (the code shapes are
+	// pure, and jumping a pure filter over another pure filter cannot
+	// change any observable outcome; jumping over an impure one could move
+	// an evaluation error).
+	driver := p.scans[0]
+	impureSeen := false
+	var later []Expr
+	for _, c := range pending {
+		if !resolvable(c, driver.cat) || hasAggregate(c) {
+			later = append(later, c)
+			continue
+		}
+		if !impureSeen {
+			if cf, ok := codeFilterOf(driver, c); ok {
+				driver.codeFs = append(driver.codeFs, cf)
+				continue
+			}
+		}
+		f, err := compileExpr(c, driver.cat)
+		if err != nil {
+			return nil, err
+		}
+		pure := pureExpr(c)
+		p.stages[0] = append(p.stages[0], filterPred{fn: f, src: c, pure: pure})
+		if !pure {
+			impureSeen = true
+		}
+	}
+	pending = later
+	var err error
+
+	// Join steps, in written order (the enumeration order is part of the
+	// result for queries without ORDER BY, so it is never reordered; the
+	// greedy statistics reorder probes, not output).
+	for i, spec := range specs[1:] {
+		right := p.scans[i+1]
+		step := &joinStep{right: right, rightIdx: i + 1, outer: spec.outer, rightLen: right.cnr.Len()}
+
+		// ON conjuncts resolvable on the right side alone are pushed into
+		// the right scan (legacy does this for both join kinds, before key
+		// harvesting).
+		var onRest []Expr
+		for _, c := range spec.on {
+			if resolvable(c, right.cat) {
+				f, err := compileExpr(c, right.cat)
+				if err != nil {
+					return nil, err
+				}
+				right.filters = append(right.filters, filterPred{fn: f, src: c, pure: pureExpr(c)})
+				continue
+			}
+			onRest = append(onRest, c)
+		}
+
+		leftCat := p.prefixCat(i)
+		var onResidual []Expr
+		for _, c := range onRest {
+			if !p.takeKey(step, c, leftCat, right.cat) {
+				onResidual = append(onResidual, c)
+			}
+		}
+		if !spec.outer {
+			var rest []Expr
+			for _, c := range pending {
+				if !p.takeKey(step, c, leftCat, right.cat) {
+					rest = append(rest, c)
+				}
+			}
+			pending = rest
+		}
+
+		combined := p.prefixCat(i + 1)
+		for _, c := range onResidual {
+			f, err := compileExpr(c, combined)
+			if err != nil {
+				return nil, err
+			}
+			step.residuals = append(step.residuals, filterPred{fn: f, src: c, pure: pureExpr(c)})
+		}
+		p.steps = append(p.steps, step)
+
+		// WHERE conjuncts that become resolvable on the widened prefix run
+		// as stage i+1 filters (the legacy tail applyResolvable after each
+		// join; no code pass there — the joined shape has no single
+		// columnar snapshot).
+		pending, err = p.claimStage(i+1, pending)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Leftover WHERE conjuncts must now compile against the full catalog;
+	// since every resolvable aggregate-free conjunct was claimed above, a
+	// leftover is an unknown column or a misplaced aggregate and this
+	// reproduces the legacy error.
+	for _, c := range pending {
+		f, err := compileExpr(c, p.cat)
+		if err != nil {
+			return nil, err
+		}
+		last := len(p.scans) - 1
+		p.stages[last] = append(p.stages[last], filterPred{fn: f, src: c, pure: pureExpr(c)})
+	}
+
+	p.finalizeSteps()
+	p.pure = p.allPure()
+	p.optimize()
+
+	sink, err := newStreamSink(st, p.cat, p.hidden, p.pure)
+	if err != nil {
+		return nil, err
+	}
+	p.sink = sink
+	return p, nil
+}
+
+// claimStage claims every pending conjunct resolvable on the prefix through
+// scan d (aggregate-free, in WHERE order) as a stage-d filter, returning
+// the survivors.
+func (p *selectPlan) claimStage(d int, pending []Expr) ([]Expr, error) {
+	cat := p.prefixCat(d)
+	var rest []Expr
+	for _, c := range pending {
+		if !resolvable(c, cat) || hasAggregate(c) {
+			rest = append(rest, c)
+			continue
+		}
+		f, err := compileExpr(c, cat)
+		if err != nil {
+			return nil, err
+		}
+		p.stages[d] = append(p.stages[d], filterPred{fn: f, src: c, pure: pureExpr(c)})
+	}
+	return rest, nil
+}
+
+// takeKey harvests one equi-join key from conjunct c if it has the legacy
+// shape: a bare `=` whose sides resolve exclusively on the left prefix and
+// the right scan. Mirrors exec.go's takeKey, including treating a compile
+// failure as "not a key" (the conjunct then falls to the residual compile,
+// which surfaces the same error the legacy path would).
+func (p *selectPlan) takeKey(step *joinStep, c Expr, leftCat, rightCat catalog) bool {
+	b, ok := c.(*BinaryExpr)
+	if !ok || b.Op != "=" || hasAggregate(c) {
+		return false
+	}
+	var lsrc, rsrc Expr
+	switch {
+	case resolvable(b.L, leftCat) && resolvable(b.R, rightCat) &&
+		!resolvable(b.L, rightCat) && !resolvable(b.R, leftCat):
+		lsrc, rsrc = b.L, b.R
+	case resolvable(b.R, leftCat) && resolvable(b.L, rightCat) &&
+		!resolvable(b.R, rightCat) && !resolvable(b.L, leftCat):
+		lsrc, rsrc = b.R, b.L
+	default:
+		return false
+	}
+	lf, err1 := compileExpr(lsrc, leftCat)
+	rf, err2 := compileExpr(rsrc, rightCat)
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	step.keyL = append(step.keyL, lf)
+	step.keyLSrc = append(step.keyLSrc, lsrc)
+	step.keyR = append(step.keyR, rf)
+	step.keyRSrc = append(step.keyRSrc, rsrc)
+	return true
+}
+
+// codeFilterOf recognizes the code-comparable conjunct shapes: `col =
+// literal` (either side) and `col IS [NOT] NULL`, with col a non-_tid
+// column of the scan. These are exactly the predicates whose SQL semantics
+// coincide with dictionary-code comparison: `=` is true iff both sides are
+// non-NULL and Compare as equal (one Equal-class code equality); a literal
+// absent from the dictionary, or a NULL literal, selects nothing.
+func codeFilterOf(sc *scanNode, c Expr) (codeFilter, bool) {
+	colOf := func(e Expr) (*relstore.Column, bool) {
+		ref, ok := e.(*ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		idx, err := sc.cat.resolve(ref)
+		if err != nil || idx == 0 {
+			return nil, false // unresolvable, or the synthetic _tid column
+		}
+		return sc.cnr.Col(idx - 1), true
+	}
+	switch n := c.(type) {
+	case *BinaryExpr:
+		if n.Op != "=" {
+			return codeFilter{}, false
+		}
+		var col *relstore.Column
+		var lit *Literal
+		if cc, ok := colOf(n.L); ok {
+			if l, ok := n.R.(*Literal); ok {
+				col, lit = cc, l
+			}
+		} else if cc, ok := colOf(n.R); ok {
+			if l, ok := n.L.(*Literal); ok {
+				col, lit = cc, l
+			}
+		}
+		if col == nil || lit == nil {
+			return codeFilter{}, false
+		}
+		if lit.Value.IsNull() {
+			// x = NULL is NULL for every x: nothing survives.
+			return codeFilter{op: cfNone, col: col, src: c}, true
+		}
+		want, present := col.EqCodeOf(lit.Value)
+		if !present {
+			return codeFilter{op: cfNone, col: col, src: c}, true
+		}
+		return codeFilter{op: cfEq, col: col, code: want, src: c}, true
+	case *IsNullExpr:
+		col, ok := colOf(n.E)
+		if !ok {
+			return codeFilter{}, false
+		}
+		nullCode, hasNull := col.NullCode()
+		switch {
+		case !n.Not && !hasNull:
+			return codeFilter{op: cfNone, col: col, src: c}, true
+		case !n.Not:
+			return codeFilter{op: cfIsNull, col: col, code: nullCode, src: c}, true
+		case hasNull:
+			return codeFilter{op: cfNotNull, col: col, code: nullCode, src: c}, true
+		default:
+			return codeFilter{op: cfTrue, col: col, src: c}, true
+		}
+	}
+	return codeFilter{}, false
+}
+
+// finalizeSteps picks each step's algorithm and fills in the exact
+// statistics that justify it.
+func (p *selectPlan) finalizeSteps() {
+	for _, step := range p.steps {
+		step.keyPure = true
+		for i := range step.keyLSrc {
+			if !pureExpr(step.keyLSrc[i]) || !pureExpr(step.keyRSrc[i]) {
+				step.keyPure = false
+			}
+		}
+		step.probeAt = step.rightIdx - 1 // own stage by default
+		step.expected = float64(step.rightLen)
+		if len(step.keyL) == 0 {
+			step.kind = stepNested
+			continue
+		}
+		// Single bare right column: join through its PLI classes. The class
+		// count is the exact number of distinct Equal-classes, so
+		// rightLen/classes is the exact mean class size.
+		if len(step.keyR) == 1 {
+			if col, ok := bareScanCol(step.keyRSrc[0], step.right); ok {
+				step.kind = stepPLI
+				step.keyRCol = col
+				step.classes = step.right.snap.ColClassCount(col)
+				if step.classes > 0 {
+					step.expected = float64(step.rightLen) / float64(step.classes)
+				}
+				continue
+			}
+		}
+		step.kind = stepHash
+		// Composite bare-column keys: the dictionary-cardinality product
+		// bounds the class count exactly from below per column; cap it at
+		// the row count (there cannot be more occupied classes than rows).
+		classes := 1
+		statable := true
+		for _, src := range step.keyRSrc {
+			col, ok := bareScanCol(src, step.right)
+			if !ok {
+				statable = false
+				break
+			}
+			classes *= step.right.snap.ColClassCount(col)
+			if classes > step.rightLen {
+				classes = step.rightLen
+				break
+			}
+		}
+		if statable && classes > 0 {
+			step.classes = classes
+			step.expected = float64(step.rightLen) / float64(classes)
+		}
+	}
+}
+
+// bareScanCol reports whether e is a bare column reference resolving to a
+// real (non-_tid) column of the scan, returning its snapshot column index.
+func bareScanCol(e Expr, sc *scanNode) (int, bool) {
+	ref, ok := e.(*ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	idx, err := sc.cat.resolve(ref)
+	if err != nil || idx == 0 {
+		return 0, false
+	}
+	return idx - 1, true
+}
+
+// allPure reports whether every predicate and key expression in the plan is
+// pure. Pure plans cannot produce evaluation errors, which licenses the
+// optimizer to change evaluation sets (probe hoisting, right pushdown,
+// early termination) without risking error-presence divergence from the
+// legacy path.
+func (p *selectPlan) allPure() bool {
+	for _, fs := range p.stages {
+		for _, f := range fs {
+			if !f.pure {
+				return false
+			}
+		}
+	}
+	for _, sc := range p.scans {
+		for _, f := range sc.filters {
+			if !f.pure {
+				return false
+			}
+		}
+	}
+	for _, step := range p.steps {
+		if !step.keyPure {
+			return false
+		}
+		for _, f := range step.residuals {
+			if !f.pure {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// optimize applies the result-preserving rewrites gated on plan purity:
+// pushing pure right-only stage filters into inner join builds, and
+// scheduling index probes greedily at the earliest stage their left key is
+// computable, most selective first by exact expected matches.
+func (p *selectPlan) optimize() {
+	p.probesAt = make([][]int, len(p.scans))
+	if !p.pure {
+		return
+	}
+	// Right pushdown: a stage-d filter whose references all live in scan d
+	// filters the same rows whether applied to the joined row or to the
+	// right side before the (inner) join — and being pure it cannot error
+	// on the extra right rows it now sees.
+	for d := 1; d < len(p.scans); d++ {
+		step := p.steps[d-1]
+		if step.outer {
+			// Never pre-filter an outer join's right side with WHERE
+			// conjuncts: they must see the null-extended rows.
+			continue
+		}
+		kept := p.stages[d][:0]
+		for _, f := range p.stages[d] {
+			if p.refsOnlyScan(f.src, d) {
+				if rf, err := compileExpr(f.src, p.scans[d].cat); err == nil {
+					p.scans[d].filters = append(p.scans[d].filters, filterPred{fn: rf, src: f.src, pure: true})
+					continue
+				}
+			}
+			kept = append(kept, f)
+		}
+		p.stages[d] = kept
+	}
+	// Probe hoisting: an indexed inner step whose left key only reads
+	// scans 0..s with s before its own stage is probed at stage s — a
+	// prefix with no partner cannot contribute any output row, so killing
+	// it early is sound for pure plans.
+	for i, step := range p.steps {
+		if step.outer || step.kind == stepNested {
+			continue
+		}
+		pd := p.keyDepth(step, i)
+		step.probeAt = pd
+		if pd < i {
+			p.probesAt[pd] = append(p.probesAt[pd], i)
+		}
+	}
+	// Greedy exact-statistics ordering: at each stage, probe the most
+	// selective pending join first (fewest expected matches per class).
+	for _, probes := range p.probesAt {
+		for a := 1; a < len(probes); a++ {
+			for b := a; b > 0 && p.steps[probes[b]].expected < p.steps[probes[b-1]].expected; b-- {
+				probes[b], probes[b-1] = probes[b-1], probes[b]
+			}
+		}
+	}
+}
+
+// refsOnlyScan reports whether every column reference of e resolves into
+// scan d's segment of the full catalog.
+func (p *selectPlan) refsOnlyScan(e Expr, d int) bool {
+	var refs []*ColumnRef
+	columnRefs(e, &refs)
+	if len(refs) == 0 {
+		return false
+	}
+	sc := p.scans[d]
+	for _, r := range refs {
+		pos, err := p.cat.resolve(r)
+		if err != nil || pos < sc.start || pos >= sc.start+sc.arity {
+			return false
+		}
+	}
+	return true
+}
+
+// keyDepth returns the earliest stage at which step i's left key is fully
+// computable: the maximum owning scan over its column references (the key
+// bridges the sides, so it references at least one prefix column).
+func (p *selectPlan) keyDepth(step *joinStep, i int) int {
+	depth := 0
+	cat := p.prefixCat(i)
+	for _, src := range step.keyLSrc {
+		var refs []*ColumnRef
+		columnRefs(src, &refs)
+		for _, r := range refs {
+			pos, err := cat.resolve(r)
+			if err != nil {
+				return i // should not happen (it compiled); stay at own stage
+			}
+			if s := p.scanOf(pos); s > depth {
+				depth = s
+			}
+		}
+	}
+	return depth
+}
+
+// pureExpr reports whether evaluating e can never return an error, for any
+// input row. Only pure predicates may be re-sited relative to the legacy
+// evaluation order: moving an impure one could make an evaluation error
+// appear on rows the legacy path never evaluated it on (or vice versa).
+// The analysis is conservative: arithmetic (division by zero, type
+// errors), unary minus, SUBSTR/ABS (type errors) and aggregates are impure.
+func pureExpr(e Expr) bool {
+	switch n := e.(type) {
+	case nil:
+		return true
+	case *Literal, *ColumnRef:
+		return true
+	case *BinaryExpr:
+		switch n.Op {
+		case "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "LIKE", "||":
+			return pureExpr(n.L) && pureExpr(n.R)
+		}
+		return false // arithmetic can error (type mismatch, division by zero)
+	case *UnaryExpr:
+		// NOT over a boolean-shaped operand always sees BOOL or NULL and
+		// cannot error; unary minus errors on non-numeric values.
+		return n.Op == "NOT" && boolShaped(n.E) && pureExpr(n.E)
+	case *IsNullExpr:
+		return pureExpr(n.E)
+	case *InExpr:
+		if !pureExpr(n.E) {
+			return false
+		}
+		for _, v := range n.List {
+			if !pureExpr(v) {
+				return false
+			}
+		}
+		return true
+	case *BetweenExpr:
+		return pureExpr(n.E) && pureExpr(n.Lo) && pureExpr(n.Hi)
+	case *CaseExpr:
+		for _, w := range n.Whens {
+			if !pureExpr(w.Cond) || !pureExpr(w.Then) {
+				return false
+			}
+		}
+		return pureExpr(n.Else)
+	case *FuncExpr:
+		switch n.Name {
+		case "UPPER", "LOWER", "TRIM", "LENGTH", "COALESCE", "CONCAT":
+			for _, a := range n.Args {
+				if !pureExpr(a) {
+					return false
+				}
+			}
+			return true
+		}
+		return false // aggregates, SUBSTR/ABS (type errors), unknown funcs
+	}
+	return false
+}
+
+// boolShaped reports whether e always evaluates to BOOL or NULL.
+func boolShaped(e Expr) bool {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		switch n.Op {
+		case "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "LIKE":
+			return true
+		}
+		return false
+	case *UnaryExpr:
+		return n.Op == "NOT" && boolShaped(n.E)
+	case *IsNullExpr, *InExpr, *BetweenExpr:
+		return true
+	case *Literal:
+		return n.Value.IsNull() || n.Value.Kind() == types.KindBool
+	}
+	return false
+}
+
+// describe renders the plan for EXPLAIN: one line per scan, join step and
+// probe, quoting the pushed-down predicates and the exact cardinalities
+// that justified each ordering choice.
+func (p *selectPlan) describe() []string {
+	var out []string
+	add := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	name := func(sc *scanNode) string {
+		if strings.EqualFold(sc.alias, sc.table) {
+			return sc.table
+		}
+		return sc.table + " AS " + sc.alias
+	}
+	for i, sc := range p.scans {
+		role := "scan"
+		if i == 0 {
+			role = "drive"
+		}
+		add("%s %s rows=%d distinct[%s]", role, name(sc), sc.cnr.Len(), scanStats(sc))
+		for _, cf := range sc.codeFs {
+			add("  code-filter %s", exprString(cf.src))
+		}
+		for _, f := range sc.filters {
+			add("  filter %s", exprString(f.src))
+		}
+		if i > 0 {
+			step := p.steps[i-1]
+			kindTag := step.kind.String()
+			if step.outer {
+				kindTag = "left " + kindTag
+			} else {
+				kindTag = "inner " + kindTag
+			}
+			var keys []string
+			for k := range step.keyLSrc {
+				keys = append(keys, exprString(step.keyLSrc[k])+" = "+exprString(step.keyRSrc[k]))
+			}
+			line := fmt.Sprintf("  join %s", kindTag)
+			if len(keys) > 0 {
+				line += " on " + strings.Join(keys, ", ")
+			}
+			if step.classes > 0 {
+				line += fmt.Sprintf(" classes=%d expect=%.3g", step.classes, step.expected)
+			} else {
+				line += fmt.Sprintf(" expect=%.3g", step.expected)
+			}
+			if step.probeAt < i-1 {
+				line += fmt.Sprintf(" probe@%d", step.probeAt)
+			}
+			add("%s", line)
+			for _, f := range step.residuals {
+				add("  residual %s", exprString(f.src))
+			}
+		}
+		for _, f := range p.stages[i] {
+			add("  stage-filter %s", exprString(f.src))
+		}
+		for _, si := range p.probesAt[i] {
+			st := p.steps[si]
+			add("  probe join#%d (%s, expect=%.3g)", si+1, st.kind, st.expected)
+		}
+	}
+	add("sink %s", p.sink.describe())
+	if p.pure {
+		out = append(out, "pure plan: probe hoisting, pushdown and early-stop enabled")
+	} else {
+		out = append(out, "impure predicates: legacy staging preserved verbatim")
+	}
+	return out
+}
+
+// scanStats renders the exact per-attribute class counts of a scan — the
+// statistics the greedy ordering reads.
+func scanStats(sc *scanNode) string {
+	attrs := sc.snap.Schema().Attrs
+	parts := make([]string, len(attrs))
+	for j, a := range attrs {
+		parts[j] = fmt.Sprintf("%s:%d", a.Name, sc.snap.ColClassCount(j))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,170 @@
+package sqleng
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/types"
+)
+
+// TestStreamBasic: a streamed query yields the same rows, in the same
+// order, as the eager Result.
+func TestStreamBasic(t *testing.T) {
+	e := New(newJoinStore(t))
+	sql := `SELECT o.OID, c.CITY FROM orders o, cust c WHERE o.CID = c.CID`
+	want := e.MustQuery(sql)
+	ss, err := e.Stream(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss.Columns, want.Columns) {
+		t.Errorf("columns = %v, want %v", ss.Columns, want.Columns)
+	}
+	var got [][]types.Value
+	if err := ss.Each(context.Background(), func(row []types.Value) bool {
+		got = append(got, row)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want.Rows) {
+		t.Errorf("rows = %v, want %v", got, want.Rows)
+	}
+	if !reflect.DeepEqual(ss.Versions, want.Versions) {
+		t.Errorf("versions = %v, want %v", ss.Versions, want.Versions)
+	}
+}
+
+// TestStreamVersionsPinnedAtCreation is the regression test for the
+// multi-table version stamp: Versions must record the snapshots pinned
+// when the stream (or query) was created, and mutations made between
+// creation and consumption must affect neither the stamp nor the rows.
+func TestStreamVersionsPinnedAtCreation(t *testing.T) {
+	store := relstore.NewStore()
+	left, err := store.Create(schema.New("l", "K", "A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := store.Create(schema.New("r", "K", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		left.MustInsert(relstore.Tuple{types.NewInt(int64(i)), types.NewInt(int64(10 + i))})
+		right.MustInsert(relstore.Tuple{types.NewInt(int64(i)), types.NewInt(int64(20 + i))})
+	}
+	e := New(store)
+
+	lv, rv := left.Version(), right.Version()
+	ss, err := e.Stream(context.Background(), "SELECT l.A, r.B FROM l, r WHERE l.K = r.K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Versions["l"] != lv || ss.Versions["r"] != rv {
+		t.Fatalf("versions at creation = %v, want l=%d r=%d", ss.Versions, lv, rv)
+	}
+
+	// Mutate both base tables after the stream pinned its snapshots but
+	// before any row is consumed.
+	left.MustInsert(relstore.Tuple{types.NewInt(99), types.NewInt(999)})
+	right.MustInsert(relstore.Tuple{types.NewInt(99), types.NewInt(888)})
+	if left.Version() == lv || right.Version() == rv {
+		t.Fatal("mutation did not bump table versions")
+	}
+
+	rows := 0
+	if err := ss.Each(context.Background(), func(row []types.Value) bool {
+		if row[0].Int() >= 900 || row[1].Int() >= 800 {
+			t.Errorf("row %v leaked from a post-pin mutation", row)
+		}
+		rows++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 4 {
+		t.Errorf("rows = %d, want 4 (pinned snapshot size)", rows)
+	}
+	// The stamp still reflects pin time, not consumption time.
+	if ss.Versions["l"] != lv || ss.Versions["r"] != rv {
+		t.Errorf("versions after mutation = %v, want l=%d r=%d", ss.Versions, lv, rv)
+	}
+
+	// The eager path stamps the same way: a fresh query now sees the new
+	// versions, proving the old stamp was the pinned one.
+	res := e.MustQuery("SELECT l.A, r.B FROM l, r WHERE l.K = r.K")
+	if res.Versions["l"] != left.Version() || res.Versions["r"] != right.Version() {
+		t.Errorf("fresh query versions = %v", res.Versions)
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("fresh query rows = %d, want 5", len(res.Rows))
+	}
+}
+
+// TestStreamEarlyStop: yield returning false stops iteration without error.
+func TestStreamEarlyStop(t *testing.T) {
+	e := New(newJoinStore(t))
+	ss, err := e.Stream(context.Background(), "SELECT OID FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := ss.Each(context.Background(), func(row []types.Value) bool {
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("yielded %d rows, want 3", n)
+	}
+}
+
+// TestStreamGroupedQuery: grouping queries materialize behind Each but
+// must produce identical output.
+func TestStreamGroupedQuery(t *testing.T) {
+	e := New(newJoinStore(t))
+	sql := `SELECT c.CITY, COUNT(*) AS n FROM orders o, cust c
+	        WHERE o.CID = c.CID GROUP BY c.CITY ORDER BY n DESC, c.CITY`
+	want := e.MustQuery(sql)
+	ss, err := e.Stream(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]types.Value
+	if err := ss.Each(context.Background(), func(row []types.Value) bool {
+		got = append(got, row)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want.Rows) {
+		t.Errorf("rows = %v, want %v", got, want.Rows)
+	}
+}
+
+// TestStreamLegacyEngine: the row-scan oracle path still supports Stream
+// (materialized eagerly) with identical output.
+func TestStreamLegacyEngine(t *testing.T) {
+	e := New(newJoinStore(t))
+	e.SetColumnarScan(false)
+	sql := "SELECT OID FROM orders WHERE CID = 1"
+	want := e.MustQuery(sql)
+	ss, err := e.Stream(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]types.Value
+	if err := ss.Each(context.Background(), func(row []types.Value) bool {
+		got = append(got, row)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want.Rows) {
+		t.Errorf("rows = %v, want %v", got, want.Rows)
+	}
+}

@@ -279,6 +279,47 @@ func (v Value) WriteGroupKey(b *strings.Builder) {
 	b.WriteString(k)
 }
 
+// AppendGroupKey appends exactly the bytes WriteGroupKey would write to a
+// reusable byte slice. Streaming consumers (the SQL engine's hash probes
+// and grouping sink) build composite keys into a scratch buffer and look
+// maps up via string(buf) — which Go compiles to an allocation-free lookup
+// — instead of paying a strings.Builder per row.
+func (v Value) AppendGroupKey(dst []byte) []byte {
+	// Emit Key()'s bytes without materializing the string: a stack scratch
+	// holds the short numeric/tag keys, and string payloads are appended
+	// straight from the value. The bytes must stay identical to
+	// WriteGroupKey — tests diff the two encodings.
+	var scratch [32]byte
+	var k []byte
+	switch v.kind {
+	case KindNull:
+		k = append(scratch[:0], 'n')
+	case KindBool:
+		if v.i != 0 {
+			k = append(scratch[:0], 'b', 't')
+		} else {
+			k = append(scratch[:0], 'b', 'f')
+		}
+	case KindInt:
+		k = strconv.AppendInt(append(scratch[:0], 'd'), v.i, 10)
+	case KindFloat:
+		if f := v.f; f == float64(int64(f)) {
+			k = strconv.AppendInt(append(scratch[:0], 'd'), int64(f), 10)
+		} else {
+			k = strconv.AppendFloat(append(scratch[:0], 'f'), f, 'g', -1, 64)
+		}
+	case KindString:
+		dst = strconv.AppendInt(dst, int64(len(v.s))+1, 10)
+		dst = append(dst, ':', 's')
+		return append(dst, v.s...)
+	default:
+		k = append(scratch[:0], '?')
+	}
+	dst = strconv.AppendInt(dst, int64(len(k)), 10)
+	dst = append(dst, ':')
+	return append(dst, k...)
+}
+
 // Parse converts a raw text field (e.g. from CSV) into a Value, inferring
 // the kind: empty → NULL, integer syntax → INT, float syntax → FLOAT,
 // TRUE/FALSE → BOOL, otherwise STRING.

@@ -2,6 +2,7 @@ package types
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -169,6 +170,39 @@ func TestKeyDistinctness(t *testing.T) {
 			t.Errorf("Key collision between %v and %v: %q", prev, v, k)
 		}
 		keys[k] = v
+	}
+}
+
+// TestAppendGroupKeyMatchesWriteGroupKey pins the two group-key encoders
+// to identical bytes: AppendGroupKey is the allocation-free fast path the
+// SQL engine's hash probes and grouping sink use, and any drift from
+// WriteGroupKey would silently split (or merge) groups across layers that
+// share the composite-key encoding.
+func TestAppendGroupKeyMatchesWriteGroupKey(t *testing.T) {
+	vals := []Value{
+		Null, NewBool(true), NewBool(false),
+		NewInt(0), NewInt(1), NewInt(-7), NewInt(1<<62 + 3),
+		NewFloat(1.0), NewFloat(-2.0), NewFloat(1.5),
+		NewFloat(-1.7976931348623157e+308), NewFloat(0.1),
+		NewString(""), NewString("x"), NewString("12:ab"),
+		NewString("with\x00nul"), NewString("EH2 4SD"),
+	}
+	for _, v := range vals {
+		var b strings.Builder
+		v.WriteGroupKey(&b)
+		if got := string(v.AppendGroupKey(nil)); got != b.String() {
+			t.Errorf("%v: AppendGroupKey = %q, WriteGroupKey = %q", v, got, b.String())
+		}
+	}
+	// Composite keys concatenate; both encoders must agree there too.
+	var b strings.Builder
+	var app []byte
+	for _, v := range vals {
+		v.WriteGroupKey(&b)
+		app = v.AppendGroupKey(app)
+	}
+	if string(app) != b.String() {
+		t.Errorf("composite: AppendGroupKey = %q, WriteGroupKey = %q", app, b.String())
 	}
 }
 
