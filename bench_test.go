@@ -45,6 +45,7 @@ func BenchmarkExpD4Parallel(b *testing.B)      { benchExp(b, "D4") }
 func BenchmarkExpD5Columnar(b *testing.B)      { benchExp(b, "D5") }
 func BenchmarkExpD6Discovery(b *testing.B)     { benchExp(b, "D6") }
 func BenchmarkExpD7Incremental(b *testing.B)   { benchExp(b, "D7") }
+func BenchmarkExpD9Factorised(b *testing.B)    { benchExp(b, "D9") }
 func BenchmarkExpR1RepairQuality(b *testing.B) { benchExp(b, "R1") }
 func BenchmarkExpR2RepairScale(b *testing.B)   { benchExp(b, "R2") }
 func BenchmarkExpR3IncRepair(b *testing.B)     { benchExp(b, "R3") }

@@ -14,8 +14,8 @@
 //	                                         # lattice miner per size/depth)
 //
 // The experiment index (workloads, parameters, expected shapes) is in
-// DESIGN.md; EXPERIMENTS.md records paper-vs-measured for each. The -json
-// and -discoverjson sweeps feed the BENCH_detect.json / BENCH_discover.json
+// DESIGN.md; EXPERIMENTS.md records paper-vs-measured for each. The -json,
+// -discoverjson, -incrjson and -factorjson sweeps feed the BENCH_*.json
 // performance trajectories the CI bench-smoke job uploads.
 package main
 
@@ -45,6 +45,7 @@ func main() {
 	jsonPath := flag.String("json", "", "run the detection bench sweep and write machine-readable results to this file")
 	discoverJSONPath := flag.String("discoverjson", "", "run the discovery bench sweep and write machine-readable results to this file")
 	incrJSONPath := flag.String("incrjson", "", "run the incremental-serving ops sweep and write machine-readable results to this file")
+	factorJSONPath := flag.String("factorjson", "", "run the factorised-evaluation ops sweep and write machine-readable results to this file")
 	flag.Var(&sel, "exp", "experiment ID to run (repeatable); default all")
 	flag.Parse()
 
@@ -69,6 +70,13 @@ func main() {
 	}
 	if *incrJSONPath != "" {
 		if _, err := experiments.WriteIncrementalBenchJSON(ctx, *incrJSONPath, *quick, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "semandaq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *factorJSONPath != "" {
+		if _, err := experiments.WriteFactorisedBenchJSON(ctx, *factorJSONPath, *quick, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "semandaq-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -121,11 +121,127 @@ type Report struct {
 	Stats VioStats
 }
 
+// auditIndex is the per-tuple violation evidence the classification scan
+// consumes, abstracted over the report representation: the legacy exploded
+// Report and the factorised FactorReport both project onto it, and the
+// shared core guarantees the two audit paths classify identically.
+type auditIndex struct {
+	table      string
+	tupleCount int
+	version    int64
+	// vio is vio(t) for every dirty tuple (the legacy Report.Vio).
+	vio map[relstore.TupleID]int
+	// hasSingle marks tuples with at least one single-tuple violation.
+	hasSingle map[relstore.TupleID]bool
+	// attrViol maps tuple -> lowercased attribute -> strongest violation
+	// kind on that attribute (single-tuple beats multi-tuple).
+	attrViol map[relstore.TupleID]map[string]detect.Kind
+	// inGroup marks multi-tuple group members; majorityBad marks members
+	// that fail the strict-majority test in at least one of their groups.
+	inGroup     map[relstore.TupleID]bool
+	majorityBad map[relstore.TupleID]bool
+	perCFD      map[string]*detect.CFDStats
+	groupSizes  []int
+}
+
+// noteAttrViol records one violated attribute with kind precedence.
+func (ix *auditIndex) noteAttrViol(id relstore.TupleID, attr string, kind detect.Kind) {
+	m := ix.attrViol[id]
+	if m == nil {
+		m = map[string]detect.Kind{}
+		ix.attrViol[id] = m
+	}
+	// Single-tuple beats multi-tuple when both hit the same attribute.
+	if prev, ok := m[strings.ToLower(attr)]; !ok || prev == detect.MultiTuple {
+		m[strings.ToLower(attr)] = kind
+	}
+}
+
+func newAuditIndex(table string, tupleCount int, version int64) *auditIndex {
+	return &auditIndex{
+		table:       table,
+		tupleCount:  tupleCount,
+		version:     version,
+		vio:         map[relstore.TupleID]int{},
+		hasSingle:   map[relstore.TupleID]bool{},
+		attrViol:    map[relstore.TupleID]map[string]detect.Kind{},
+		inGroup:     map[relstore.TupleID]bool{},
+		majorityBad: map[relstore.TupleID]bool{},
+	}
+}
+
 // Audit computes the quality report from a detection report. snap must be
 // the pinned snapshot the detection ran on (same version — the
 // classification scan re-reads the rows and must agree with the report's
 // violations), and cfds the same constraint set.
 func Audit(snap *relstore.Snapshot, cfds []*cfd.CFD, rep *detect.Report) (*Report, error) {
+	ix := newAuditIndex(rep.Table, rep.TupleCount, rep.Version)
+	ix.vio = rep.Vio
+	ix.perCFD = rep.PerCFD
+	for i := range rep.Violations {
+		v := &rep.Violations[i]
+		if v.Kind == detect.SingleTuple {
+			ix.hasSingle[v.TupleID] = true
+		}
+		ix.noteAttrViol(v.TupleID, v.Attr, v.Kind)
+	}
+	for _, g := range rep.Groups {
+		ix.groupSizes = append(ix.groupSizes, len(g.Members))
+		strict := 2*g.MajoritySize() > len(g.Members)
+		for _, id := range g.Members {
+			ix.inGroup[id] = true
+			if !strict || g.RHSOf[id] != g.MajorityKey {
+				ix.majorityBad[id] = true
+			}
+		}
+	}
+	return auditCore(snap, cfds, ix)
+}
+
+// AuditFactorised computes the same quality report directly from the
+// factorised detection result: group evidence is folded per member via the
+// lazy RHSKeyAt accessor, so the exploded report — its per-member
+// violation records and RHSOf maps — is never materialized.
+func AuditFactorised(snap *relstore.Snapshot, cfds []*cfd.CFD, fr *detect.FactorReport) (*Report, error) {
+	ix := newAuditIndex(fr.Table, fr.TupleCount, fr.Version)
+	ix.perCFD = fr.PerCFD
+	// vio(t): +1 per CFD with a single-tuple violation (dedup across
+	// patterns), +partners per group — the finish() accounting, computed
+	// without the violation records.
+	type idCFD struct {
+		id relstore.TupleID
+		c  string
+	}
+	seen := map[idCFD]bool{}
+	for i := range fr.Violations {
+		v := &fr.Violations[i]
+		ix.hasSingle[v.TupleID] = true
+		ix.noteAttrViol(v.TupleID, v.Attr, v.Kind)
+		if k := (idCFD{v.TupleID, v.CFDID}); !seen[k] {
+			seen[k] = true
+			ix.vio[v.TupleID]++
+		}
+	}
+	for _, g := range fr.FactorGroups {
+		ix.groupSizes = append(ix.groupSizes, g.Size())
+		strict := 2*g.MajoritySize() > g.Size()
+		for i := 0; i < g.Size(); i++ {
+			id := g.MemberAt(i)
+			rk := g.RHSKeyAt(i)
+			ix.vio[id] += g.Size() - g.RHSCounts[rk]
+			ix.inGroup[id] = true
+			ix.noteAttrViol(id, g.Attr, detect.MultiTuple)
+			if !strict || rk != g.MajorityKey {
+				ix.majorityBad[id] = true
+			}
+		}
+	}
+	return auditCore(snap, cfds, ix)
+}
+
+// auditCore is the classification scan shared by Audit and
+// AuditFactorised.
+func auditCore(snap *relstore.Snapshot, cfds []*cfd.CFD, ix *auditIndex) (*Report, error) {
 	sc := snap.Schema()
 	// Normalize + merge the same way detection does so pattern bookkeeping
 	// lines up with violation records.
@@ -139,38 +255,10 @@ func Audit(snap *relstore.Snapshot, cfds []*cfd.CFD, rep *detect.Report) (*Repor
 	merged := cfd.MergeByFD(normalized)
 
 	out := &Report{
-		Table:      rep.Table,
-		TupleCount: rep.TupleCount,
-		Version:    rep.Version,
-		Tuples:     make(map[relstore.TupleID]TupleClass, rep.TupleCount),
-	}
-
-	// Index violations by tuple, split by kind; index groups by tuple.
-	singleBy := map[relstore.TupleID][]*detect.Violation{}
-	multiBy := map[relstore.TupleID][]*detect.Violation{}
-	attrViol := map[relstore.TupleID]map[string]detect.Kind{}
-	for i := range rep.Violations {
-		v := &rep.Violations[i]
-		if v.Kind == detect.SingleTuple {
-			singleBy[v.TupleID] = append(singleBy[v.TupleID], v)
-		} else {
-			multiBy[v.TupleID] = append(multiBy[v.TupleID], v)
-		}
-		m := attrViol[v.TupleID]
-		if m == nil {
-			m = map[string]detect.Kind{}
-			attrViol[v.TupleID] = m
-		}
-		// Single-tuple beats multi-tuple when both hit the same attribute.
-		if prev, ok := m[strings.ToLower(v.Attr)]; !ok || prev == detect.MultiTuple {
-			m[strings.ToLower(v.Attr)] = v.Kind
-		}
-	}
-	groupsBy := map[relstore.TupleID][]*detect.Group{}
-	for _, g := range rep.Groups {
-		for _, id := range g.Members {
-			groupsBy[id] = append(groupsBy[id], g)
-		}
+		Table:      ix.table,
+		TupleCount: ix.tupleCount,
+		Version:    ix.version,
+		Tuples:     make(map[relstore.TupleID]TupleClass, ix.tupleCount),
 	}
 
 	// Precompute, per merged CFD, the positions needed for the "applies"
@@ -211,24 +299,12 @@ func Audit(snap *relstore.Snapshot, cfds []*cfd.CFD, rep *detect.Report) (*Repor
 	// majorityHolder reports whether t agrees with the strict majority in
 	// every group it belongs to.
 	majorityHolder := func(id relstore.TupleID) bool {
-		gs := groupsBy[id]
-		if len(gs) == 0 {
-			return false
-		}
-		for _, g := range gs {
-			if g.RHSOf[id] != g.MajorityKey {
-				return false
-			}
-			if 2*g.MajoritySize() <= len(g.Members) {
-				return false
-			}
-		}
-		return true
+		return ix.inGroup[id] && !ix.majorityBad[id]
 	}
 
 	snap.Scan(func(id relstore.TupleID, row relstore.Tuple) bool {
-		hasViolation := rep.Vio[id] > 0
-		hasSingle := len(singleBy[id]) > 0
+		hasViolation := ix.vio[id] > 0
+		hasSingle := ix.hasSingle[id]
 
 		// Does a constant-RHS pattern apply to (and verify) this tuple?
 		verifiedApplies := false
@@ -273,7 +349,7 @@ func Audit(snap *relstore.Snapshot, cfds []*cfd.CFD, rep *detect.Report) (*Repor
 		for i, attr := range sc.Attrs {
 			acc := &attrAcc[i]
 			acc.Total++
-			kind, implicated := attrViol[id][strings.ToLower(attr.Name)]
+			kind, implicated := ix.attrViol[id][strings.ToLower(attr.Name)]
 			switch {
 			case !implicated && verifiedAttrs[strings.ToLower(attr.Name)]:
 				acc.Verified++
@@ -301,7 +377,7 @@ func Audit(snap *relstore.Snapshot, cfds []*cfd.CFD, rep *detect.Report) (*Repor
 	out.ArguablyTuples += out.ProbablyTuples
 
 	// Pie chart: tuples involved per CFD.
-	for id, st := range rep.PerCFD {
+	for id, st := range ix.perCFD {
 		n := st.SingleTuple + st.MultiTuple
 		if n > 0 {
 			out.Pie = append(out.Pie, CFDSlice{CFDID: id, Violations: n})
@@ -316,9 +392,9 @@ func Audit(snap *relstore.Snapshot, cfds []*cfd.CFD, rep *detect.Report) (*Repor
 
 	// Distribution statistics.
 	st := &out.Stats
-	st.DirtyTuples = len(rep.Vio)
+	st.DirtyTuples = len(ix.vio)
 	first := true
-	for _, n := range rep.Vio {
+	for _, n := range ix.vio {
 		st.TotalVio += n
 		if first || n < st.MinVio {
 			st.MinVio = n
@@ -331,11 +407,10 @@ func Audit(snap *relstore.Snapshot, cfds []*cfd.CFD, rep *detect.Report) (*Repor
 	if st.DirtyTuples > 0 {
 		st.AvgVio = float64(st.TotalVio) / float64(st.DirtyTuples)
 	}
-	st.Groups = len(rep.Groups)
+	st.Groups = len(ix.groupSizes)
 	firstG := true
 	totalG := 0
-	for _, g := range rep.Groups {
-		n := len(g.Members)
+	for _, n := range ix.groupSizes {
 		totalG += n
 		if firstG || n < st.MinGroup {
 			st.MinGroup = n

@@ -1,0 +1,43 @@
+package audit
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+)
+
+// TestAuditFactorisedMatchesAudit is the equivalence contract: auditing
+// the factorised detection result must produce exactly the report that
+// auditing the exploded legacy report does — same classifications, bars,
+// pie and statistics — across noise rates.
+func TestAuditFactorisedMatchesAudit(t *testing.T) {
+	ctx := context.Background()
+	cfds := datagen.StandardCFDs()
+	for _, noise := range []float64{0, 0.08, 0.25} {
+		ds := datagen.Generate(datagen.Config{Tuples: 700, Seed: 17, NoiseRate: noise})
+		snap := ds.Dirty.Snapshot()
+		rep, err := detect.ColumnarDetector{}.DetectSnapshot(ctx, snap, cfds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Audit(snap, cfds, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := detect.DetectFactorised(ctx, snap, cfds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AuditFactorised(snap, cfds, fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("noise=%.2f: factorised audit != legacy audit\ngot:  %+v\nwant: %+v",
+				noise, got, want)
+		}
+	}
+}

@@ -849,11 +849,15 @@ func (s *Semandaq) SetCell(table string, id relstore.TupleID, attr string, v typ
 //
 // The search runs over one pinned snapshot of the table and the returned
 // discovery.Report carries that snapshot's version alongside every mined
-// candidate's support and confidence. Nothing is registered — inspect the
-// report and RegisterCFDs explicitly. WithMinConfidence below 1 admits
-// approximate CFDs; WithWorkers tunes the per-level parallel expansion
-// (defaulting to the session's worker count). A cancelled ctx aborts the
-// search mid-level and returns ctx.Err().
+// candidate's support and confidence. No constraint is registered — inspect
+// the report and RegisterCFDs explicitly. The mined exact (confidence 1.0)
+// global FDs, however, are registered with the SQL engine as plan-time
+// facts (sqleng.Engine.RegisterFDs): they license FD-collapsed joins, which
+// re-verify every key equality per candidate, so a fact later mutations
+// invalidate can only cost work, never change a query result.
+// WithMinConfidence below 1 admits approximate CFDs; WithWorkers tunes the
+// per-level parallel expansion (defaulting to the session's worker count).
+// A cancelled ctx aborts the search mid-level and returns ctx.Err().
 func (s *Semandaq) Discover(ctx context.Context, refTable string, opts ...Option) (*discovery.Report, error) {
 	o := s.resolve(DefaultEngine, opts)
 	tab, err := s.Table(refTable)
@@ -870,13 +874,23 @@ func (s *Semandaq) Discover(ctx context.Context, refTable string, opts ...Option
 	// over the same snapshot (the discovery cross-check tier), so callers
 	// see no behavioral difference. The returned report may be served again
 	// while the version holds; treat it as immutable.
-	return s.discoverySession(refTable, tab).Discover(ctx, discovery.Options{
+	rep, err := s.discoverySession(refTable, tab).Discover(ctx, discovery.Options{
 		MinSupport:       o.minSupport,
 		MaxLHS:           o.maxLHS,
 		MaxPatternsPerFD: o.maxPatterns,
 		MinConfidence:    o.minConfidence,
 		Workers:          o.workers,
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Refresh the SQL engine's FD facts from the run (copy-on-write and
+	// guard-verified, so racing queries and later mutations are both safe).
+	// A projection failure only skips the optimization, never the report.
+	if fds, ferr := rep.ExactFDs(tab.Schema()); ferr == nil {
+		s.engine.RegisterFDs(refTable, fds)
+	}
+	return rep, nil
 }
 
 // discoverySession returns the table's incremental discovery session,

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/sqleng"
+	"semandaq/internal/types"
+)
+
+// TestDiscoverRegistersExactFDs closes the discovery -> planner loop
+// through the public API: mining a table whose data holds DID -> DNAME
+// must register that fact with the SQL engine, so a later composite-key
+// self-join EXPLAIN shows the FD-collapsed PLI probe with its licence.
+func TestDiscoverRegistersExactFDs(t *testing.T) {
+	ctx := context.Background()
+	s := New()
+	tab, err := s.Store().Create(schema.New("dept", "DID", "DNAME", "HEAD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		tab.MustInsert(relstore.Tuple{
+			types.NewInt(int64(i % 6)),
+			types.NewString("d" + string(rune('a'+i%6))),
+			types.NewString("h" + string(rune('a'+i%4))),
+		})
+	}
+	s.RegisterTable(tab)
+
+	const explain = `EXPLAIN SELECT a.HEAD, b.HEAD FROM dept a, dept b
+		WHERE a.DID = b.DID AND a.DNAME = b.DNAME`
+
+	res, err := s.SQL(ctx, explain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := planText(res); !strings.Contains(text, "join inner hash") {
+		t.Fatalf("expected hash join before discovery:\n%s", text)
+	}
+
+	if _, err := s.Discover(ctx, "dept", WithMinSupport(2), WithMaxLHS(2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.SQL(ctx, explain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := planText(res)
+	if !strings.Contains(text, "fd-collapsed") || !strings.Contains(text, "fd-collapse: lead") {
+		t.Fatalf("discovery did not license the collapse:\n%s", text)
+	}
+}
+
+// planText flattens an EXPLAIN result to one string.
+func planText(res *sqleng.Result) string {
+	lines := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		lines[i] = row[0].String()
+	}
+	return strings.Join(lines, "\n")
+}

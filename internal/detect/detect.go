@@ -209,19 +209,7 @@ func prepare(sc *schema.Relation, cfds []*cfd.CFD) ([]prepared, error) {
 
 // finish sorts the report deterministically and fills vio(t).
 func finish(rep *Report) {
-	sort.Slice(rep.Violations, func(i, j int) bool {
-		a, b := rep.Violations[i], rep.Violations[j]
-		if a.TupleID != b.TupleID {
-			return a.TupleID < b.TupleID
-		}
-		if a.CFDID != b.CFDID {
-			return a.CFDID < b.CFDID
-		}
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		return a.Pattern < b.Pattern
-	})
+	sortViolations(rep.Violations)
 	rep.Vio = make(map[relstore.TupleID]int)
 	// Per the paper: +1 per CFD with a single-tuple violation (however many
 	// patterns fire), +partners per CFD with a multi-tuple violation.

@@ -205,21 +205,26 @@ func (d *SQLDetector) detectOneSQL(ctx context.Context, dataName string, p prepa
 			q(rhs), cfd.WildcardToken,
 			strings.Join(groupCols, ", "),
 			coalesce("t."+q(rhs)))
-		res, err := d.run(ctx, qv1)
-		if err != nil {
-			return fmt.Errorf("detect: Qv step 1 for %s: %w", p.c.ID, err)
-		}
-		if len(res.Rows) == 0 {
-			return nil
-		}
-		// Materialize the violating groups as a table and join back.
+		// Stream the violating group keys straight into the group table:
+		// the engine yields each finished group without materializing a
+		// result, and the table is the only buffer the keys ever occupy.
 		gName := fmt.Sprintf("_vg_%d_%s", seq, sanitizeIdent(p.c.ID))
 		store.Drop(gName)
 		gTab := relstore.NewTable(schema.New(gName, p.c.LHS...))
-		for _, row := range res.Rows {
-			if _, err := gTab.Insert(relstore.Tuple(row)); err != nil {
-				return err
+		var insErr error
+		if err := d.stream(ctx, qv1, func(row []types.Value) bool {
+			if _, insErr = gTab.Insert(relstore.Tuple(row)); insErr != nil {
+				return false
 			}
+			return true
+		}); err != nil {
+			return fmt.Errorf("detect: Qv step 1 for %s: %w", p.c.ID, err)
+		}
+		if insErr != nil {
+			return insErr
+		}
+		if gTab.Len() == 0 {
+			return nil
 		}
 		store.Put(gTab)
 		if !d.KeepArtifacts {

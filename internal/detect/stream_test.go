@@ -3,29 +3,10 @@ package detect
 import (
 	"context"
 	"reflect"
-	"sort"
 	"testing"
 
 	"semandaq/internal/datagen"
 )
-
-// sortViolations orders a violation slice the way finish() does, making
-// the concurrently-emitted stream comparable to a blocking report.
-func sortViolations(vs []Violation) {
-	sort.Slice(vs, func(i, j int) bool {
-		a, b := vs[i], vs[j]
-		if a.TupleID != b.TupleID {
-			return a.TupleID < b.TupleID
-		}
-		if a.CFDID != b.CFDID {
-			return a.CFDID < b.CFDID
-		}
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		return a.Pattern < b.Pattern
-	})
-}
 
 // TestStreamMatchesBlockingReport is the streaming path's core contract:
 // over a full iteration the streamed violation set is byte-identical to

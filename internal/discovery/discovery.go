@@ -27,7 +27,9 @@ import (
 	"runtime"
 
 	"semandaq/internal/cfd"
+	"semandaq/internal/fdset"
 	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
 )
 
 // Options tunes the search. The zero value selects every default; the
@@ -56,6 +58,12 @@ type Options struct {
 	// Workers is the goroutine count for per-level parallel lattice
 	// expansion. Non-positive selects runtime.GOMAXPROCS.
 	Workers int
+	// DisableClosure turns off FD-closure pruning of the variable lattice
+	// (partition collapse and derived verdicts, see lattice.go). The
+	// report is byte-identical either way — closure reasoning only skips
+	// work the emitted exact cover proves redundant; the flag exists so
+	// experiments can measure the pruning (D9) and as an escape hatch.
+	DisableClosure bool
 }
 
 // withDefaults resolves the defaulting rule against a table of n tuples:
@@ -114,11 +122,68 @@ type Report struct {
 	CFDs []*cfd.CFD
 }
 
+// ExactFDs projects the report's exact (confidence 1.0) global FDs into
+// an fdset.Set over the schema's attribute positions — the algebraic
+// facts the sqleng planner (Engine.RegisterFDs) and the factorised
+// evaluation paths consume. Conditional and approximate candidates are
+// excluded: they hold only on a condition class or only statistically,
+// so they are not sound as universal rewrite facts.
+func (r *Report) ExactFDs(sc *schema.Relation) (*fdset.Set, error) {
+	s := fdset.New(sc.Arity())
+	for _, c := range r.Candidates {
+		if c.Kind != "global-fd" || c.Confidence < 1 {
+			continue
+		}
+		lhs, err := sc.Positions(c.CFD.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := sc.Positions(c.CFD.RHS)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(lhs, rhs[0])
+	}
+	return s, nil
+}
+
 // Mine runs the lattice search over one pinned snapshot and returns the
 // versioned report. A cancelled ctx aborts the search between strides and
 // returns ctx.Err().
 func Mine(ctx context.Context, snap *relstore.Snapshot, opts Options) (*Report, error) {
 	return mineSession(ctx, snap, opts, nil, nil, &mineStats{})
+}
+
+// MineStats profiles one cold mining run's lattice work — the counters
+// the D9 experiment gates on. It lives outside the Report on purpose:
+// reports are DeepEqual-compared across engines and sessions, and the
+// work profile legitimately differs while the output must not.
+type MineStats struct {
+	// VAChecksComputed is the number of (node, RHS candidate) checks run.
+	VAChecksComputed int64
+	// PartitionsIntersected counts lattice partitions materialized by a
+	// real O(n) Intersect; PartitionsCollapsed counts those shared from
+	// the parent because the exact-FD cover proved the intersection a
+	// no-op. VerdictsDerived counts candidate verdicts answered from the
+	// cover without any partition scan.
+	PartitionsIntersected int64
+	PartitionsCollapsed   int64
+	VerdictsDerived       int64
+}
+
+// MineWithStats is Mine plus the run's lattice work profile.
+func MineWithStats(ctx context.Context, snap *relstore.Snapshot, opts Options) (*Report, MineStats, error) {
+	stats := &mineStats{}
+	rep, err := mineSession(ctx, snap, opts, nil, nil, stats)
+	if err != nil {
+		return nil, MineStats{}, err
+	}
+	return rep, MineStats{
+		VAChecksComputed:      stats.vaComputed.Load(),
+		PartitionsIntersected: stats.partsIntersected.Load(),
+		PartitionsCollapsed:   stats.partsCollapsed.Load(),
+		VerdictsDerived:       stats.verdictsDerived.Load(),
+	}, nil
 }
 
 // mineSession is Mine with the incremental hooks attached: reuse answers

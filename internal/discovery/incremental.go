@@ -110,12 +110,18 @@ func (r *recorder) putCover(key string, rows []int32) {
 	r.cover[key] = rows
 }
 
-// mineStats counts reuse during one run; fields are atomic because the
-// lattice phases are parallel.
+// mineStats counts reuse and closure pruning during one run; fields are
+// atomic because the lattice phases are parallel.
 type mineStats struct {
 	vaReused, vaComputed           atomic.Int64
 	verdictReused, verdictComputed atomic.Int64
 	coverReused, coverComputed     atomic.Int64
+	// Closure-pruning profile (lattice.go): partitions materialized by a
+	// real Intersect vs collapsed onto the parent's partition because the
+	// exact-FD cover proved the added attribute redundant, and candidate
+	// verdicts derived from the cover without a purity scan.
+	partsIntersected, partsCollapsed atomic.Int64
+	verdictsDerived                  atomic.Int64
 }
 
 // vaKey identifies one variable-lattice (X, a) check.
@@ -174,6 +180,14 @@ type SessionStats struct {
 	ConstVerdictsComputed int64 `json:"const_verdicts_computed"`
 	CoversReused          int64 `json:"covers_reused"`
 	CoversComputed        int64 `json:"covers_computed"`
+	// Closure-pruning counters for the last run (see Options.DisableClosure):
+	// lattice partitions paid for with an O(n) Intersect, partitions
+	// collapsed onto their parent because the exact-FD cover proved the
+	// intersection a no-op, and verdicts derived from the cover without a
+	// partition scan.
+	PartitionsIntersected int64 `json:"partitions_intersected"`
+	PartitionsCollapsed   int64 `json:"partitions_collapsed"`
+	VerdictsDerived       int64 `json:"verdicts_derived"`
 }
 
 // Session is the incremental serving path for Discover on one table: it
@@ -236,6 +250,9 @@ func (s *Session) Discover(ctx context.Context, opts Options) (*Report, error) {
 	s.stats.ConstVerdictsComputed = stats.verdictComputed.Load()
 	s.stats.CoversReused = stats.coverReused.Load()
 	s.stats.CoversComputed = stats.coverComputed.Load()
+	s.stats.PartitionsIntersected = stats.partsIntersected.Load()
+	s.stats.PartitionsCollapsed = stats.partsCollapsed.Load()
+	s.stats.VerdictsDerived = stats.verdictsDerived.Load()
 	return rep, nil
 }
 

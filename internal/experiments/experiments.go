@@ -45,6 +45,7 @@ func All() []Exp {
 		{ID: "D6", Title: "CFD discovery: legacy row-store miner vs PLI lattice miner", Run: RunD6},
 		{ID: "D7", Title: "incremental serving: cold rebuild vs delta patch (ops-counted)", Run: RunD7},
 		{ID: "D8", Title: "streaming SQL executor vs legacy materializing path (ops-counted)", Run: RunD8},
+		{ID: "D9", Title: "FD-aware factorised evaluation: closure pruning, factorised reports, collapsed joins", Run: RunD9},
 		{ID: "R1", Title: "repair quality vs noise rate", Run: RunR1},
 		{ID: "R2", Title: "repair scalability", Run: RunR2},
 		{ID: "R3", Title: "incremental vs batch repair", Run: RunR3},

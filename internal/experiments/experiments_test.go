@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("experiments = %d, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("experiments = %d, want 20", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -27,7 +27,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Error("ByID(nope) should fail")
 	}
-	if got := len(IDs()); got != 19 {
+	if got := len(IDs()); got != 20 {
 		t.Errorf("IDs = %d", got)
 	}
 }
@@ -51,6 +51,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		"D5": {"workers", "native_ms", "col_cold_ms", "col_warm_ms", "warm_x", "dirty"},
 		"D7": {"interned", "pli_patches", "mallocs", "va_reuse", "cold", "incr"},
 		"D8": {"mallocs_strm", "mallocs_legacy", "filter-count", "group-city", "self-join", "ratio"},
+		"D9": {"isect_prune", "collapsed", "group_rows", "factor_allocs", "clps_builds", "hash_rows"},
 		"R1": {"noise", "prec", "recall", "clean"},
 		"R2": {"repair_ms", "passes"},
 		"R3": {"inc_ms", "batch_ms", "dirty_after"},

@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+	"semandaq/internal/discovery"
+	"semandaq/internal/fdset"
+	"semandaq/internal/relstore"
+	"semandaq/internal/schema"
+	"semandaq/internal/sqleng"
+	"semandaq/internal/types"
+)
+
+// RunD9 costs the three FD-aware factorised paths against their exploded
+// or FD-blind counterparts, ops-counted per the 1-CPU rule:
+//
+//   - closure-pruned discovery vs a DisableClosure mine of the same data:
+//     partitions collapsed instead of intersected, with the reports held
+//     DeepEqual (pruning may only skip work, never change output);
+//   - the factorised violation report vs the exploded one on a single
+//     giant dirty group: per-run allocation bills as the group grows 10x;
+//   - an FD-collapsed composite join vs the hash join the planner builds
+//     without registered FDs: lead-class expansions vs hash build rows.
+//
+// Each section carries its acceptance gate inline: closure pruning must
+// strictly reduce intersections on every dataset, the factorised report's
+// allocations must stay flat across the 10x group growth, and the
+// collapsed join's builds must stay within the lead column's class count
+// with zero hash build rows.
+func RunD9(ctx context.Context, w io.Writer, quick bool) error {
+	header(w, "D9", "FD-aware factorised evaluation: closure pruning, factorised reports, collapsed joins")
+	rep, err := FactorisedBench(ctx, quick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "closure-pruned discovery (partitions; pruned mine vs DisableClosure mine)\n")
+	fmt.Fprintf(w, "%16s %9s %12s %12s %10s %10s %10s\n",
+		"dataset", "tuples", "isect_prune", "isect_flat", "collapsed", "derived", "va_checks")
+	for _, e := range rep.Closure {
+		fmt.Fprintf(w, "%16s %9d %12d %12d %10d %10d %10d\n",
+			e.Dataset, e.Tuples, e.Pruned.PartitionsIntersected, e.Flat.PartitionsIntersected,
+			e.Pruned.PartitionsCollapsed, e.Pruned.VerdictsDerived, e.Pruned.VAChecksComputed)
+	}
+	fmt.Fprintf(w, "factorised violation report (allocs/run on one dirty group, warm snapshot)\n")
+	fmt.Fprintf(w, "%12s %15s %17s\n", "group_rows", "factor_allocs", "exploded_allocs")
+	for _, e := range rep.Factor {
+		fmt.Fprintf(w, "%12d %15.0f %17.0f\n", e.GroupRows, e.FactorAllocs, e.ExplodedAllocs)
+	}
+	fmt.Fprintf(w, "FD-collapsed composite join (ops; registered FDs vs FD-blind hash join)\n")
+	fmt.Fprintf(w, "%10s %8s %9s %12s %12s %12s %12s\n",
+		"fact_rows", "classes", "dim_rows", "clps_builds", "clps_probes", "hash_rows", "hash_probes")
+	for _, e := range rep.Joins {
+		fmt.Fprintf(w, "%10d %8d %9d %12d %12d %12d %12d\n",
+			e.FactRows, e.Classes, e.DimRows,
+			e.Collapsed.CollapsedBuilds, e.Collapsed.CollapsedProbes,
+			e.Hash.HashBuildRows, e.Hash.HashProbes)
+	}
+	return nil
+}
+
+// ClosurePruneEntry is one dataset's lattice bill, mined both ways.
+type ClosurePruneEntry struct {
+	Dataset string              `json:"dataset"`
+	Tuples  int                 `json:"tuples"`
+	Pruned  discovery.MineStats `json:"pruned"`
+	Flat    discovery.MineStats `json:"flat"`
+}
+
+// FactorAllocEntry is the per-run allocation bill of reporting one dirty
+// group of GroupRows members, factorised and exploded.
+type FactorAllocEntry struct {
+	GroupRows      int     `json:"group_rows"`
+	FactorAllocs   float64 `json:"factor_allocs_per_run"`
+	ExplodedAllocs float64 `json:"exploded_allocs_per_run"`
+}
+
+// FDJoinEntry is the ops bill of one composite equi-join, run with
+// registered FDs (Collapsed) and without (Hash).
+type FDJoinEntry struct {
+	FactRows  int               `json:"fact_rows"`
+	DimRows   int               `json:"dim_rows"`
+	Classes   int               `json:"classes"`
+	Collapsed sqleng.OpCounters `json:"collapsed"`
+	Hash      sqleng.OpCounters `json:"hash"`
+}
+
+// runD9Closure mines tab with and without closure pruning and gates the
+// pruning claim: strictly fewer intersections, every skipped intersection
+// accounted for as a collapse, and a byte-identical report.
+func runD9Closure(ctx context.Context, dataset string, tab *relstore.Table, opts discovery.Options) (*ClosurePruneEntry, error) {
+	pruned, ps, err := discovery.MineWithStats(ctx, tab.Snapshot(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("D9 %s: pruned mine: %w", dataset, err)
+	}
+	off := opts
+	off.DisableClosure = true
+	flat, fs, err := discovery.MineWithStats(ctx, tab.RebuildSnapshot(), off)
+	if err != nil {
+		return nil, fmt.Errorf("D9 %s: flat mine: %w", dataset, err)
+	}
+	// Options are echoed in the report; align the flag before comparing.
+	flat.Options.DisableClosure = false
+	if !reflect.DeepEqual(pruned, flat) {
+		return nil, fmt.Errorf("D9 %s: closure pruning changed the report", dataset)
+	}
+	if ps.PartitionsCollapsed == 0 {
+		return nil, fmt.Errorf("D9 %s: no partition collapsed — pruning never fired (%+v)", dataset, ps)
+	}
+	if fs.PartitionsCollapsed != 0 {
+		return nil, fmt.Errorf("D9 %s: DisableClosure still collapsed partitions (%+v)", dataset, fs)
+	}
+	if ps.PartitionsIntersected >= fs.PartitionsIntersected {
+		return nil, fmt.Errorf("D9 %s: pruned mine intersected %d partitions, flat mine %d — no reduction",
+			dataset, ps.PartitionsIntersected, fs.PartitionsIntersected)
+	}
+	if ps.PartitionsIntersected+ps.PartitionsCollapsed != fs.PartitionsIntersected {
+		return nil, fmt.Errorf("D9 %s: work accounting off: %d intersected + %d collapsed != flat %d",
+			dataset, ps.PartitionsIntersected, ps.PartitionsCollapsed, fs.PartitionsIntersected)
+	}
+	return &ClosurePruneEntry{Dataset: dataset, Tuples: tab.Len(), Pruned: ps, Flat: fs}, nil
+}
+
+// fdLatticeTable builds a table where A -> B holds exactly while C and D
+// cycle with coprime periods so no other FD holds: the {A,B} node must
+// collapse onto {A}'s partition.
+func fdLatticeTable(n int) *relstore.Table {
+	tab := relstore.NewTable(schema.New("r", "A", "B", "C", "D"))
+	for i := 0; i < n; i++ {
+		a := i % 4
+		tab.MustInsert(relstore.Tuple{
+			types.NewString(fmt.Sprintf("a%d", a)),
+			types.NewString(fmt.Sprintf("b%d", a/2)),
+			types.NewString(fmt.Sprintf("c%d", i%3)),
+			types.NewString(fmt.Sprintf("d%d", i%5)),
+		})
+	}
+	return tab
+}
+
+// giantGroupD9Table builds one all-rows LHS class disagreeing on two RHS
+// values: the worst case for exploded reporting, the best for factorised.
+func giantGroupD9Table(n int) *relstore.Table {
+	tab := relstore.NewTable(schema.New("g", "K", "V"))
+	for i := 0; i < n; i++ {
+		tab.MustInsert(relstore.Tuple{
+			types.NewString("k"),
+			types.NewString(fmt.Sprintf("v%d", i%2)),
+		})
+	}
+	return tab
+}
+
+// allocsPerRun bills f's steady-state heap allocations per run, after one
+// warm run, pinned to one P like testing.AllocsPerRun.
+func allocsPerRun(runs int, f func() error) (float64, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	if err := f(); err != nil {
+		return 0, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(runs), nil
+}
+
+// runD9Factor bills factorised vs exploded reporting of one dirty group of
+// n members over a warm snapshot.
+func runD9Factor(ctx context.Context, n int) (*FactorAllocEntry, error) {
+	cfds := []*cfd.CFD{cfd.NewFD("fd", "g", []string{"K"}, []string{"V"})}
+	snap := giantGroupD9Table(n).Snapshot()
+	var fr *detect.FactorReport
+	factor, err := allocsPerRun(5, func() error {
+		var err error
+		fr, err = detect.DetectFactorised(ctx, snap, cfds)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("D9 factor n=%d: %w", n, err)
+	}
+	exploded, err := allocsPerRun(3, func() error {
+		if rep := fr.Explode(); len(rep.Groups) != 1 {
+			return fmt.Errorf("D9 factor n=%d: exploded to %d groups, want 1", n, len(rep.Groups))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FactorAllocEntry{GroupRows: n, FactorAllocs: factor, ExplodedAllocs: exploded}, nil
+}
+
+// runD9Join builds a fact table of n rows referencing a dim table whose
+// DID is a key (so DID -> DNAME genuinely holds), then bills the composite
+// join three ways: FD-collapsed, FD-blind hash, and the legacy
+// materializing oracle for the identity check.
+func runD9Join(ctx context.Context, n, classes int) (*FDJoinEntry, error) {
+	store := relstore.NewStore()
+	dim, err := store.Create(schema.New("dim", "DID", "DNAME", "CITY"))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < classes; i++ {
+		dim.MustInsert(relstore.Tuple{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("d%d", i)),
+			types.NewString(fmt.Sprintf("city%d", i%7)),
+		})
+	}
+	fact, err := store.Create(schema.New("fact", "FID", "DID", "DNAME"))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		fact.MustInsert(relstore.Tuple{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % classes)),
+			types.NewString(fmt.Sprintf("d%d", i%classes)),
+		})
+	}
+	fds := fdset.New(3)
+	fds.Add([]int{0}, 1)
+
+	const q = `SELECT d.CITY, COUNT(*) AS n FROM fact f, dim d
+		WHERE f.DID = d.DID AND f.DNAME = d.DNAME GROUP BY d.CITY ORDER BY d.CITY`
+
+	collapsedEng := sqleng.New(store)
+	collapsedEng.RegisterFDs("dim", fds)
+	cres, err := collapsedEng.QueryContext(ctx, q)
+	if err != nil {
+		return nil, fmt.Errorf("D9 join n=%d: collapsed: %w", n, err)
+	}
+	cops := collapsedEng.OpStats()
+
+	hashEng := sqleng.New(store)
+	hres, err := hashEng.QueryContext(ctx, q)
+	if err != nil {
+		return nil, fmt.Errorf("D9 join n=%d: hash: %w", n, err)
+	}
+	hops := hashEng.OpStats()
+
+	legacy := sqleng.New(store)
+	legacy.SetColumnarScan(false)
+	lres, err := legacy.QueryContext(ctx, q)
+	if err != nil {
+		return nil, fmt.Errorf("D9 join n=%d: legacy: %w", n, err)
+	}
+	if !reflect.DeepEqual(cres, lres) || !reflect.DeepEqual(hres, lres) {
+		return nil, fmt.Errorf("D9 join n=%d: collapsed/hash/legacy results diverged", n)
+	}
+	// The perf claim as hard gates: the collapsed path expands each lead
+	// class at most once (memoized), builds no hash index, and actually
+	// ran collapsed — while the FD-blind plan pays a build per dim row.
+	if cops.CollapsedBuilds == 0 || cops.CollapsedProbes == 0 {
+		return nil, fmt.Errorf("D9 join n=%d: collapse never fired (%+v)", n, cops)
+	}
+	if cops.CollapsedBuilds > int64(classes) {
+		return nil, fmt.Errorf("D9 join n=%d: %d collapsed builds exceed the %d lead classes",
+			n, cops.CollapsedBuilds, classes)
+	}
+	if cops.HashBuildRows != 0 {
+		return nil, fmt.Errorf("D9 join n=%d: collapsed path still built a hash index (%+v)", n, cops)
+	}
+	if hops.HashBuildRows < int64(classes) {
+		return nil, fmt.Errorf("D9 join n=%d: FD-blind path built only %d hash rows over %d dim rows",
+			n, hops.HashBuildRows, classes)
+	}
+	return &FDJoinEntry{FactRows: n, DimRows: classes, Classes: classes, Collapsed: cops, Hash: hops}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable factorised benchmarks: cmd/semandaq-bench -factorjson
+// writes the report to BENCH_factorised.json so successive PRs accumulate
+// an ops trajectory for the FD-aware paths next to the other BENCH files.
+
+// FactorisedBenchSchema versions the JSON layout.
+const FactorisedBenchSchema = "semandaq/bench-factorised/v1"
+
+// FactorisedBenchReport is the full D9 sweep.
+type FactorisedBenchReport struct {
+	Schema      string              `json:"schema"`
+	GeneratedAt string              `json:"generated_at"`
+	GoVersion   string              `json:"go_version"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	Quick       bool                `json:"quick"`
+	Closure     []ClosurePruneEntry `json:"closure"`
+	Factor      []FactorAllocEntry  `json:"factor_report"`
+	Joins       []FDJoinEntry       `json:"fd_joins"`
+}
+
+// FactorisedBench measures the D9 points, enforcing every gate, and
+// returns the report.
+func FactorisedBench(ctx context.Context, quick bool) (*FactorisedBenchReport, error) {
+	tuples := 1000000
+	if quick {
+		tuples = 20000
+	}
+	rep := &FactorisedBenchReport{
+		Schema:      FactorisedBenchSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Quick:       quick,
+	}
+
+	// Closure pruning on two datasets at full size: the clean generated
+	// customer relation (whose constant CFDs hold exactly) and the
+	// synthetic lattice table built around one exact FD.
+	customer := datagen.Generate(datagen.Config{Tuples: tuples, Seed: 7, NoiseRate: 0}).Dirty
+	for _, pt := range []struct {
+		name string
+		tab  *relstore.Table
+		opts discovery.Options
+	}{
+		{"customer-clean", customer, discovery.Options{MaxLHS: 2, Workers: runtime.GOMAXPROCS(0)}},
+		{"fd-lattice", fdLatticeTable(tuples), discovery.Options{MinSupport: 2, MaxLHS: 2, Workers: runtime.GOMAXPROCS(0)}},
+	} {
+		e, err := runD9Closure(ctx, pt.name, pt.tab, pt.opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Closure = append(rep.Closure, *e)
+	}
+
+	// Factorised report allocations across a 10x group-size step, with
+	// the sublinearity gate on the pair.
+	small, err := runD9Factor(ctx, tuples/10)
+	if err != nil {
+		return nil, err
+	}
+	large, err := runD9Factor(ctx, tuples)
+	if err != nil {
+		return nil, err
+	}
+	rep.Factor = append(rep.Factor, *small, *large)
+	if large.FactorAllocs > small.FactorAllocs+16 {
+		return nil, fmt.Errorf("D9: factorised allocations scale with group size: %d rows -> %.0f allocs, %d rows -> %.0f",
+			small.GroupRows, small.FactorAllocs, large.GroupRows, large.FactorAllocs)
+	}
+
+	// FD-collapsed join at full size over 1024 lead classes.
+	j, err := runD9Join(ctx, tuples, 1024)
+	if err != nil {
+		return nil, err
+	}
+	rep.Joins = append(rep.Joins, *j)
+	return rep, nil
+}
+
+// WriteFactorisedBenchJSON runs the sweep, writes the JSON report to path
+// and prints a human-readable summary table to w.
+func WriteFactorisedBenchJSON(ctx context.Context, path string, quick bool, w io.Writer) (*FactorisedBenchReport, error) {
+	rep, err := FactorisedBench(ctx, quick)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "wrote %s (gomaxprocs=%d)\n", path, rep.GoMaxProcs)
+	for _, e := range rep.Closure {
+		fmt.Fprintf(w, "closure %-16s tuples=%d intersected %d -> %d (collapsed %d)\n",
+			e.Dataset, e.Tuples, e.Flat.PartitionsIntersected, e.Pruned.PartitionsIntersected,
+			e.Pruned.PartitionsCollapsed)
+	}
+	for _, e := range rep.Factor {
+		fmt.Fprintf(w, "factor group_rows=%-8d factor=%.0f exploded=%.0f allocs/run\n",
+			e.GroupRows, e.FactorAllocs, e.ExplodedAllocs)
+	}
+	for _, e := range rep.Joins {
+		fmt.Fprintf(w, "fdjoin fact=%d classes=%d collapsed_builds=%d hash_rows(blind)=%d\n",
+			e.FactRows, e.Classes, e.Collapsed.CollapsedBuilds, e.Hash.HashBuildRows)
+	}
+	return rep, nil
+}

@@ -1,0 +1,120 @@
+package fdset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClosureTransitivity(t *testing.T) {
+	s := New(5)
+	s.Add([]int{0}, 1)
+	s.Add([]int{1}, 2)
+	s.Add([]int{2, 3}, 4)
+	if got := s.ClosureOf([]int{0}); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("closure(0) = %v", got)
+	}
+	if got := s.ClosureOf([]int{0, 3}); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("closure(0,3) = %v", got)
+	}
+	if !s.Implies([]int{0, 3}, 4) {
+		t.Fatal("0,3 -> 4 should be implied (transitivity)")
+	}
+	if s.Implies([]int{3}, 4) {
+		t.Fatal("3 -> 4 must not be implied")
+	}
+	if !s.Implies([]int{4}, 4) {
+		t.Fatal("trivial implication must hold")
+	}
+}
+
+func TestEquivalentSets(t *testing.T) {
+	s := New(4)
+	s.Add([]int{0}, 1)
+	s.Add([]int{1}, 0)
+	if !s.Equivalent([]int{0, 2}, []int{1, 2}) {
+		t.Fatal("{0,2} and {1,2} determine each other")
+	}
+	if s.Equivalent([]int{0}, []int{2}) {
+		t.Fatal("{0} and {2} are not equivalent")
+	}
+}
+
+func TestAddDropsTrivialAndDuplicate(t *testing.T) {
+	s := New(3)
+	s.Add([]int{0, 1}, 1) // trivial
+	if s.Len() != 0 {
+		t.Fatalf("trivial FD stored: %v", s.FDs())
+	}
+	s.Add([]int{0}, 1)
+	s.Add([]int{0}, 1) // duplicate
+	if s.Len() != 1 {
+		t.Fatalf("duplicate FD stored: %v", s.FDs())
+	}
+}
+
+func TestDerivationWitness(t *testing.T) {
+	s := New(6)
+	s.Add([]int{0}, 1)
+	s.Add([]int{1}, 2)
+	s.Add([]int{3}, 4) // irrelevant to the target
+	w, ok := s.Derivation([]int{0, 3}, 2)
+	if !ok {
+		t.Fatal("0,3 -> 2 should be derivable")
+	}
+	var strs []string
+	for _, f := range w {
+		strs = append(strs, f.String())
+	}
+	if !reflect.DeepEqual(strs, []string{"{0}->1", "{1}->2"}) {
+		t.Fatalf("witness = %v, want the 0->1->2 chain only", strs)
+	}
+	if _, ok := s.Derivation([]int{3}, 2); ok {
+		t.Fatal("3 -> 2 must not be derivable")
+	}
+	if w, ok := s.Derivation([]int{2, 5}, 2); !ok || len(w) != 0 {
+		t.Fatalf("trivial derivation should be empty, got %v ok=%v", w, ok)
+	}
+}
+
+func TestCoverRemovesRedundancy(t *testing.T) {
+	s := New(4)
+	s.Add([]int{0}, 1)
+	s.Add([]int{1}, 2)
+	s.Add([]int{0}, 2)    // transitively redundant
+	s.Add([]int{0, 3}, 1) // extraneous attribute 3
+	c := s.Cover()
+	if c.Len() != 2 {
+		t.Fatalf("cover = %s (len %d), want 2 FDs", c, c.Len())
+	}
+	if got := c.String(); got != "{0}->1 {1}->2" {
+		t.Fatalf("cover = %q", got)
+	}
+	// The cover still implies everything the input did.
+	for _, f := range s.FDs() {
+		if !c.ImpliesBits(f.Lhs, f.Rhs) {
+			t.Fatalf("cover lost %s", f)
+		}
+	}
+}
+
+func TestRenderNames(t *testing.T) {
+	s := New(3)
+	s.Add([]int{0, 2}, 1)
+	got := s.FDs()[0].Render([]string{"CC", "CT", "AC"})
+	if got != "[CC,AC]->[CT]" {
+		t.Fatalf("Render = %q", got)
+	}
+}
+
+func TestWideArity(t *testing.T) {
+	s := New(130) // multi-word bitsets
+	s.Add([]int{129}, 0)
+	s.Add([]int{0}, 64)
+	if !s.Implies([]int{129}, 64) {
+		t.Fatal("129 -> 64 via 0 should hold across words")
+	}
+	b := BitsOf(130, []int{1, 64, 129})
+	if b.Count() != 3 || !b.Has(129) || b.Has(128) {
+		t.Fatalf("bitset bookkeeping broken: %v", b.Positions())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"semandaq/internal/lint/lockdiscipline"
 	"semandaq/internal/lint/lockorder"
 	"semandaq/internal/lint/mutationlog"
+	"semandaq/internal/lint/noexplode"
 	"semandaq/internal/lint/snapshotpin"
 	"semandaq/internal/lint/versionstamp"
 )
@@ -25,6 +26,7 @@ func All() []*analysis.Analyzer {
 		versionstamp.Analyzer,
 		ctxloop.Analyzer,
 		lockdiscipline.Analyzer,
+		noexplode.Analyzer,
 		lockorder.Analyzer,
 		mutationlog.Analyzer,
 		ctxflow.Analyzer,

@@ -1,0 +1,13 @@
+package noexplode_test
+
+import (
+	"testing"
+
+	"semandaq/internal/lint/analysistest"
+	"semandaq/internal/lint/noexplode"
+)
+
+func TestNoExplode(t *testing.T) {
+	analysistest.Run(t, "testdata", noexplode.Analyzer,
+		"semandaq/internal/detect", "semandaq/internal/audit", "consumer")
+}

@@ -1,0 +1,13 @@
+// Package consumer is outside the hot set: in-loop explodes are allowed
+// here (external tooling may pay the exploded cost knowingly).
+package consumer
+
+import "semandaq/internal/detect"
+
+func explodeAll(frs []*detect.FactorReport) []*detect.Report {
+	var out []*detect.Report
+	for _, fr := range frs {
+		out = append(out, fr.Explode())
+	}
+	return out
+}

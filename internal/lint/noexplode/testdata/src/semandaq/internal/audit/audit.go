@@ -1,0 +1,25 @@
+// Package audit is a fixture: a consumer hot package of the factorised
+// report, exercising the cross-package cases of the noexplode rule.
+package audit
+
+import "semandaq/internal/detect"
+
+// perGroupExplode explodes once per group in a 3-clause for: flagged.
+func perGroupExplode(frs []*detect.FactorReport) {
+	for i := 0; i < len(frs); i++ {
+		_ = frs[i].Explode() // want `FactorReport\.Explode\(\) inside a loop of a factorised hot path`
+	}
+}
+
+// legacyBridge is the sanctioned shape: explode once, outside loops.
+func legacyBridge(fr *detect.FactorReport) *detect.Report {
+	return fr.Explode()
+}
+
+// suppressed documents a deliberate exception with the directive.
+func suppressed(frs []*detect.FactorReport) {
+	for _, fr := range frs {
+		//semandaq:vet-ignore noexplode fixture: deliberate exploded fallback
+		_ = fr.Explode()
+	}
+}

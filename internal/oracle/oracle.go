@@ -9,6 +9,8 @@
 //     batch build (relstore.DiffSnapshots);
 //   - the tracker's materialized report equals a batch NativeDetector pass
 //     and a ColumnarDetector pass over a rebuilt snapshot (DeepEqual);
+//   - the factorised detection report, exploded, equals that same batch
+//     report (DeepEqual) — the factorisation is lossless at every version;
 //   - the discovery session's refreshed report equals a cold Mine over a
 //     rebuilt snapshot (DeepEqual).
 //
@@ -220,6 +222,13 @@ func (h *Harness) CheckDetect(ctx context.Context) error {
 	}
 	if !deepEqual(col, got) {
 		return fmt.Errorf("detect: tracker report != columnar engine over rebuilt snapshot")
+	}
+	fr, err := detect.DetectFactorised(ctx, h.Tab.RebuildSnapshot(), h.Cfg.CFDs)
+	if err != nil {
+		return err
+	}
+	if !deepEqual(fr.Explode(), got) {
+		return fmt.Errorf("detect: factorised report exploded != tracker report")
 	}
 	return nil
 }

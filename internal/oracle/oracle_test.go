@@ -51,6 +51,14 @@ func FuzzIncrementalOracle(f *testing.F) {
 	f.Add([]byte{2, 0, 1, 3, 2, 1, 1, 4, 2, 2, 1, 5, 3, 3, 1, 2})
 	f.Add([]byte{1, 0, 1, 1, 1, 2, 0, 1, 1, 1, 0, 2, 2, 2})
 	f.Add([]byte{0, 2, 5, 2, 2, 4, 1, 3, 3, 5, 1, 0, 2, 6, 1, 1, 0, 1, 2, 0})
+	// Pile inserts onto one K class while flipping V through the numeric
+	// corner values: drives a single large multi-tuple group through RHS
+	// histogram ties, the MajorityKey tie-break the factorised report must
+	// reproduce byte for byte when exploded.
+	f.Add([]byte{0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 4, 0, 0, 0, 2, 0, 0, 0, 3, 0, 2, 0, 1, 5, 2, 1, 1, 4})
+	// Set-heavy program: rewrite V across existing rows so groups flip
+	// clean <-> violating without membership changes.
+	f.Add([]byte{3, 0, 1, 0, 3, 1, 1, 1, 3, 2, 1, 2, 3, 3, 1, 3, 3, 4, 1, 4, 3, 5, 1, 5})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 512 {
 			data = data[:512] // bound per-exec cost, not coverage

@@ -1,0 +1,53 @@
+package repair
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"semandaq/internal/datagen"
+	"semandaq/internal/detect"
+)
+
+// TestFactorisedRepairMatchesLegacy asserts the factorised repair path —
+// groups consumed as partition-class refs, no exploded report — produces
+// the exact same repair: same modifications in the same order, same cost,
+// same convergence. The legacy side runs the columnar detector (whose
+// report is byte-identical to the native one) so both paths see identical
+// evidence.
+func TestFactorisedRepairMatchesLegacy(t *testing.T) {
+	ctx := context.Background()
+	cfds := datagen.StandardCFDs()
+	for _, noise := range []float64{0.05, 0.2} {
+		ds := datagen.Generate(datagen.Config{Tuples: 400, Seed: 29, NoiseRate: noise})
+
+		legacy := NewRepairer()
+		legacy.Detector = detect.ColumnarDetector{}
+		want, err := legacy.Repair(ctx, ds.Dirty, cfds)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fact := NewRepairer()
+		fact.Factorised = true
+		got, err := fact.Repair(ctx, ds.Dirty, cfds)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(got.Modifications, want.Modifications) {
+			t.Fatalf("noise=%.2f: factorised repair modifications diverge", noise)
+		}
+		if got.Cost != want.Cost || got.Passes != want.Passes ||
+			got.Converged != want.Converged || got.Remaining != want.Remaining {
+			t.Fatalf("noise=%.2f: outcome diverges: %+v vs %+v", noise, got, want)
+		}
+		for _, id := range want.Repaired.Snapshot().IDs() {
+			a, _ := want.Repaired.Get(id)
+			b, _ := got.Repaired.Get(id)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("noise=%.2f: repaired tuple %d differs: %v vs %v", noise, id, a, b)
+			}
+		}
+	}
+}

@@ -34,6 +34,14 @@ type Repairer struct {
 	// value. Exists for the A2 ablation experiment; with interacting
 	// constraints the naive strategy thrashes until the per-cell cap.
 	NaiveMerges bool
+	// Factorised makes each pass consume detect.DetectFactorised directly:
+	// multi-tuple groups arrive as partition-class refs plus an RHS
+	// histogram and are resolved without ever materializing the exploded
+	// report (per-member violation records and RHSOf maps are never
+	// built — resolution only needs the member list, which repair walks
+	// anyway). The produced repair is identical to the default path's;
+	// Detector is ignored when set.
+	Factorised bool
 }
 
 // NewRepairer builds a repairer with defaults.
@@ -149,6 +157,42 @@ func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.
 
 	history := map[cellKey]*cellHistory{}
 
+	// detectPass runs one detection round in the configured mode and
+	// normalizes the result: the single-tuple violations, the groups to
+	// resolve, and the total violation-record count (the legacy report's
+	// len(Violations) — the factorised form counts one record per dirty
+	// group member without materializing them).
+	detectPass := func() ([]detect.Violation, []*detect.Group, int, error) {
+		if r.Factorised {
+			fr, err := detect.DetectFactorised(ctx, work.Snapshot(), cfds)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			// Build slim group headers, not AsGroup(): resolution re-reads
+			// the members' current values from the working table (earlier
+			// fixes this pass may have changed them), so the exploded
+			// per-member RHS maps would be dead weight.
+			groups := make([]*detect.Group, len(fr.FactorGroups))
+			remaining := len(fr.Violations)
+			for i, g := range fr.FactorGroups {
+				groups[i] = &detect.Group{
+					CFDID:     g.CFDID,
+					Attr:      g.Attr,
+					LHSAttrs:  g.LHSAttrs,
+					LHSValues: g.LHSValues,
+					Members:   g.Members(),
+				}
+				remaining += g.Size()
+			}
+			return fr.Violations, groups, remaining, nil
+		}
+		rep, err := det.Detect(ctx, work, cfds)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return rep.Violations, rep.Groups, len(rep.Violations), nil
+	}
+
 	// change applies one modification with history bookkeeping. Returns
 	// false when the cell is frozen.
 	change := func(id relstore.TupleID, attr string, newVal types.Value, support int, g *detect.Group, cfdID, reason string, alts []Alternative) (bool, error) {
@@ -187,12 +231,12 @@ func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.
 	}
 
 	for pass := 0; pass < maxPasses; pass++ {
-		rep, err := det.Detect(ctx, work, cfds)
+		violations, groups, remaining, err := detectPass()
 		if err != nil {
 			return nil, err
 		}
 		res.Passes = pass + 1
-		if len(rep.Violations) == 0 {
+		if remaining == 0 {
 			res.Converged = true
 			return res, nil
 		}
@@ -208,7 +252,7 @@ func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.
 		perTuple := map[relstore.TupleID][]cellKey{}
 		var tupleOrder []relstore.TupleID
 		n := 0
-		for _, v := range rep.Violations {
+		for _, v := range violations {
 			if n++; n%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
@@ -278,7 +322,7 @@ func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.
 		}
 
 		// Step 3: multi-tuple group merges with oscillation arbitration.
-		for _, g := range rep.Groups {
+		for _, g := range groups {
 			if n++; n%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
@@ -292,16 +336,16 @@ func (r *Repairer) Repair(ctx context.Context, tab *relstore.Table, cfds []*cfd.
 		}
 
 		if !changed {
-			res.Remaining = len(rep.Violations)
+			res.Remaining = remaining
 			return res, nil
 		}
 	}
 
-	rep, err := det.Detect(ctx, work, cfds)
+	_, _, remaining, err := detectPass()
 	if err != nil {
 		return nil, err
 	}
-	res.Remaining = len(rep.Violations)
+	res.Remaining = remaining
 	res.Converged = res.Remaining == 0
 	return res, nil
 }

@@ -7,6 +7,9 @@ import (
 	"sort"
 	"strings"
 
+	"sync"
+
+	"semandaq/internal/fdset"
 	"semandaq/internal/relstore"
 	"semandaq/internal/schema"
 	"semandaq/internal/types"
@@ -56,6 +59,18 @@ type Engine struct {
 	// queries read a pinned table at that exact version regardless of
 	// concurrent mutations. Set via Pin/Unpin.
 	pins map[string]*relstore.Snapshot
+	// fds maps lowercased table names to registered exact-FD sets; the
+	// planner consults them for FD-collapsed joins (fdjoin.go). Unlike
+	// Pin and SetColumnarScan, registration is safe against concurrent
+	// queries: the map is copy-on-write under fdmu (discovery runs
+	// register facts on live engines), and a stale set can never change
+	// results — the collapsed probe re-checks every key per candidate.
+	fdmu sync.RWMutex
+	fds  map[string]*fdset.Set
+	// ops accumulates executor operation counters (fdjoin.go), read via
+	// OpStats and zeroed via ResetOpStats. Unsynchronized: meaningful
+	// only when queries run sequentially.
+	ops OpCounters
 }
 
 // New creates an engine over the given store.

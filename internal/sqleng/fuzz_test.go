@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"semandaq/internal/fdset"
 	"semandaq/internal/relstore"
 	"semandaq/internal/schema"
 	"semandaq/internal/types"
@@ -46,10 +47,25 @@ func fuzzStore(tb testing.TB) *relstore.Store {
 	return store
 }
 
-// checkSQLIdentity runs one SELECT (or EXPLAIN) on the streaming engine
-// and the legacy row-scan oracle and asserts identical outcomes: the same
+// fuzzFDs returns deliberately FALSE dependencies over the seed tables
+// (r's A does not determine B, s's A does not determine D). The collapsed
+// executor re-verifies every key equality per candidate, so registering
+// facts the data violates is the sharpest soundness probe: any missing
+// guard shows up as a result divergence.
+func fuzzFDs() (rFDs, sFDs *fdset.Set) {
+	rFDs = fdset.New(3)
+	rFDs.Add([]int{0}, 1)
+	rFDs.Add([]int{1}, 2)
+	sFDs = fdset.New(2)
+	sFDs.Add([]int{0}, 1)
+	return
+}
+
+// checkSQLIdentity runs one SELECT (or EXPLAIN) on the streaming engine,
+// on a streaming engine with (false) FDs registered for every table, and
+// on the legacy row-scan oracle, and asserts identical outcomes: the same
 // error presence, and on mutual success deeply equal Results. Error
-// messages may differ between the two schedules; presence may not.
+// messages may differ between the schedules; presence may not.
 func checkSQLIdentity(t *testing.T, sql string) {
 	st, err := Parse(sql)
 	if err != nil {
@@ -63,13 +79,21 @@ func checkSQLIdentity(t *testing.T, sql string) {
 
 	store := fuzzStore(t)
 	stream := New(store)
+	collapsed := New(store)
+	rf, sf := fuzzFDs()
+	collapsed.RegisterFDs("r", rf)
+	collapsed.RegisterFDs("s", sf)
 	legacy := New(store)
 	legacy.SetColumnarScan(false)
 
 	sres, serr := stream.Query(sql)
+	cres, cerr := collapsed.Query(sql)
 	lres, lerr := legacy.Query(sql)
 	if (serr == nil) != (lerr == nil) {
 		t.Fatalf("error presence diverged for %q:\n streaming: %v\n legacy:    %v", sql, serr, lerr)
+	}
+	if (cerr == nil) != (lerr == nil) {
+		t.Fatalf("error presence diverged for %q:\n fd-collapsed: %v\n legacy:       %v", sql, cerr, lerr)
 	}
 	if serr != nil {
 		return
@@ -80,6 +104,10 @@ func checkSQLIdentity(t *testing.T, sql string) {
 	if !reflect.DeepEqual(sres, lres) {
 		t.Fatalf("results diverged for %q:\n streaming: cols=%v rows=%v versions=%v\n legacy:    cols=%v rows=%v versions=%v",
 			sql, sres.Columns, sres.Rows, sres.Versions, lres.Columns, lres.Rows, lres.Versions)
+	}
+	if !reflect.DeepEqual(cres, lres) {
+		t.Fatalf("results diverged for %q:\n fd-collapsed: cols=%v rows=%v\n legacy:       cols=%v rows=%v",
+			sql, cres.Columns, cres.Rows, lres.Columns, lres.Rows)
 	}
 }
 
@@ -113,6 +141,10 @@ func FuzzSQLExec(f *testing.F) {
 		"EXPLAIN SELECT r.A FROM r, s WHERE r.A = s.A",
 		"SELECT MIN(C), MAX(C), SUM(A), AVG(A) FROM r",
 		"SELECT UPPER(B) || '!' FROM r WHERE NOT (A = 2)",
+		"SELECT r.A FROM r, s WHERE r.A = s.A AND r.B = s.D",
+		"SELECT r.B, s.D FROM r LEFT JOIN s ON r.A = s.A AND r.B = s.D",
+		"SELECT r1.A FROM r r1, r r2 WHERE r1.A = r2.A AND r1.B = r2.B AND r1.C = r2.C",
+		"SELECT A, B FROM r ORDER BY C LIMIT 3",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -137,6 +169,10 @@ func TestFuzzSeedsIdentity(t *testing.T) {
 		"SELECT 1 / A FROM r",
 		"SELECT r1.A FROM r r1, r r2 WHERE r1.A = r2.A AND r1.B <> r2.B",
 		"SELECT DISTINCT A FROM r ORDER BY A DESC LIMIT 2 OFFSET 1",
+		"SELECT r.A FROM r, s WHERE r.A = s.A AND r.B = s.D",
+		"SELECT r.B, s.D FROM r LEFT JOIN s ON r.A = s.A AND r.B = s.D",
+		"SELECT r1.A FROM r r1, r r2 WHERE r1.A = r2.A AND r1.B = r2.B AND r1.C = r2.C",
+		"SELECT A, B FROM r ORDER BY C LIMIT 3",
 	}
 	for _, sql := range seeds {
 		checkSQLIdentity(t, sql)

@@ -40,6 +40,10 @@ type rightIndex struct {
 	allRows  bool    // stepNested: no filters, iterate the whole snapshot
 	buckets  map[string][]int32
 	pliCol   *relstore.Column
+	// FD-collapsed steps: the guarded key columns, and the memoized
+	// guard-filtered candidates per (lead class, guard codes) probe key.
+	guardCols []*relstore.Column
+	memo      map[string][]int32
 }
 
 // planExec is one execution of a selectPlan.
@@ -51,7 +55,9 @@ type planExec struct {
 	idx     []*rightIndex // per step
 	cached  [][]int32     // per step: candidates from a hoisted probe
 	keyBuf  []byte
-	n       int // shared row counter for stride context checks
+	guard   []uint32   // scratch: guard codes of the current collapsed probe
+	ops     OpCounters // local counters, flushed to the engine once per run
+	n       int        // shared row counter for stride context checks
 	stop    bool
 }
 
@@ -82,6 +88,12 @@ func (p *selectPlan) run(ctx context.Context) error {
 		}
 		px.readers[i] = r
 	}
+	for _, step := range p.steps {
+		if len(step.guardKeys) > len(px.guard) {
+			px.guard = make([]uint32, len(step.guardKeys))
+		}
+	}
+	defer px.flushOps()
 	// Build every join index eagerly, in step order: the legacy path
 	// evaluates right-side filters and hash keys over the full right side
 	// before probing, even when the left side turns out empty, so building
@@ -118,6 +130,12 @@ func (px *planExec) buildIndex(si int) error {
 	if step.kind == stepPLI {
 		idx.pliCol = sc.cnr.Col(step.keyRCol)
 	}
+	if step.collapsed {
+		idx.memo = make(map[string][]int32)
+		for _, c := range step.guardCols {
+			idx.guardCols = append(idx.guardCols, sc.cnr.Col(c))
+		}
+	}
 
 	needScratch := len(sc.filters) > 0 || step.kind == stepHash
 	if !needScratch {
@@ -140,6 +158,7 @@ func (px *planExec) buildIndex(si int) error {
 	}
 	if step.kind == stepHash {
 		idx.buckets = make(map[string][]int32, n)
+		px.ops.HashBuildRows += int64(n)
 	}
 rows:
 	for r := 0; r < n; r++ {
@@ -255,7 +274,7 @@ func (px *planExec) lookup(si int) ([]int32, error) {
 	idx := px.idx[si]
 	switch step.kind {
 	case stepPLI:
-		v, err := step.keyL[0](px.buf)
+		v, err := step.keyL[step.leadKey](px.buf)
 		if err != nil {
 			return nil, err
 		}
@@ -266,6 +285,10 @@ func (px *planExec) lookup(si int) ([]int32, error) {
 		if !ok {
 			return nil, nil
 		}
+		if step.collapsed {
+			return px.collapsedLookup(si, eq)
+		}
+		px.ops.PLIProbes++
 		return idx.pliCol.ClassRows(eq), nil
 	default: // stepHash
 		key := px.keyBuf[:0]
@@ -281,6 +304,7 @@ func (px *planExec) lookup(si int) ([]int32, error) {
 			key = v.AppendGroupKey(key)
 		}
 		px.keyBuf = key
+		px.ops.HashProbes++
 		return idx.buckets[string(key)], nil
 	}
 }
@@ -444,10 +468,14 @@ type sinkOrderKey struct {
 	desc  bool
 }
 
-// sinkOutRow pairs an output row with its materialized order keys.
+// sinkOutRow pairs an output row with its materialized order keys. seq is
+// the arrival index, used by the bounded-heap path to replicate the
+// stable sort's tie-break (earlier arrival wins); the unbounded path
+// leaves it zero and sorts stably instead.
 type sinkOutRow struct {
 	vals []types.Value
 	keys []types.Value
+	seq  int
 }
 
 // sinkGroup is one GROUP BY group: the representative row (a retained copy
@@ -476,6 +504,14 @@ type streamSink struct {
 	// rows exist — no later row could change the result.
 	earlyStop bool
 	target    int // earlyStop: rows to accumulate before stopping
+	// heapK: with ORDER BY and a LIMIT, only the OFFSET+LIMIT best rows
+	// can reach the output, so the sink retains exactly that many in a
+	// bounded max-heap (s.out is the heap storage) instead of the full
+	// sorted set; rows that cannot make the cut are rejected before any
+	// copy is allocated. -1 disables (no LIMIT, or no ORDER BY). Every
+	// projection and key expression is still evaluated for every row, so
+	// error presence matches the unbounded path exactly.
+	heapK int
 
 	// Runtime state.
 	groups   map[string]*sinkGroup
@@ -483,7 +519,10 @@ type streamSink struct {
 	out      []sinkOutRow
 	seen     map[string]bool
 	keyBuf   []byte
-	streamed int // rows already passed to yield
+	seq      int           // arrival counter for heap tie-breaks
+	valBuf   []types.Value // heap path: projected row before acceptance
+	ordBuf   []types.Value // heap path: order keys before acceptance
+	streamed int           // rows already passed to yield
 	yield    func(row []types.Value) bool
 	yieldend bool // yield returned false: consumer stopped
 }
@@ -493,7 +532,7 @@ type streamSink struct {
 // exactly; only the point in time moves (plan time instead of interleaved
 // with execution), which preserves error presence.
 func newStreamSink(st *SelectStmt, cat catalog, hidden []bool, planPure bool) (*streamSink, error) {
-	s := &streamSink{st: st, width: len(cat)}
+	s := &streamSink{st: st, width: len(cat), heapK: -1}
 
 	var orderExprs []Expr
 	for _, oi := range st.OrderBy {
@@ -600,6 +639,10 @@ func newStreamSink(st *SelectStmt, cat catalog, hidden []bool, planPure bool) (*
 	if st.Distinct {
 		s.seen = map[string]bool{}
 	}
+	if len(s.orderKeys) > 0 && st.Limit >= 0 {
+		s.heapK = st.Offset + st.Limit
+		s.valBuf = make([]types.Value, len(s.projs))
+	}
 	if planPure && !s.needsGroup && len(s.orderKeys) == 0 && st.Limit >= 0 {
 		s.earlyStop = true
 		for _, pr := range s.projs {
@@ -627,6 +670,14 @@ func (s *streamSink) canStream() bool {
 	return !s.needsGroup && len(s.orderKeys) == 0
 }
 
+// canYield reports whether a streaming consumer can receive output rows
+// without the sink ever materializing them: directly from the pipeline
+// (canStream), or group by group out of finishGroups — only an ORDER BY
+// forces the full output to exist at once.
+func (s *streamSink) canYield() bool {
+	return len(s.orderKeys) == 0
+}
+
 // describe renders the sink stage for EXPLAIN output.
 func (s *streamSink) describe() string {
 	var parts []string
@@ -642,6 +693,9 @@ func (s *streamSink) describe() string {
 	}
 	if len(s.orderKeys) > 0 {
 		parts = append(parts, fmt.Sprintf("order by %d keys", len(s.orderKeys)))
+	}
+	if s.heapK >= 0 {
+		parts = append(parts, fmt.Sprintf("top-k heap k=%d", s.heapK))
 	}
 	if s.st.Offset > 0 {
 		parts = append(parts, fmt.Sprintf("offset %d", s.st.Offset))
@@ -685,6 +739,10 @@ func (s *streamSink) add(row []types.Value) (bool, error) {
 			}
 		}
 		return false, nil
+	}
+
+	if s.heapK >= 0 && s.yield == nil {
+		return false, s.addBounded(row)
 	}
 
 	or := sinkOutRow{vals: make([]types.Value, len(s.projs))}
@@ -744,6 +802,111 @@ func (s *streamSink) add(row []types.Value) (bool, error) {
 	return s.earlyStop && len(s.out) >= s.target, nil
 }
 
+// addBounded is the non-grouped add path when heapK >= 0: project and key
+// the row into scratch buffers, then copy it into the bounded heap only if
+// it beats the current k-th best. The sequence of expression evaluations
+// (and hence of possible errors) is identical to the unbounded path; only
+// the retention differs, and a rejected row allocates nothing.
+func (s *streamSink) addBounded(row []types.Value) error {
+	vals := s.valBuf[:len(s.projs)]
+	for i, pr := range s.projs {
+		v, err := pr.fn(row)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	if s.seen != nil {
+		key := s.keyBuf[:0]
+		for _, v := range vals {
+			key = v.AppendGroupKey(key)
+		}
+		s.keyBuf = key
+		if s.seen[string(key)] {
+			return nil
+		}
+		s.seen[string(key)] = true
+	}
+	keys := s.ordBuf[:0]
+	for _, okey := range s.orderKeys {
+		var v types.Value
+		if okey.byOut >= 0 {
+			v = vals[okey.byOut]
+		} else {
+			var err error
+			v, err = okey.fn(row)
+			if err != nil {
+				return err
+			}
+		}
+		keys = append(keys, v)
+	}
+	s.ordBuf = keys
+
+	cand := sinkOutRow{vals: vals, keys: keys, seq: s.seq}
+	s.seq++
+	if s.heapK == 0 || (len(s.out) == s.heapK && !s.outLess(&cand, &s.out[0])) {
+		return nil // cannot enter the top k: rejected without a copy
+	}
+	cand.vals = append([]types.Value(nil), vals...)
+	cand.keys = append([]types.Value(nil), keys...)
+	s.boundedInsert(cand)
+	return nil
+}
+
+// outLess is the total order the heap maintains: ORDER BY keys first, then
+// arrival sequence — the first k rows under this order are exactly the
+// first k rows of a stable sort by the keys alone, which is what the
+// unbounded path produces.
+func (s *streamSink) outLess(a, b *sinkOutRow) bool {
+	for k, okey := range s.orderKeys {
+		c := a.keys[k].Compare(b.keys[k])
+		if c == 0 {
+			continue
+		}
+		if okey.desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+// boundedInsert places or into the max-heap rooted at s.out[0] (the worst
+// retained row), evicting the root when the heap is at capacity. The
+// caller has already established that or beats the root in that case.
+func (s *streamSink) boundedInsert(or sinkOutRow) {
+	if len(s.out) < s.heapK {
+		s.out = append(s.out, or)
+		i := len(s.out) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !s.outLess(&s.out[p], &s.out[i]) {
+				break
+			}
+			s.out[p], s.out[i] = s.out[i], s.out[p]
+			i = p
+		}
+		return
+	}
+	s.out[0] = or
+	i, n := 0, len(s.out)
+	for {
+		big, l, r := i, 2*i+1, 2*i+2
+		if l < n && s.outLess(&s.out[big], &s.out[l]) {
+			big = l
+		}
+		if r < n && s.outLess(&s.out[big], &s.out[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		s.out[i], s.out[big] = s.out[big], s.out[i]
+		i = big
+	}
+}
+
 // finish completes grouping/having, sorts, applies OFFSET/LIMIT and builds
 // the eager Result, stamped with the plan-time pinned versions.
 func (s *streamSink) finish(ctx context.Context, versions map[string]int64) (*Result, error) {
@@ -755,19 +918,14 @@ func (s *streamSink) finish(ctx context.Context, versions map[string]int64) (*Re
 	res := &Result{Columns: s.columns(), Versions: versions}
 	out := s.out
 	if len(s.orderKeys) > 0 {
-		sort.SliceStable(out, func(i, j int) bool {
-			for k, okey := range s.orderKeys {
-				c := out[i].keys[k].Compare(out[j].keys[k])
-				if c == 0 {
-					continue
-				}
-				if okey.desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
+		// outLess breaks key ties by arrival sequence; on the unbounded
+		// path every seq is zero and SliceStable supplies the stability, on
+		// the heap path the recorded seqs reproduce it under sort.Slice.
+		if s.heapK >= 0 {
+			sort.Slice(out, func(i, j int) bool { return s.outLess(&out[i], &out[j]) })
+		} else {
+			sort.SliceStable(out, func(i, j int) bool { return s.outLess(&out[i], &out[j]) })
+		}
 	}
 	if s.st.Offset > 0 {
 		if s.st.Offset >= len(out) {
@@ -850,6 +1008,34 @@ func (s *streamSink) finishGroups(ctx context.Context) error {
 			}
 			or.keys = append(or.keys, v)
 		}
+		if s.yield != nil {
+			// Streaming consumer (only reachable without ORDER BY): apply
+			// OFFSET/LIMIT inline, exactly as the non-grouped add path.
+			s.streamed++
+			if s.streamed <= s.st.Offset {
+				continue
+			}
+			if s.st.Limit >= 0 && s.streamed > s.st.Offset+s.st.Limit {
+				return nil
+			}
+			if !s.yield(or.vals) {
+				s.yieldend = true
+				return nil
+			}
+			continue
+		}
+		if s.heapK >= 0 {
+			// Grouped top-k: the group rows are already materialized, but
+			// routing them through the bounded heap keeps the retained set
+			// (and the seq tie-break finish sorts by) consistent.
+			or.seq = s.seq
+			s.seq++
+			if s.heapK == 0 || (len(s.out) == s.heapK && !s.outLess(&or, &s.out[0])) {
+				continue
+			}
+			s.boundedInsert(or)
+			continue
+		}
 		s.out = append(s.out, or)
 	}
 	return nil
@@ -913,9 +1099,18 @@ func (s *SelectStream) Each(ctx context.Context, yield func(row []types.Value) b
 		}
 		return nil
 	}
-	if s.plan.sink.canStream() {
+	if s.plan.sink.canYield() {
 		s.plan.sink.yield = yield
-		return s.plan.run(ctx)
+		if err := s.plan.run(ctx); err != nil {
+			return err
+		}
+		if s.plan.sink.needsGroup {
+			// Grouped but unordered: the pipeline has accumulated the
+			// groups; hand each finished group row straight to the
+			// consumer, never building the output set.
+			return s.plan.sink.finishGroups(ctx)
+		}
+		return nil
 	}
 	res, err := s.plan.collect(ctx)
 	if err != nil {

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"strings"
 
+	"semandaq/internal/fdset"
 	"semandaq/internal/relstore"
 	"semandaq/internal/types"
 )
@@ -154,6 +155,16 @@ type joinStep struct {
 	// there and kills doomed prefixes early; otherwise probeAt equals the
 	// step's own stage.
 	probeAt int
+
+	// FD collapse (fdjoin.go): a composite key whose lead column
+	// functionally determines the others per the registered FDs probes as
+	// stepPLI on the lead, with the remaining key columns checked per
+	// candidate by dictionary-code equality.
+	collapsed bool
+	leadKey   int      // index into keyL/keyR of the PLI probe key (0 unless collapsed)
+	guardKeys []int    // collapsed: other key indexes, guarded per candidate
+	guardCols []int    // collapsed: right snapshot columns parallel to guardKeys
+	fdLines   []string // collapsed: rendered licensing derivations for EXPLAIN
 }
 
 // selectPlan is a fully compiled SELECT: scans, join steps, stage filters,
@@ -175,6 +186,9 @@ type selectPlan struct {
 	versions map[string]int64
 	pure     bool // every predicate and key in the plan is pure
 	sink     *streamSink
+	// ops points at the owning engine's executor operation counters
+	// (fdjoin.go); the executor increments them as it probes and builds.
+	ops *OpCounters
 }
 
 // prefixCat returns the catalog covering scans 0..i — the same catalog the
@@ -204,7 +218,7 @@ func (e *Engine) buildSelectPlan(st *SelectStmt) (*selectPlan, error) {
 	}
 	pending := splitConjuncts(st.Where)
 	qp := e.newQueryPins()
-	p := &selectPlan{st: st}
+	p := &selectPlan{st: st, ops: &e.ops}
 
 	type fromSpec struct {
 		fi    FromItem
@@ -354,7 +368,7 @@ func (e *Engine) buildSelectPlan(st *SelectStmt) (*selectPlan, error) {
 		p.stages[last] = append(p.stages[last], filterPred{fn: f, src: c, pure: pureExpr(c)})
 	}
 
-	p.finalizeSteps()
+	p.finalizeSteps(e.snapshotFDs())
 	p.pure = p.allPure()
 	p.optimize()
 
@@ -486,8 +500,10 @@ func codeFilterOf(sc *scanNode, c Expr) (codeFilter, bool) {
 }
 
 // finalizeSteps picks each step's algorithm and fills in the exact
-// statistics that justify it.
-func (p *selectPlan) finalizeSteps() {
+// statistics that justify it. fds holds the engine's registered exact-FD
+// sets (lowercased table name); a composite key one of whose columns
+// determines the rest collapses to a PLI probe (fdjoin.go).
+func (p *selectPlan) finalizeSteps(fds map[string]*fdset.Set) {
 	for _, step := range p.steps {
 		step.keyPure = true
 		for i := range step.keyLSrc {
@@ -516,6 +532,9 @@ func (p *selectPlan) finalizeSteps() {
 			}
 		}
 		step.kind = stepHash
+		if collapseStep(step, fds[strings.ToLower(step.right.table)]) {
+			continue
+		}
 		// Composite bare-column keys: the dictionary-cardinality product
 		// bounds the class count exactly from below per column; cap it at
 		// the row count (there cannot be more occupied classes than rows).
@@ -808,10 +827,16 @@ func (p *selectPlan) describe() []string {
 			} else {
 				line += fmt.Sprintf(" expect=%.3g", step.expected)
 			}
+			if step.collapsed {
+				line += " fd-collapsed"
+			}
 			if step.probeAt < i-1 {
 				line += fmt.Sprintf(" probe@%d", step.probeAt)
 			}
 			add("%s", line)
+			for _, fl := range step.fdLines {
+				add("  %s", fl)
+			}
 			for _, f := range step.residuals {
 				add("  residual %s", exprString(f.src))
 			}

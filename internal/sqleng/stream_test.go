@@ -168,3 +168,53 @@ func TestStreamLegacyEngine(t *testing.T) {
 		t.Errorf("rows = %v, want %v", got, want.Rows)
 	}
 }
+
+// TestStreamGroupedYield: grouped queries WITHOUT an ORDER BY stream each
+// finished group straight through yield (no output materialization), in
+// first-appearance order, with HAVING/DISTINCT/OFFSET/LIMIT applied inline
+// and early-stop honored.
+func TestStreamGroupedYield(t *testing.T) {
+	e := New(newJoinStore(t))
+	queries := []string{
+		`SELECT c.CITY, COUNT(*) AS n FROM orders o, cust c
+		 WHERE o.CID = c.CID GROUP BY c.CITY`,
+		`SELECT c.CITY FROM orders o, cust c
+		 WHERE o.CID = c.CID GROUP BY c.CITY HAVING COUNT(*) > 4`,
+		`SELECT CID, MAX(OID) FROM orders GROUP BY CID LIMIT 1 OFFSET 1`,
+		`SELECT COUNT(*) FROM orders WHERE OID < 0`,
+	}
+	for _, sql := range queries {
+		want := e.MustQuery(sql)
+		ss, err := e.Stream(context.Background(), sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [][]types.Value
+		if err := ss.Each(context.Background(), func(row []types.Value) bool {
+			got = append(got, row)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want.Rows) || (len(got) > 0 && !reflect.DeepEqual(got, want.Rows)) {
+			t.Errorf("%s:\nstream: %v\neager:  %v", sql, got, want.Rows)
+		}
+	}
+
+	// Early stop mid-groups: yield false after the first group.
+	ss, err := e.Stream(context.Background(),
+		`SELECT CID, COUNT(*) FROM orders GROUP BY CID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := ss.Each(context.Background(), func(row []types.Value) bool {
+		n++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("yielded %d group rows after stop, want 1", n)
+	}
+}
